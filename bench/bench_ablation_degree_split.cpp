@@ -1,0 +1,54 @@
+// Ablation: degree split between structure graph (d = q+1) and supernode
+// (d') at a fixed network radix -- Section 7.1's optimization knob. Shows
+// order, bisection and uniform saturation across the feasible splits.
+#include <cstdio>
+
+#include "analysis/bisection.h"
+#include "bench_common.h"
+#include "core/design_space.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint32_t radix = 12;
+  std::printf("Ablation: degree split at radix %u (q* from Eq 1 = %.1f)\n",
+              radix, core::optimal_q_real(radix));
+  std::printf("%-10s %4s %4s %10s %10s %12s\n", "supernode", "q", "d'",
+              "routers", "bisect", "sat-uniform");
+  for (const auto& pt : core::polarstar_candidates(radix)) {
+    auto ps = core::PolarStar::build(
+        {pt.cfg.q, pt.cfg.d_prime, pt.cfg.kind, 4});
+    bench::NamedTopo nt;
+    nt.name = "split";
+    nt.ps = std::make_shared<core::PolarStar>(std::move(ps));
+    nt.topo = std::make_shared<topo::Topology>(nt.ps->topology());
+    nt.routing = routing::make_polarstar_routing(*nt.ps);
+    nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
+    nt.grouped = true;
+
+    auto bis = analysis::bisection_report(*nt.topo);
+    bench::SweepSettings s;
+    s.warmup = 400;
+    s.measure = 1000;
+    s.drain = 5000;
+    double sat = 0.0;
+    for (double load : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+      auto res =
+          bench::run_point(nt, sim::Pattern::kUniform, load,
+                           sim::PathMode::kMinimal, s);
+      if (!res.stable) {
+        sat = res.accepted_flit_rate;
+        break;
+      }
+      sat = load;
+    }
+    std::printf("%-10s %4u %4u %10llu %9.1f%% %12.2f\n",
+                core::to_string(pt.cfg.kind), pt.cfg.q, pt.cfg.d_prime,
+                static_cast<unsigned long long>(pt.order),
+                100.0 * bis.fraction, sat);
+    std::fflush(stdout);
+  }
+  std::printf("\nLarger q (structure-heavy) maximizes order near q = 2d*/3; "
+              "supernode-heavy splits concentrate links locally and shrink "
+              "both scale and bisection.\n");
+  return 0;
+}

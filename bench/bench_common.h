@@ -1,0 +1,186 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary regenerates one table or figure of the paper as an
+// aligned text table. By default the simulation benches run a reduced-scale
+// suite (same topology families, smaller parameters) so the whole bench
+// directory completes in minutes on one core; set POLARSTAR_FULL=1 to use
+// the exact Table 3 configurations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/topology_zoo.h"
+#include "core/bundlefly.h"
+#include "core/polarstar.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hyperx.h"
+#include "topo/lps.h"
+#include "topo/megafly.h"
+
+namespace bench {
+
+using namespace polarstar;
+
+inline bool full_scale() {
+  const char* v = std::getenv("POLARSTAR_FULL");
+  return v != nullptr && v[0] == '1';
+}
+
+/// A topology plus its routing scheme, ready to simulate.
+struct NamedTopo {
+  std::string name;
+  std::shared_ptr<topo::Topology> topo;
+  std::shared_ptr<core::PolarStar> ps;  // alive while analytic routing used
+  std::shared_ptr<routing::MinimalRouting> routing;
+  std::shared_ptr<sim::Network> net;  // built once; reused across points
+  /// True = all minpaths used adaptively (the SF/BF/HX scheme, and FT's
+  /// randomized up-route); false = one deterministic minpath per flow
+  /// (PS/DF/MF).
+  bool all_minpaths = false;
+  /// Hierarchical topologies support the adversarial pattern.
+  bool grouped = false;
+};
+
+inline NamedTopo make_polarstar(const std::string& name,
+                                core::PolarStarConfig cfg) {
+  NamedTopo nt;
+  nt.name = name;
+  nt.ps = std::make_shared<core::PolarStar>(core::PolarStar::build(cfg));
+  nt.topo = std::make_shared<topo::Topology>(nt.ps->topology());
+  nt.routing = routing::make_polarstar_routing(*nt.ps);
+  nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
+  // PolarStar's minimal next hops come from the table-free analytic case
+  // analysis (§9.2); the router adaptively picks among them, which needs
+  // no stored tables -- unlike SF/BF, whose multipath requires them.
+  nt.all_minpaths = true;
+  nt.grouped = true;
+  return nt;
+}
+
+inline NamedTopo make_table(const std::string& name, topo::Topology t,
+                            bool all_minpaths, bool grouped) {
+  NamedTopo nt;
+  nt.name = name;
+  nt.topo = std::make_shared<topo::Topology>(std::move(t));
+  if (name == "DF") {
+    // BookSim's built-in Dragonfly routing is hierarchical (one gateway
+    // per group pair), not graph-minimal.
+    nt.routing = std::make_shared<routing::DragonflyRouting>(*nt.topo);
+  } else {
+    nt.routing = routing::make_table_routing(nt.topo->g);
+  }
+  nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
+  nt.all_minpaths = all_minpaths;
+  nt.grouped = grouped;
+  return nt;
+}
+
+/// The simulated suite: Table 3 when POLARSTAR_FULL=1, otherwise a
+/// reduced-scale version of every family.
+inline std::vector<NamedTopo> simulation_suite() {
+  std::vector<NamedTopo> suite;
+  if (full_scale()) {
+    suite.push_back(make_polarstar(
+        "PS-IQ", {11, 3, core::SupernodeKind::kInductiveQuad, 5}));
+    suite.push_back(
+        make_polarstar("PS-Pal", {8, 6, core::SupernodeKind::kPaley, 5}));
+    suite.push_back(
+        make_table("BF", core::bundlefly::build({7, 9, 5}), true, true));
+    suite.push_back(
+        make_table("HX", topo::hyperx::build({{9, 9, 8}, 8}), true, false));
+    suite.push_back(
+        make_table("DF", topo::dragonfly::build({12, 6, 6}), false, true));
+    suite.push_back(
+        make_table("SF", topo::lps::build({23, 13, 8}), true, false));
+    suite.push_back(
+        make_table("MF", topo::megafly::build({8, 8, 8}), false, true));
+    suite.push_back(
+        make_table("FT", topo::fattree::build({18}), true, true));
+  } else {
+    suite.push_back(make_polarstar(
+        "PS-IQ", {5, 3, core::SupernodeKind::kInductiveQuad, 3}));
+    suite.push_back(
+        make_polarstar("PS-Pal", {4, 4, core::SupernodeKind::kPaley, 3}));
+    suite.push_back(
+        make_table("BF", core::bundlefly::build({5, 5, 3}), true, true));
+    suite.push_back(
+        make_table("HX", topo::hyperx::build({{4, 4, 5}, 3}), true, false));
+    suite.push_back(
+        make_table("DF", topo::dragonfly::build({7, 3, 3}), false, true));
+    suite.push_back(
+        make_table("SF", topo::lps::build({11, 5, 4}), true, false));
+    suite.push_back(
+        make_table("MF", topo::megafly::build({4, 4, 4}), false, true));
+    suite.push_back(make_table("FT", topo::fattree::build({6}), true, true));
+  }
+  return suite;
+}
+
+struct SweepSettings {
+  std::vector<double> loads = {0.05, 0.1, 0.2, 0.3, 0.4,
+                               0.5,  0.6, 0.7, 0.8, 0.9};
+  std::uint64_t warmup = 500, measure = 1500, drain = 8000;
+  std::uint64_t seed = 11;
+};
+
+inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
+                                double load, sim::PathMode mode,
+                                const SweepSettings& s) {
+  sim::SimParams prm;
+  prm.warmup_cycles = s.warmup;
+  prm.measure_cycles = s.measure;
+  prm.drain_cycles = s.drain;
+  prm.path_mode = mode;
+  prm.num_vcs = mode == sim::PathMode::kUgal ? 8 : 4;
+  prm.min_select = nt.all_minpaths ? sim::MinSelect::kAdaptive
+                                   : sim::MinSelect::kSingleHash;
+  prm.seed = s.seed;
+  sim::PatternSource src(*nt.topo, pattern, load, prm.packet_flits, s.seed);
+  sim::Simulation simulation(*nt.net, prm, src);
+  return simulation.run();
+}
+
+/// Latency-vs-load sweep printed as one row per load; stops the row after
+/// the first unstable (saturated) point, like the paper's plots.
+inline void print_sweep(const std::vector<NamedTopo>& suite,
+                        sim::Pattern pattern, sim::PathMode mode,
+                        const SweepSettings& s) {
+  std::printf("%-8s", "load");
+  for (const auto& nt : suite) std::printf(" %10s", nt.name.c_str());
+  std::printf("\n");
+  std::vector<bool> saturated(suite.size(), false);
+  for (double load : s.loads) {
+    std::printf("%-8.2f", load);
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      if (saturated[i]) {
+        std::printf(" %10s", "-");
+        continue;
+      }
+      if (pattern == sim::Pattern::kAdversarial && !suite[i].grouped) {
+        std::printf(" %10s", "n/a");
+        saturated[i] = true;
+        continue;
+      }
+      auto res = run_point(suite[i], pattern, load, mode, s);
+      if (res.stable) {
+        std::printf(" %10.1f", res.avg_packet_latency);
+      } else {
+        std::printf(" %9.2fS", res.accepted_flit_rate);  // saturation tput
+        saturated[i] = true;
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace bench

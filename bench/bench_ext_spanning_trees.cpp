@@ -1,0 +1,38 @@
+// Extension (Dawkins et al. 2024, cited by the paper): edge-disjoint
+// spanning trees on star-product networks. More EDSTs = more concurrent
+// in-network allreduce bandwidth. Greedy parallel-forest packing; the
+// theoretical ceiling is min(min-degree, links/(routers-1)).
+#include <cstdio>
+
+#include "analysis/spanning_trees.h"
+#include "analysis/topology_zoo.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint32_t radix = 13;
+  const std::uint64_t cap = 2000;
+  std::printf("Edge-disjoint spanning trees at radix ~%u\n", radix);
+  std::printf("%-14s %9s %9s %8s %9s %10s\n", "family", "routers", "links",
+              "trees", "ceiling", "leftover");
+  for (auto fam : {analysis::Family::kPolarStarIq,
+                   analysis::Family::kPolarStarPaley,
+                   analysis::Family::kBundlefly, analysis::Family::kDragonfly,
+                   analysis::Family::kHyperX3D, analysis::Family::kJellyfish}) {
+    auto t = analysis::build_largest(fam, radix, cap);
+    if (!t) {
+      for (std::uint32_t k = radix - 2; k <= radix + 2 && !t; ++k) {
+        t = analysis::build_largest(fam, k, cap);
+      }
+    }
+    if (!t) continue;
+    auto packing = analysis::pack_spanning_trees(t->g, 3);
+    const std::size_t ceiling = std::min<std::size_t>(
+        t->g.min_degree(), t->g.num_edges() / (t->num_routers() - 1));
+    std::printf("%-14s %9u %9zu %8zu %9zu %10zu\n", analysis::to_string(fam),
+                t->num_routers(), t->g.num_edges(), packing.trees.size(),
+                ceiling, packing.leftover_edges);
+    std::fflush(stdout);
+  }
+  return 0;
+}

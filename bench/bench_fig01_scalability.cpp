@@ -1,0 +1,73 @@
+// Figure 1: scalability of direct diameter-3 topologies with respect to the
+// Moore bound -- PolarStar, Bundlefly, Dragonfly, 3-D HyperX, bidirectional
+// Kautz, Spectralfly (diameter-3 points only) and the StarMax bound.
+// Prints Moore-bound efficiency per radix plus the geometric-mean headline
+// ratios and the largest order per family for radix <= 64 (the figure's
+// data labels).
+#include <cstdio>
+
+#include "analysis/moore.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint32_t lo = 8, hi = bench::full_scale() ? 128 : 64;
+
+  auto series = analysis::diameter3_scale_series(lo, hi);
+  // Spectralfly points require graph construction; keep the order cap
+  // small unless running full scale.
+  auto sf = analysis::spectralfly_scale_series(
+      lo, hi, bench::full_scale() ? 30000 : 8000);
+  series.push_back(sf);
+
+  std::printf("Figure 1: Moore-bound efficiency (%%), radix %u..%u\n", lo, hi);
+  std::printf("%-6s", "radix");
+  for (const auto& s : series) std::printf(" %12s", s.family.c_str());
+  std::printf("\n");
+  for (std::uint32_t k = lo; k <= hi; ++k) {
+    std::printf("%-6u", k);
+    for (const auto& s : series) {
+      double eff = 0;
+      bool found = false;
+      for (const auto& pt : s.points) {
+        if (pt.radix == k && pt.order > 0) {
+          eff = pt.moore_efficiency;
+          found = true;
+        }
+      }
+      if (found) {
+        std::printf(" %11.1f%%", 100.0 * eff);
+      } else {
+        std::printf(" %12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nLargest order at radix <= 64 (the figure's data labels):\n");
+  for (const auto& s : series) {
+    std::uint64_t best = 0;
+    std::uint32_t at = 0;
+    for (const auto& pt : s.points) {
+      if (pt.radix <= 64 && pt.order > best) {
+        best = pt.order;
+        at = pt.radix;
+      }
+    }
+    std::printf("  %-12s %10llu nodes (radix %u)\n", s.family.c_str(),
+                static_cast<unsigned long long>(best), at);
+  }
+
+  std::printf("\nGeometric-mean scale of PolarStar over baselines "
+              "(paper: BF 1.3x, DF 1.9x, HX 6.7x):\n");
+  const auto& ps = series[0];
+  std::printf("  vs Bundlefly  %.2fx\n",
+              analysis::geometric_mean_ratio(ps, series[1]));
+  std::printf("  vs Dragonfly  %.2fx\n",
+              analysis::geometric_mean_ratio(ps, series[2]));
+  std::printf("  vs 3-D HyperX %.2fx\n",
+              analysis::geometric_mean_ratio(ps, series[3]));
+  std::printf("  vs Spectralfly %.2fx (paper: 12.8x; diameter-3 points only)\n",
+              analysis::geometric_mean_ratio(ps, series[6]));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7 + Section 7.1: feasible (radix, order) combinations of PolarStar
+// and the Eq (1)/(2) closed forms. Prints, per radix, the number of
+// feasible configurations, the smallest and largest orders, which supernode
+// wins, and the match against the theoretical optimum.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/design_space.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint32_t lo = 8, hi = 128;
+  std::printf("Figure 7: PolarStar design space, radix %u..%u\n", lo, hi);
+  std::printf("%-6s %8s %12s %12s %8s %8s %10s %12s\n", "radix", "configs",
+              "min order", "max order", "best q", "q* (Eq1)", "winner",
+              "Eq2 approx");
+  std::vector<std::uint32_t> paley_wins;
+  for (std::uint32_t k = lo; k <= hi; ++k) {
+    auto pts = core::polarstar_candidates(k);
+    if (pts.empty()) continue;
+    std::uint64_t min_order = ~0ull;
+    core::DesignPoint best;
+    for (const auto& pt : pts) {
+      min_order = std::min(min_order, pt.order);
+      if (pt.order > best.order) best = pt;
+    }
+    if (best.cfg.kind == core::SupernodeKind::kPaley) paley_wins.push_back(k);
+    std::printf("%-6u %8zu %12llu %12llu %8u %8.1f %10s %12.0f\n", k,
+                pts.size(), static_cast<unsigned long long>(min_order),
+                static_cast<unsigned long long>(best.order), best.cfg.q,
+                core::optimal_q_real(k), core::to_string(best.cfg.kind),
+                core::max_order_formula_iq(k));
+  }
+  std::printf("\nPaley supernode wins at radixes:");
+  for (auto k : paley_wins) std::printf(" %u", k);
+  std::printf("\n(paper: 23, 50, 56, 80)\n");
+  return 0;
+}

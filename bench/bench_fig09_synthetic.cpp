@@ -1,0 +1,52 @@
+// Figure 9: latency vs offered load under synthetic traffic.
+//   (a/b) uniform, MIN routing     (c) uniform, UGAL routing
+//   (d) random permutation, MIN    (e) bit reverse, MIN
+//   (f) bit shuffle, MIN
+// Cells show average packet latency (cycles); a value suffixed with "S" is
+// the saturation throughput at the first unstable load, after which the
+// network is saturated (paper: "latency is measured up to the highest
+// injection rate for which simulation is stable").
+//
+// Default: reduced-scale suite; POLARSTAR_FULL=1 switches to Table 3.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  auto suite = bench::simulation_suite();
+  bench::SweepSettings s;
+  if (bench::full_scale()) {
+    s.warmup = 1000;
+    s.measure = 3000;
+    s.drain = 15000;
+  }
+  std::printf("Figure 9: topologies at %s scale\n",
+              bench::full_scale() ? "Table-3" : "reduced");
+  for (const auto& nt : suite) {
+    std::printf("  %-7s %s: %u routers, %llu endpoints, %s routing\n",
+                nt.name.c_str(), nt.topo->name.c_str(), nt.topo->num_routers(),
+                static_cast<unsigned long long>(nt.topo->num_endpoints()),
+                nt.all_minpaths ? "all-minpath" : "single-minpath");
+  }
+
+  std::printf("\n(a/b) uniform, MIN routing -- avg latency (cycles)\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kUniform,
+                     polarstar::sim::PathMode::kMinimal, s);
+
+  std::printf("\n(c) uniform, UGAL routing\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kUniform,
+                     polarstar::sim::PathMode::kUgal, s);
+
+  std::printf("\n(d) random permutation, UGAL routing\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kPermutation,
+                     polarstar::sim::PathMode::kUgal, s);
+
+  std::printf("\n(e) bit reverse, UGAL routing\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kBitReverse,
+                     polarstar::sim::PathMode::kUgal, s);
+
+  std::printf("\n(f) bit shuffle, UGAL routing\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kBitShuffle,
+                     polarstar::sim::PathMode::kUgal, s);
+  return 0;
+}

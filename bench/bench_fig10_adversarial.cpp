@@ -1,0 +1,34 @@
+// Figure 10: adversarial traffic -- every supernode/group transmits only to
+// one other group, with destinations chosen at maximal distance (forcing
+// the longest minpaths and maximal global-link pressure). Hierarchical
+// topologies only (PS-*, BF, DF, MF) plus FT, as in the paper.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  auto all = bench::simulation_suite();
+  std::vector<bench::NamedTopo> suite;
+  for (auto& nt : all) {
+    if (nt.grouped) suite.push_back(std::move(nt));
+  }
+  bench::SweepSettings s;
+  s.loads = {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6};
+  if (bench::full_scale()) {
+    s.warmup = 1000;
+    s.measure = 3000;
+    s.drain = 15000;
+  }
+
+  std::printf("Figure 10: adversarial group-paired traffic\n");
+  std::printf("\nMIN routing -- avg latency (cycles; S = saturation tput)\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kAdversarial,
+                     polarstar::sim::PathMode::kMinimal, s);
+  std::printf("\nUGAL routing\n");
+  bench::print_sweep(suite, polarstar::sim::Pattern::kAdversarial,
+                     polarstar::sim::PathMode::kUgal, s);
+  std::printf("\nExpected shape: DF/MF saturate first (single inter-group "
+              "link); BF and PS-* sustain more via link bundles; PS-IQ "
+              "highest among the star products.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 12: fraction of links crossing the estimated minimum bisection,
+// per network radix, for PolarStar, Bundlefly, Spectralfly, Dragonfly,
+// 3-D HyperX, Megafly, Fat-tree and Jellyfish (Jellyfish matched to
+// PolarStar's scale). METIS is substituted by the in-repo multilevel FM
+// partitioner.
+//
+// Default radix grid is small (instances are built in full); set
+// POLARSTAR_FULL=1 for a wider, larger-order sweep.
+#include <cstdio>
+
+#include "analysis/bisection.h"
+#include "analysis/topology_zoo.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint64_t cap = bench::full_scale() ? 40000 : 4000;
+  // Mixed parity: Bundlefly (MMS * Paley) exists at odd radixes only,
+  // Spectralfly (LPS, radix p+1) mostly at even ones.
+  std::vector<std::uint32_t> radixes = {9, 11, 12, 13, 14, 15, 17, 18, 19, 21};
+  if (bench::full_scale()) {
+    radixes = {9, 11, 12, 13, 15, 17, 18, 19, 21, 23, 24, 25, 29, 30, 33, 37};
+  }
+
+  const analysis::Family fams[] = {
+      analysis::Family::kPolarStarIq, analysis::Family::kBundlefly,
+      analysis::Family::kSpectralfly, analysis::Family::kDragonfly,
+      analysis::Family::kHyperX3D,    analysis::Family::kMegafly,
+      analysis::Family::kFatTree,     analysis::Family::kJellyfish};
+
+  std::printf("Figure 12: %% of links in the estimated minimum bisection "
+              "(largest instance per radix, <= %llu routers)\n",
+              static_cast<unsigned long long>(cap));
+  std::printf("%-6s", "radix");
+  for (auto f : fams) std::printf(" %13s", analysis::to_string(f));
+  std::printf("\n");
+
+  std::vector<double> sums(std::size(fams), 0);
+  std::vector<int> counts(std::size(fams), 0);
+  for (auto k : radixes) {
+    std::printf("%-6u", k);
+    for (std::size_t i = 0; i < std::size(fams); ++i) {
+      auto t = analysis::build_largest(fams[i], k, cap);
+      if (!t) {
+        std::printf(" %13s", "-");
+        continue;
+      }
+      auto rep = analysis::bisection_report(*t);
+      sums[i] += rep.fraction;
+      counts[i]++;
+      std::printf(" %12.1f%%", 100.0 * rep.fraction);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\naverages (paper: PS 29.6%%, BF 22.9%%, DF 17.8%%, HX 17.4%%, "
+              "MF 25.5%%):\n");
+  for (std::size_t i = 0; i < std::size(fams); ++i) {
+    if (counts[i]) {
+      std::printf("  %-13s %5.1f%%\n", analysis::to_string(fams[i]),
+                  100.0 * sums[i] / counts[i]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 13: minimum bisection of PolarStar with Inductive-Quad vs Paley
+// supernodes as a function of radix (estimated by the in-repo multilevel
+// partitioner). The IQ variant should be larger and more stable across
+// radixes.
+#include <cstdio>
+
+#include "analysis/bisection.h"
+#include "analysis/topology_zoo.h"
+#include "bench_common.h"
+#include "core/design_space.h"
+
+int main() {
+  using namespace polarstar;
+  const std::uint64_t cap = bench::full_scale() ? 40000 : 5000;
+  std::vector<std::uint32_t> radixes = {8, 10, 12, 14, 16, 18, 20, 22, 24};
+  if (bench::full_scale()) {
+    for (std::uint32_t k = 28; k <= 48; k += 4) radixes.push_back(k);
+  }
+
+  std::printf("Figure 13: PolarStar bisection by supernode kind\n");
+  std::printf("(label = f-closed label-cut upper bound on the IQ variant's "
+              "true minimum;\n 0 when d'+1 pairs cannot split evenly -- see "
+              "EXPERIMENTS.md)\n");
+  std::printf("%-6s %16s %10s %16s\n", "radix", "PS-IQ", "label", "PS-Paley");
+  double sum_iq = 0, sum_pal = 0;
+  int n_iq = 0, n_pal = 0;
+  for (auto k : radixes) {
+    std::printf("%-6u", k);
+    core::DesignPoint best;
+    for (const auto& pt : core::polarstar_candidates(k)) {
+      if (pt.cfg.kind == core::SupernodeKind::kInductiveQuad &&
+          pt.order > best.order && pt.order <= cap) {
+        best = pt;
+      }
+    }
+    if (best.order > 0) {
+      auto ps = core::PolarStar::build(best.cfg);
+      auto rep = analysis::bisection_report(ps.topology());
+      sum_iq += rep.fraction;
+      ++n_iq;
+      std::printf(" %15.1f%%", 100.0 * rep.fraction);
+      const double label = analysis::polarstar_label_cut_bound(ps);
+      if (label > 0) {
+        std::printf(" %9.1f%%", 100.0 * label);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    } else {
+      std::printf(" %16s %10s", "-", "-");
+    }
+    auto pal =
+        analysis::build_largest(analysis::Family::kPolarStarPaley, k, cap);
+    if (pal) {
+      auto rep = analysis::bisection_report(*pal);
+      sum_pal += rep.fraction;
+      ++n_pal;
+      std::printf(" %15.1f%%", 100.0 * rep.fraction);
+    } else {
+      std::printf(" %16s", "-");
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  if (n_iq && n_pal) {
+    std::printf("\naverages: IQ %.1f%%, Paley %.1f%% "
+                "(paper: 29.5%% and 26.6%%)\n",
+                100.0 * sum_iq / n_iq, 100.0 * sum_pal / n_pal);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 14: network diameter and average path length under random link
+// failures; 100 seeded scenarios per topology, the median-disconnection
+// scenario's curve reported (Section 11.2 methodology). Distances for the
+// indirect topologies (FT, MF) count endpoint-carrying routers only.
+#include <cstdio>
+
+#include "analysis/fault_tolerance.h"
+#include "analysis/topology_zoo.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace polarstar;
+  const bool full = bench::full_scale();
+  const std::uint32_t radix = full ? 16 : 12;
+  const std::uint64_t cap = full ? 4000 : 800;
+  const std::uint32_t scenarios = full ? 100 : 40;
+  const std::vector<double> fractions = {0.0,  0.05, 0.1, 0.15, 0.2,
+                                         0.3,  0.4,  0.5, 0.6};
+
+  const analysis::Family fams[] = {
+      analysis::Family::kPolarStarIq, analysis::Family::kBundlefly,
+      analysis::Family::kDragonfly,   analysis::Family::kHyperX3D,
+      analysis::Family::kSpectralfly, analysis::Family::kMegafly,
+      analysis::Family::kFatTree};
+
+  std::printf("Figure 14: diameter / APL vs failed links (radix ~%u, "
+              "%u scenarios)\n", radix, scenarios);
+  for (auto f : fams) {
+    auto t = analysis::build_largest(f, radix, cap);
+    if (!t) {
+      // Some families have no instance at this exact radix; take nearby.
+      for (std::uint32_t k = radix - 2; k <= radix + 4 && !t; ++k) {
+        t = analysis::build_largest(f, k, cap);
+      }
+    }
+    if (!t) {
+      std::printf("%-14s no feasible instance\n", analysis::to_string(f));
+      continue;
+    }
+    auto rep = analysis::fault_tolerance(*t, fractions, scenarios, 99);
+    std::printf("\n%-14s (%s, %u routers) median disconnection %.0f%%\n",
+                analysis::to_string(f), t->name.c_str(), t->num_routers(),
+                100.0 *
+                    rep.disconnection_ratios[rep.disconnection_ratios.size() /
+                                             2]);
+    std::printf("  %-9s", "failed%");
+    for (const auto& pt : rep.median_curve) {
+      std::printf(" %7.0f", pt.failed_fraction * 100);
+    }
+    std::printf("\n  %-9s", "diameter");
+    for (const auto& pt : rep.median_curve) {
+      if (pt.connected) {
+        std::printf(" %7u", pt.diameter);
+      } else {
+        std::printf(" %7s", "x");
+      }
+    }
+    std::printf("\n  %-9s", "APL");
+    for (const auto& pt : rep.median_curve) {
+      if (pt.connected) {
+        std::printf(" %7.2f", pt.avg_path_length);
+      } else {
+        std::printf(" %7s", "x");
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

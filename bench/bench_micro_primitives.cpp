@@ -1,0 +1,106 @@
+// Microbenchmarks (google-benchmark) for the library's hot primitives:
+// field arithmetic, topology construction, BFS sweeps, analytic routing
+// decisions, partitioner, and simulator cycle throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/polarstar.h"
+#include "core/polarstar_routing.h"
+#include "gf/gf.h"
+#include "graph/algorithms.h"
+#include "partition/partitioner.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+
+using namespace polarstar;
+
+static void BM_FieldMul(benchmark::State& state) {
+  gf::Field F(static_cast<std::uint32_t>(state.range(0)));
+  std::uint32_t a = 1, acc = 0;
+  for (auto _ : state) {
+    a = a % (F.q() - 1) + 1;
+    acc ^= F.mul(a, F.primitive_element());
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_FieldMul)->Arg(7)->Arg(64)->Arg(121);
+
+static void BM_BuildEr(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto er = topo::ErGraph::build(q);
+    benchmark::DoNotOptimize(er.g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildEr)->Arg(7)->Arg(11)->Arg(19);
+
+static void BM_BuildPolarStar(benchmark::State& state) {
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ps = core::PolarStar::build(
+        {q, 3, core::SupernodeKind::kInductiveQuad, 0});
+    benchmark::DoNotOptimize(ps.graph().num_edges());
+  }
+}
+BENCHMARK(BM_BuildPolarStar)->Arg(5)->Arg(7)->Arg(11);
+
+static void BM_PathStats(benchmark::State& state) {
+  auto ps = core::PolarStar::build(
+      {static_cast<std::uint32_t>(state.range(0)), 3,
+       core::SupernodeKind::kInductiveQuad, 0});
+  for (auto _ : state) {
+    auto stats = graph::path_stats(ps.graph());
+    benchmark::DoNotOptimize(stats.diameter);
+  }
+}
+BENCHMARK(BM_PathStats)->Arg(5)->Arg(7)->Arg(11);
+
+static void BM_AnalyticRouteDecision(benchmark::State& state) {
+  auto ps = core::PolarStar::build(
+      {7, 4, core::SupernodeKind::kInductiveQuad, 0});
+  core::PolarStarRouting routing(ps);
+  const auto n = ps.graph().num_vertices();
+  std::vector<graph::Vertex> hops;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hops.clear();
+    const graph::Vertex s = static_cast<graph::Vertex>(i * 37 % n);
+    const graph::Vertex d = static_cast<graph::Vertex>((i * 61 + 13) % n);
+    if (s != d) routing.next_hops(s, d, hops);
+    benchmark::DoNotOptimize(hops.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_AnalyticRouteDecision);
+
+static void BM_Bisection(benchmark::State& state) {
+  auto ps = core::PolarStar::build(
+      {static_cast<std::uint32_t>(state.range(0)), 3,
+       core::SupernodeKind::kInductiveQuad, 0});
+  for (auto _ : state) {
+    auto r = partition::bisect(ps.graph());
+    benchmark::DoNotOptimize(r.cut_edges);
+  }
+}
+BENCHMARK(BM_Bisection)->Arg(5)->Arg(7);
+
+static void BM_SimulatorCycles(benchmark::State& state) {
+  auto ps = core::PolarStar::build(
+      {5, 4, core::SupernodeKind::kInductiveQuad, 3});
+  auto route = routing::make_polarstar_routing(ps);
+  sim::Network net(ps.topology(), *route);
+  for (auto _ : state) {
+    sim::SimParams prm;
+    prm.warmup_cycles = 0;
+    prm.measure_cycles = 300;
+    prm.drain_cycles = 0;
+    sim::PatternSource src(ps.topology(), sim::Pattern::kUniform, 0.3, 4, 1);
+    sim::Simulation s(net, prm, src);
+    auto res = s.run();
+    benchmark::DoNotOptimize(res.packets_delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_SimulatorCycles)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

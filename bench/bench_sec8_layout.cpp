@@ -1,0 +1,34 @@
+// Section 8: modular layout and multi-core-fiber bundling. For maximal
+// PolarStar configurations, prints the bundle structure and the
+// cable-reduction factor, which the paper puts at ~2d*/3.
+#include <cstdio>
+
+#include "analysis/layout.h"
+#include "bench_common.h"
+#include "core/design_space.h"
+
+int main() {
+  using namespace polarstar;
+  std::printf("Section 8: PolarStar bundling (paper: cable reduction ~ "
+              "2d*/3)\n");
+  std::printf("%-8s %-24s %9s %8s %9s %8s %8s %10s %10s\n", "radix", "config",
+              "modules", "lnk/bdl", "globals", "bundles", "reduce",
+              "clusters", "bdl/clpair");
+  for (std::uint32_t radix : {9u, 15u, 21u, 27u, 33u, 48u}) {
+    auto best = core::best_polarstar(radix);
+    if (best.order == 0) continue;
+    auto ps = core::PolarStar::build(best.cfg);
+    auto rep = analysis::layout_report(ps);
+    char cfg[64];
+    std::snprintf(cfg, sizeof cfg, "q=%u,d'=%u,%s", best.cfg.q,
+                  best.cfg.d_prime, core::to_string(best.cfg.kind));
+    std::printf("%-8u %-24s %9u %8u %9llu %8llu %7.1fx %10u %10.1f\n", radix,
+                cfg, rep.supernodes, rep.links_per_bundle,
+                static_cast<unsigned long long>(rep.global_links),
+                static_cast<unsigned long long>(rep.bundles),
+                rep.cable_reduction, rep.clusters,
+                rep.avg_bundles_between_clusters);
+    std::printf("%-8s 2d*/3 = %.1f\n", "", 2.0 * radix / 3.0);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 2: comparison of degree-d' supernode families -- order, permitted
+// degrees, and which of properties R* / R1 each satisfies (checked
+// computationally on constructed instances).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "topo/bdf.h"
+#include "topo/complete.h"
+#include "topo/inductive_quad.h"
+#include "topo/paley.h"
+#include "topo/properties.h"
+
+int main() {
+  using namespace polarstar;
+  std::printf("Table 2: supernode families (verified on instances)\n");
+  std::printf("%-16s %-10s %-26s %-5s %-5s\n", "supernode", "order",
+              "permitted d'", "R*", "R1");
+  std::printf("%-16s %-10s %-26s %-5s %-5s\n", "Inductive-Quad", "2d'+2",
+              "0 or 3 (mod 4)", "Y", "N");
+  std::printf("%-16s %-10s %-26s %-5s %-5s\n", "Paley", "2d'+1",
+              "even, 2d'+1 prime power", "N", "Y");
+  std::printf("%-16s %-10s %-26s %-5s %-5s\n", "BDF", "2d'", "all", "Y", "N");
+  std::printf("%-16s %-10s %-26s %-5s %-5s\n", "Complete", "d'+1", "all", "Y",
+              "Y");
+
+  std::printf("\nSpot verification at sample degrees:\n");
+  std::printf("%-6s %-14s %-8s %-6s %-6s\n", "d'", "family", "order", "R*",
+              "R1");
+  for (std::uint32_t d : {3u, 4u, 7u, 8u, 11u, 12u}) {
+    if (topo::iq::feasible(d)) {
+      auto sn = topo::iq::build(d);
+      std::printf("%-6u %-14s %-8u %-6s %-6s\n", d, "IQ", sn.order(),
+                  topo::has_property_r_star(sn.g, sn.f) ? "yes" : "NO",
+                  topo::has_property_r1(sn.g, sn.f) ? "yes" : "no");
+    }
+    if (auto pq = topo::paley::q_for_degree(d)) {
+      auto sn = topo::paley::build(pq);
+      std::printf("%-6u %-14s %-8u %-6s %-6s\n", d, "Paley", sn.order(),
+                  topo::has_property_r_star(sn.g, sn.f) ? "yes" : "no",
+                  topo::has_property_r1(sn.g, sn.f) ? "yes" : "NO");
+    }
+    {
+      auto sn = topo::bdf::build(d);
+      std::printf("%-6u %-14s %-8u %-6s %-6s\n", d, "BDF", sn.order(),
+                  topo::has_property_r_star(sn.g, sn.f) ? "yes" : "NO",
+                  topo::has_property_r1(sn.g, sn.f) ? "yes" : "no");
+    }
+    {
+      auto sn = topo::complete::build(d);
+      std::printf("%-6u %-14s %-8u %-6s %-6s\n", d, "Complete", sn.order(),
+                  topo::has_property_r_star(sn.g, sn.f) ? "yes" : "NO",
+                  topo::has_property_r1(sn.g, sn.f) ? "yes" : "NO");
+    }
+  }
+  return 0;
+}

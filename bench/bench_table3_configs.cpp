@@ -1,0 +1,43 @@
+// Table 3: the simulated configurations -- constructs every row and prints
+// routers / network radix / endpoints / diameter, against the paper's
+// numbers. (PS-Pal: the paper prints 993 routers; the star product
+// (q^2+q+1)(2d'+1) = 73*13 gives 949 -- see EXPERIMENTS.md.)
+#include <cstdio>
+
+#include "analysis/topology_zoo.h"
+#include "bench_common.h"
+#include "graph/algorithms.h"
+
+int main() {
+  using namespace polarstar;
+  struct Row {
+    const char* name;
+    const char* params;
+    unsigned paper_routers, paper_radix;
+    unsigned long long paper_endpoints;
+  };
+  const Row rows[] = {
+      {"PS-IQ", "d=12, d'=3, p=5", 1064, 15, 5320},
+      {"PS-Pal", "d=9, d'=6, p=5", 949, 15, 4745},
+      {"BF", "d=11, d'=4, p=5", 882, 15, 4410},
+      {"HX", "9x9x8, p=8", 648, 23, 5184},
+      {"DF", "a=12, h=6, p=6", 876, 17, 5256},
+      {"SF", "rho=23, q=13, p=8", 1092, 24, 8736},
+      {"MF", "rho=8, a=16, p=8", 1040, 16, 4160},
+      {"FT", "n=3, p=18", 972, 36, 5832},
+  };
+  std::printf("Table 3: simulated configurations\n");
+  std::printf("%-8s %-20s %9s %7s %10s %9s (paper: routers/radix/EPs)\n",
+              "network", "parameters", "routers", "radix", "endpoints",
+              "diameter");
+  for (const auto& row : rows) {
+    auto t = analysis::build_table3(row.name);
+    auto stats = graph::path_stats(t.g);
+    std::printf("%-8s %-20s %9u %7u %10llu %9u (%u / %u / %llu)\n", row.name,
+                row.params, t.num_routers(), t.network_radix(),
+                static_cast<unsigned long long>(t.num_endpoints()),
+                stats.diameter, row.paper_routers, row.paper_radix,
+                row.paper_endpoints);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Design-space explorer: for a given network radix, enumerate every
+// feasible PolarStar configuration (Section 7), compare against the
+// theoretical optimum of Equations (1)-(2), the StarMax bound, and the
+// baseline families' largest instances.
+//
+//   ./example_design_explorer [radix]     (default 32)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/design_space.h"
+#include "topo/dragonfly.h"
+#include "topo/hyperx.h"
+#include "topo/kautz.h"
+
+int main(int argc, char** argv) {
+  using namespace polarstar;
+  const std::uint32_t radix = argc > 1 ? std::atoi(argv[1]) : 32;
+
+  std::printf("PolarStar design space at network radix %u\n", radix);
+  std::printf("%-10s %6s %6s %10s %10s\n", "supernode", "q", "d'", "order",
+              "Moore-3");
+  const double moore = static_cast<double>(core::moore_bound_3(radix));
+  for (const auto& pt : core::polarstar_candidates(radix, true)) {
+    std::printf("%-10s %6u %6u %10llu %9.1f%%\n",
+                core::to_string(pt.cfg.kind), pt.cfg.q, pt.cfg.d_prime,
+                static_cast<unsigned long long>(pt.order),
+                100.0 * static_cast<double>(pt.order) / moore);
+  }
+
+  auto best = core::best_polarstar(radix);
+  std::printf("\nbest: PolarStar-%s(q=%u, d'=%u) with %llu routers\n",
+              core::to_string(best.cfg.kind), best.cfg.q, best.cfg.d_prime,
+              static_cast<unsigned long long>(best.order));
+  std::printf("Eq (1) real optimum q* = %.2f (chosen q = %u)\n",
+              core::optimal_q_real(radix), best.cfg.q);
+  std::printf("Eq (2) closed-form max ~= %.0f\n",
+              core::max_order_formula_iq(radix));
+  std::printf("StarMax bound            %llu\n",
+              static_cast<unsigned long long>(core::starmax_bound(radix)));
+
+  std::printf("\nbaselines at the same radix:\n");
+  std::printf("  Bundlefly   %llu\n",
+              static_cast<unsigned long long>(core::bundlefly_best_order(radix)));
+  std::printf("  Dragonfly   %llu\n",
+              static_cast<unsigned long long>(
+                  topo::dragonfly::max_order_for_radix(radix)));
+  std::printf("  3-D HyperX  %llu\n",
+              static_cast<unsigned long long>(
+                  topo::hyperx::max_order_3d_for_radix(radix)));
+  std::printf("  Kautz(bidi) %llu\n",
+              static_cast<unsigned long long>(
+                  topo::kautz::max_order_bidirectional(radix, 3)));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fault-tolerance scenario: inject random link failures into a PolarStar
+// and a Dragonfly of comparable radix and watch diameter / average path
+// length / connectivity degrade (the Fig 14 methodology, §11.2).
+//
+//   ./example_fault_explorer [scenarios]      (default 25)
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/fault_tolerance.h"
+#include "analysis/topology_zoo.h"
+
+int main(int argc, char** argv) {
+  using namespace polarstar;
+  const std::uint32_t scenarios = argc > 1 ? std::atoi(argv[1]) : 25;
+  const std::vector<double> fractions = {0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
+
+  for (auto fam : {analysis::Family::kPolarStarIq,
+                   analysis::Family::kDragonfly}) {
+    auto t = analysis::build_largest(fam, 12, 600);
+    if (!t) continue;
+    std::printf("== %s: %u routers, %zu links ==\n", t->name.c_str(),
+                t->num_routers(), t->g.num_edges());
+    auto rep = analysis::fault_tolerance(*t, fractions, scenarios, 2024);
+    std::printf("disconnection ratio: min %.2f, median %.2f, max %.2f\n",
+                rep.disconnection_ratios.front(),
+                rep.disconnection_ratios[rep.disconnection_ratios.size() / 2],
+                rep.disconnection_ratios.back());
+    std::printf("%8s %10s %10s %10s\n", "failed", "diameter", "APL",
+                "connected");
+    for (const auto& pt : rep.median_curve) {
+      std::printf("%7.0f%% %10u %10.3f %10s\n", pt.failed_fraction * 100,
+                  pt.diameter, pt.avg_path_length,
+                  pt.connected ? "yes" : "no");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

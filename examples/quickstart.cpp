@@ -1,0 +1,79 @@
+// Quickstart: build a PolarStar, inspect its structure, route a packet
+// analytically, and run a short traffic simulation.
+//
+//   ./example_quickstart [q] [d_prime]
+//
+// Defaults to PolarStar(q=5, d'=4, IQ): 310 routers of radix 10.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/design_space.h"
+#include "core/polarstar.h"
+#include "core/polarstar_routing.h"
+#include "graph/algorithms.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace polarstar;
+
+  const std::uint32_t q = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::uint32_t dp = argc > 2 ? std::atoi(argv[2]) : 4;
+  core::PolarStarConfig cfg{q, dp, core::SupernodeKind::kInductiveQuad, 3};
+  if (!core::polarstar_feasible(cfg)) {
+    std::cerr << "infeasible config: q must be a prime power, d' = 0 or 3 "
+                 "(mod 4)\n";
+    return 1;
+  }
+
+  // 1. Construct the topology.
+  auto ps = core::PolarStar::build(cfg);
+  auto stats = graph::path_stats(ps.graph());
+  std::cout << "== " << ps.topology().name << " ==\n"
+            << "routers:        " << ps.graph().num_vertices() << "\n"
+            << "links:          " << ps.graph().num_edges() << "\n"
+            << "network radix:  " << cfg.network_radix() << "\n"
+            << "endpoints:      " << ps.topology().num_endpoints() << "\n"
+            << "diameter:       " << stats.diameter << "\n"
+            << "avg path len:   " << stats.avg_path_length << "\n"
+            << "moore-3 bound:  " << core::moore_bound_3(cfg.network_radix())
+            << "  (efficiency "
+            << static_cast<double>(ps.graph().num_vertices()) /
+                   core::moore_bound_3(cfg.network_radix())
+            << ")\n\n";
+
+  // 2. Table-free minimal routing (Section 9.2 of the paper).
+  core::PolarStarRouting route(ps);
+  const graph::Vertex src = ps.router(0, 0);
+  const graph::Vertex dst = ps.router(ps.num_supernodes() - 1, 1);
+  std::cout << "analytic route " << src << " -> " << dst << ": ";
+  graph::Vertex cur = src;
+  while (cur != dst) {
+    std::vector<graph::Vertex> hops;
+    route.next_hops(cur, dst, hops);
+    cur = hops.front();
+    std::cout << cur << (cur == dst ? "\n" : " -> ");
+  }
+  std::cout << "router state for analytic routing: "
+            << route.storage_entries() << " entries\n\n";
+
+  // 3. Simulate uniform traffic at 30% load, minimal routing.
+  auto minimal = routing::make_polarstar_routing(ps);
+  sim::Network net(ps.topology(), *minimal);
+  sim::SimParams prm;
+  prm.warmup_cycles = 500;
+  prm.measure_cycles = 1500;
+  sim::PatternSource traffic(ps.topology(), sim::Pattern::kUniform, 0.3,
+                             prm.packet_flits, /*seed=*/42);
+  sim::Simulation simulation(net, prm, traffic);
+  auto res = simulation.run();
+  std::cout << "uniform traffic @ 0.3 flits/cycle/endpoint:\n"
+            << "  avg packet latency: " << res.avg_packet_latency
+            << " cycles\n"
+            << "  p99 latency:        " << res.p99_packet_latency << "\n"
+            << "  accepted rate:      " << res.accepted_flit_rate << "\n"
+            << "  avg hops:           " << res.avg_hops << "\n"
+            << "  stable:             " << (res.stable ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// A guided tour of the star product (Figures 2, 3, 5, 6 of the paper):
+// Cartesian vs star product on toy factors, the ER_3 * Paley(5) example,
+// alternating paths, and the Inductive-Quad induction.
+#include <cstdio>
+
+#include "core/star_product.h"
+#include "graph/algorithms.h"
+#include "topo/er.h"
+#include "topo/inductive_quad.h"
+#include "topo/paley.h"
+#include "topo/properties.h"
+
+using namespace polarstar;
+
+namespace {
+
+topo::Supernode cycle4() {
+  topo::Supernode sn;
+  sn.g = graph::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  sn.f = {2, 3, 0, 1};  // antipodal involution: satisfies R*
+  sn.name = "C4";
+  return sn;
+}
+
+topo::Supernode cycle4_identity() {
+  auto sn = cycle4();
+  sn.f = {0, 1, 2, 3};  // identity: degenerates to the Cartesian product
+  sn.name = "C4-id";
+  return sn;
+}
+
+graph::Graph path3() {
+  return graph::Graph::from_edges(3, {{0, 1}, {1, 2}});
+}
+
+void describe(const char* label, const graph::Graph& g) {
+  auto stats = graph::path_stats(g);
+  std::printf("%-28s %4u vertices %5zu edges  diameter %u  APL %.3f\n",
+              label, g.num_vertices(), g.num_edges(), stats.diameter,
+              stats.avg_path_length);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 2: Cartesian product vs star product ==\n");
+  // L3 x C4 via identity bijection (a Cartesian product in star clothing).
+  auto cartesian = core::star_product(path3(), {}, cycle4_identity());
+  describe("L3 x C4 (Cartesian)", cartesian.product);
+  // L3 * C4 with the antipodal involution.
+  auto star = core::star_product(path3(), {}, cycle4());
+  describe("L3 * C4 (star, f=(02)(13))", star.product);
+  std::printf("Same order and degree; the bijection rewires the copies.\n\n");
+
+  std::printf("== Figure 5: ER_3 * Paley(5) ==\n");
+  auto er3 = topo::ErGraph::build(3);
+  std::printf("ER_3: %u vertices, %zu edges, %d quadric (self-loop) points\n",
+              er3.g.num_vertices(), er3.g.num_edges(),
+              static_cast<int>(std::count(er3.quadric.begin(),
+                                          er3.quadric.end(), true)));
+  auto paley5 = topo::paley::build(5);
+  std::printf("Paley(5): R1 holds: %s\n",
+              topo::has_property_r1(paley5.g, paley5.f) ? "yes" : "no");
+  auto fig5 = core::star_product(er3.g, er3.quadric, paley5);
+  describe("ER_3 * Paley(5)", fig5.product);
+  std::printf("Diameter 3 = diameter(ER_3) + 1, per Theorem 5.\n\n");
+
+  std::printf("== Figure 3: alternating paths ==\n");
+  auto iq3 = topo::iq::build(3);
+  auto ps = core::star_product(er3.g, er3.quadric, iq3);
+  // Walk an x'-alternating path: labels alternate x', f(x') along any
+  // structure-graph path.
+  const graph::Vertex xp = 2;
+  std::printf("labels along supernode path 0 -> ... : %u", xp);
+  graph::Vertex label = xp;
+  auto er_path = graph::bfs_distances(er3.g, 0);
+  graph::Vertex cur = 0;
+  for (int hop = 0; hop < 2; ++hop) {
+    // Step to any farther neighbor to trace a 2-hop structure path.
+    for (graph::Vertex nb : er3.g.neighbors(cur)) {
+      if (er_path[nb] == er_path[cur] + 1) {
+        cur = nb;
+        label = iq3.f[label];
+        std::printf(" -> %u", label);
+        break;
+      }
+    }
+  }
+  std::printf("   (alternates x' and f(x'))\n\n");
+
+  std::printf("== Figure 6: the Inductive-Quad ladder ==\n");
+  for (std::uint32_t d : {0u, 3u, 4u, 7u, 8u, 11u}) {
+    auto sn = topo::iq::build(d);
+    std::printf("IQ_%-2u: order %2u (= 2d'+2), R* %s\n", d, sn.order(),
+                topo::has_property_r_star(sn.g, sn.f) ? "holds" : "FAILS");
+  }
+  std::printf("\nEvery claim above is machine-checked in tests/.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Bisection analysis (Figs 12-13): estimated-minimum-bisection cut fraction
+// per topology, with the paper's normalization rules.
+//
+// Direct topologies: fraction = cut edges / all edges, balanced by router
+// count. Indirect topologies (Fat-tree, Megafly): the bisection balances
+// *endpoints* (vertex weights = concentration) and the fraction is
+// normalized by the links incident to endpoint-carrying routers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/polarstar.h"
+#include "partition/partitioner.h"
+#include "topo/topology.h"
+
+namespace polarstar::analysis {
+
+struct BisectionReport {
+  std::uint64_t cut_links = 0;
+  std::uint64_t normalizing_links = 0;
+  double fraction = 0.0;
+};
+
+BisectionReport bisection_report(const topo::Topology& topo,
+                                 const partition::BisectionOptions& opts = {});
+
+/// Upper bound on PolarStar's minimum bisection from *label-aligned* cuts:
+/// choose an f-closed half S of the supernode labels and cut every
+/// supernode copy along S. Because inter-supernode bundles are f-matchings
+/// (and quadric loop edges pair x' with f(x')), no global link is cut --
+/// the cut is |V(ER)| * cut_{G'}(S). Only meaningful for involution
+/// supernodes with an even number of f-pairs (d' = 3 mod 4); returns the
+/// cut fraction, or 0 when no balanced f-closed split exists.
+///
+/// This bound is typically *below* the METIS estimates reported in the
+/// paper's Figs 12-13 -- see EXPERIMENTS.md.
+double polarstar_label_cut_bound(const core::PolarStar& ps);
+
+}  // namespace polarstar::analysis

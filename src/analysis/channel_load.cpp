@@ -1,0 +1,119 @@
+#include "analysis/channel_load.h"
+
+#include <algorithm>
+
+namespace polarstar::analysis {
+
+using graph::Vertex;
+
+namespace {
+
+struct LinkIndex {
+  std::vector<std::size_t> port_base;  // size n+1
+
+  explicit LinkIndex(const graph::Graph& g) {
+    port_base.assign(g.num_vertices() + 1, 0);
+    for (Vertex r = 0; r < g.num_vertices(); ++r) {
+      port_base[r + 1] = port_base[r] + g.degree(r);
+    }
+  }
+  std::size_t of(const graph::Graph& g, Vertex r, Vertex next) const {
+    auto nb = g.neighbors(r);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), next);
+    return port_base[r] + static_cast<std::size_t>(it - nb.begin());
+  }
+  std::size_t total() const { return port_base.back(); }
+};
+
+// Spreads one router-to-router flow of weight w over all minimal paths,
+// splitting evenly at every hop.
+void add_flow(const topo::Topology& topo,
+              const routing::MinimalRouting& routing, const LinkIndex& links,
+              Vertex src, Vertex dst, double w, std::vector<double>& load,
+              std::vector<double>& amount, std::vector<Vertex>& touched,
+              std::vector<std::vector<Vertex>>& buckets,
+              std::vector<Vertex>& hops) {
+  if (src == dst || w == 0.0) return;
+  const std::uint32_t d0 = routing.distance(src, dst);
+  if (buckets.size() <= d0) buckets.resize(d0 + 1);
+  amount[src] = w;
+  touched.push_back(src);
+  buckets[d0].push_back(src);
+  for (std::uint32_t d = d0; d >= 1; --d) {
+    for (Vertex r : buckets[d]) {
+      hops.clear();
+      routing.next_hops(r, dst, hops);
+      const double share = amount[r] / static_cast<double>(hops.size());
+      for (Vertex nx : hops) {
+        load[links.of(topo.g, r, nx)] += share;
+        if (amount[nx] == 0.0 && nx != dst) {
+          touched.push_back(nx);
+          buckets[d - 1].push_back(nx);
+        }
+        if (nx != dst) amount[nx] += share;
+      }
+    }
+    buckets[d].clear();
+  }
+  for (Vertex r : touched) amount[r] = 0.0;
+  touched.clear();
+}
+
+ChannelLoadReport finalize(std::vector<double> load) {
+  ChannelLoadReport rep;
+  rep.max_load = 0;
+  double sum = 0;
+  for (double l : load) {
+    rep.max_load = std::max(rep.max_load, l);
+    sum += l;
+  }
+  rep.avg_load = load.empty() ? 0.0 : sum / static_cast<double>(load.size());
+  rep.throughput_bound =
+      rep.max_load <= 1.0 ? 1.0 : 1.0 / rep.max_load;
+  rep.link_load = std::move(load);
+  return rep;
+}
+
+}  // namespace
+
+ChannelLoadReport channel_load(
+    const topo::Topology& topo, const routing::MinimalRouting& routing,
+    const std::function<std::uint64_t(std::uint64_t)>& traffic) {
+  LinkIndex links(topo.g);
+  std::vector<double> load(links.total(), 0.0);
+  std::vector<double> amount(topo.num_routers(), 0.0);
+  std::vector<Vertex> touched, hops;
+  std::vector<std::vector<Vertex>> buckets;
+  for (std::uint64_t e = 0; e < topo.num_endpoints(); ++e) {
+    const std::uint64_t dst = traffic(e);
+    if (dst == kNoDst || dst == e) continue;
+    add_flow(topo, routing, links, topo.router_of_endpoint(e),
+             topo.router_of_endpoint(dst), 1.0, load, amount, touched,
+             buckets, hops);
+  }
+  return finalize(std::move(load));
+}
+
+ChannelLoadReport uniform_channel_load(
+    const topo::Topology& topo, const routing::MinimalRouting& routing) {
+  LinkIndex links(topo.g);
+  std::vector<double> load(links.total(), 0.0);
+  std::vector<double> amount(topo.num_routers(), 0.0);
+  std::vector<Vertex> touched, hops;
+  std::vector<std::vector<Vertex>> buckets;
+  const double eps = static_cast<double>(topo.num_endpoints());
+  for (Vertex s = 0; s < topo.num_routers(); ++s) {
+    if (topo.conc[s] == 0) continue;
+    for (Vertex d = 0; d < topo.num_routers(); ++d) {
+      if (s == d || topo.conc[d] == 0) continue;
+      // Each of conc[s] sources spreads 1 flit/cycle over eps-1 partners.
+      const double w = static_cast<double>(topo.conc[s]) *
+                       static_cast<double>(topo.conc[d]) / (eps - 1.0);
+      add_flow(topo, routing, links, s, d, w, load, amount, touched, buckets,
+               hops);
+    }
+  }
+  return finalize(std::move(load));
+}
+
+}  // namespace polarstar::analysis

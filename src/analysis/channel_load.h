@@ -1,0 +1,49 @@
+// Analytical channel-load / throughput-bound analysis.
+//
+// For a traffic matrix and a minimal routing function, the expected load on
+// each directed link (flits/cycle at unit injection) determines an upper
+// bound on sustainable injection: theta <= 1 / max_link_load. This is the
+// classical worst-case/average-case throughput analysis used by the
+// Dragonfly and HyperX papers, and it cross-validates the flit simulator's
+// measured saturation points (tests assert the simulator never beats the
+// bound and approaches it under benign patterns).
+//
+// Load accounting splits each flow's unit demand evenly across all minimal
+// next hops at every router (the idealized load-balanced minimal routing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::analysis {
+
+struct ChannelLoadReport {
+  /// Directed-link loads, indexed like sim::Network's link index
+  /// (port_base[router] + port), in flits/cycle at injection rate 1
+  /// flit/cycle/endpoint.
+  std::vector<double> link_load;
+  double max_load = 0.0;
+  double avg_load = 0.0;
+  /// Throughput bound: 1 / max_load (clamped to 1).
+  double throughput_bound = 1.0;
+};
+
+/// traffic(src_endpoint) returns the destination endpoint, or kNoDst for
+/// idle sources. Fractional demands are not supported (pattern-style
+/// deterministic matrices); for uniform traffic use uniform_channel_load.
+inline constexpr std::uint64_t kNoDst = ~0ull;
+
+ChannelLoadReport channel_load(
+    const topo::Topology& topo, const routing::MinimalRouting& routing,
+    const std::function<std::uint64_t(std::uint64_t)>& traffic);
+
+/// All-to-all (uniform) expected loads: every ordered endpoint pair carries
+/// demand 1/(E-1).
+ChannelLoadReport uniform_channel_load(const topo::Topology& topo,
+                                       const routing::MinimalRouting& routing);
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,104 @@
+#include "analysis/connectivity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/algorithms.h"
+
+namespace polarstar::analysis {
+
+using graph::Vertex;
+
+namespace {
+
+// Unit-capacity max-flow on the undirected graph: residual capacities per
+// directed arc (each undirected edge = two arcs of capacity 1; pushing
+// along one adds residual to the other).
+struct FlowGraph {
+  std::vector<std::size_t> head;       // CSR offsets
+  std::vector<Vertex> to;              // arc targets
+  std::vector<std::uint32_t> twin;     // index of the reverse arc
+  std::vector<std::int8_t> cap;        // residual capacity (0..2)
+
+  explicit FlowGraph(const graph::Graph& g) {
+    const Vertex n = g.num_vertices();
+    head.assign(n + 1, 0);
+    for (Vertex v = 0; v < n; ++v) head[v + 1] = head[v] + g.degree(v);
+    const std::size_t arcs = head[n];
+    to.resize(arcs);
+    twin.resize(arcs);
+    cap.assign(arcs, 1);
+    std::vector<std::size_t> cursor(head.begin(), head.end() - 1);
+    for (auto [u, v] : g.edge_list()) {
+      const auto au = cursor[u]++, av = cursor[v]++;
+      to[au] = v;
+      to[av] = u;
+      twin[au] = static_cast<std::uint32_t>(av);
+      twin[av] = static_cast<std::uint32_t>(au);
+    }
+  }
+
+  void reset() { std::fill(cap.begin(), cap.end(), 1); }
+};
+
+// One BFS augmenting step; returns false when t is unreachable.
+bool augment(FlowGraph& fg, Vertex s, Vertex t, std::vector<std::int32_t>& pre,
+             std::vector<Vertex>& queue) {
+  std::fill(pre.begin(), pre.end(), -1);
+  queue.clear();
+  queue.push_back(s);
+  pre[s] = -2;
+  for (std::size_t h = 0; h < queue.size(); ++h) {
+    const Vertex u = queue[h];
+    for (std::size_t a = fg.head[u]; a < fg.head[u + 1]; ++a) {
+      const Vertex w = fg.to[a];
+      if (pre[w] != -1 || fg.cap[a] == 0) continue;
+      pre[w] = static_cast<std::int32_t>(a);
+      if (w == t) {
+        // Walk back and flip capacities.
+        Vertex cur = t;
+        while (cur != s) {
+          const auto arc = static_cast<std::size_t>(pre[cur]);
+          --fg.cap[arc];
+          ++fg.cap[fg.twin[arc]];
+          cur = fg.to[fg.twin[arc]];
+        }
+        return true;
+      }
+      queue.push_back(w);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t edge_disjoint_paths(const graph::Graph& g, Vertex s, Vertex t) {
+  if (s == t) return 0;
+  FlowGraph fg(g);
+  std::vector<std::int32_t> pre(g.num_vertices());
+  std::vector<Vertex> queue;
+  std::uint32_t flow = 0;
+  while (augment(fg, s, t, pre, queue)) ++flow;
+  return flow;
+}
+
+std::uint32_t edge_connectivity(const graph::Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n < 2 || !graph::is_connected(g)) return 0;
+  FlowGraph fg(g);
+  std::vector<std::int32_t> pre(n);
+  std::vector<Vertex> queue;
+  std::uint32_t best = g.degree(0);
+  for (Vertex t = 1; t < n; ++t) {
+    fg.reset();
+    std::uint32_t flow = 0;
+    while (flow < best && augment(fg, 0, t, pre, queue)) ++flow;
+    // If we stopped early at `best`, flow == best and the min is unchanged.
+    if (flow < best) best = flow;
+    if (best == 0) break;
+  }
+  return best;
+}
+
+}  // namespace polarstar::analysis

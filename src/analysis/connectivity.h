@@ -1,0 +1,24 @@
+// Exact edge connectivity via unit-capacity max-flow (Menger): the minimum
+// number of link failures that can disconnect the network -- the
+// worst-case counterpart to Fig 14's random-failure experiments, and the
+// input to the Nash-Williams floor(lambda/2) spanning-tree ceiling.
+//
+// lambda(G) = min over vertices v != s of maxflow(s, v) for any fixed s.
+// Unit capacities make each maxflow O(m * lambda); fine for every
+// constructed instance in this repo.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace polarstar::analysis {
+
+/// Max number of edge-disjoint paths between s and t (unit capacities).
+std::uint32_t edge_disjoint_paths(const graph::Graph& g, graph::Vertex s,
+                                  graph::Vertex t);
+
+/// Exact edge connectivity; 0 for disconnected or trivial graphs.
+std::uint32_t edge_connectivity(const graph::Graph& g);
+
+}  // namespace polarstar::analysis

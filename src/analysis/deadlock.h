@@ -1,0 +1,33 @@
+// Channel-dependency-graph (CDG) deadlock analysis (Dally & Seitz).
+//
+// Nodes are (directed link, virtual channel) pairs; an edge records that a
+// packet holding one channel can request the next. The simulator assigns
+// VC = hops taken (capped at num_vcs-1), so we enumerate, per destination,
+// every minimal hop sequence's channel transitions using the feasible
+// hop-count range at each router. If the CDG is acyclic, the routing + VC
+// scheme is provably deadlock-free on that topology; a reported cycle is a
+// conservative warning (the hop-range estimate over-approximates).
+//
+// Used to certify: diameter-3 minimal routing with 4 VCs, fat-tree up/down
+// with a single VC, and to demonstrate that capping VCs below the path
+// length reintroduces cyclic dependencies.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::analysis {
+
+struct DeadlockReport {
+  bool acyclic = false;
+  std::size_t cdg_nodes = 0;
+  std::size_t cdg_edges = 0;
+};
+
+DeadlockReport check_deadlock_freedom(const topo::Topology& topo,
+                                      const routing::MinimalRouting& routing,
+                                      std::uint32_t num_vcs);
+
+}  // namespace polarstar::analysis

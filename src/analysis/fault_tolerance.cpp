@@ -1,0 +1,126 @@
+#include "analysis/fault_tolerance.h"
+
+#include <algorithm>
+#include <random>
+
+#include "graph/algorithms.h"
+
+namespace polarstar::analysis {
+
+using graph::Vertex;
+
+namespace {
+
+// With a zero-concentration topology every router counts as a carrier.
+bool all_switch_only(const topo::Topology& topo) {
+  for (Vertex v = 0; v < topo.num_routers(); ++v) {
+    if (topo.conc[v] > 0) return false;
+  }
+  return true;
+}
+
+bool carrier(const topo::Topology& topo, Vertex v, bool everyone) {
+  return everyone || topo.conc[v] > 0;
+}
+
+// Distance stats restricted to endpoint-carrying routers.
+FaultCurvePoint measure(const graph::Graph& g, const topo::Topology& topo,
+                        double fraction) {
+  const bool everyone = all_switch_only(topo);
+  FaultCurvePoint pt;
+  pt.failed_fraction = fraction;
+  std::uint32_t diam = 0;
+  std::uint64_t pairs = 0, dist_sum = 0;
+  bool connected = true;
+  for (Vertex s = 0; s < g.num_vertices() && connected; ++s) {
+    if (!carrier(topo, s, everyone)) continue;
+    auto d = graph::bfs_distances(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      if (t == s || !carrier(topo, t, everyone)) continue;
+      if (d[t] == graph::kUnreachable) {
+        connected = false;
+        break;
+      }
+      diam = std::max(diam, d[t]);
+      dist_sum += d[t];
+      ++pairs;
+    }
+  }
+  pt.connected = connected;
+  if (connected) {
+    pt.diameter = diam;
+    pt.avg_path_length =
+        pairs == 0 ? 0.0 : static_cast<double>(dist_sum) / pairs;
+  }
+  return pt;
+}
+
+bool endpoints_connected(const graph::Graph& g, const topo::Topology& topo) {
+  const bool everyone = all_switch_only(topo);
+  Vertex src = graph::kUnreachable;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (carrier(topo, v, everyone)) {
+      src = v;
+      break;
+    }
+  }
+  if (src == graph::kUnreachable) return true;
+  auto d = graph::bfs_distances(g, src);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (carrier(topo, v, everyone) && d[v] == graph::kUnreachable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultReport fault_tolerance(const topo::Topology& topo,
+                            const std::vector<double>& fractions,
+                            std::uint32_t num_scenarios, std::uint64_t seed) {
+  FaultReport report;
+  const auto edges = topo.g.edge_list();
+  const std::size_t m = edges.size();
+
+  std::vector<std::pair<double, std::uint64_t>> ratios;  // (ratio, seed idx)
+  for (std::uint32_t s = 0; s < num_scenarios; ++s) {
+    std::mt19937_64 rng(seed + s);
+    auto order = edges;
+    std::shuffle(order.begin(), order.end(), rng);
+    // Binary search the smallest failed prefix that disconnects endpoints.
+    std::size_t lo = 0, hi = m;  // connected with lo failures, assume
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      std::vector<graph::Edge> removed(order.begin(),
+                                       order.begin() +
+                                           static_cast<std::ptrdiff_t>(mid));
+      if (endpoints_connected(topo.g.remove_edges(removed), topo)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    ratios.push_back({static_cast<double>(hi) / static_cast<double>(m), s});
+  }
+  std::sort(ratios.begin(), ratios.end());
+  for (auto [r, s] : ratios) report.disconnection_ratios.push_back(r);
+
+  // Median scenario's curve.
+  const std::uint64_t median_seed = seed + ratios[ratios.size() / 2].second;
+  std::mt19937_64 rng(median_seed);
+  auto order = edges;
+  std::shuffle(order.begin(), order.end(), rng);
+  for (double f : fractions) {
+    const std::size_t k =
+        std::min(m, static_cast<std::size_t>(f * static_cast<double>(m)));
+    std::vector<graph::Edge> removed(order.begin(),
+                                     order.begin() +
+                                         static_cast<std::ptrdiff_t>(k));
+    report.median_curve.push_back(
+        measure(topo.g.remove_edges(removed), topo, f));
+  }
+  return report;
+}
+
+}  // namespace polarstar::analysis

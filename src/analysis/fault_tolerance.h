@@ -1,0 +1,39 @@
+// Fault-tolerance analysis (Fig 14): random link-failure scenarios.
+//
+// For each seeded scenario the edge list is shuffled and links fail in that
+// order. The disconnection ratio is the smallest failed fraction at which
+// the graph disconnects (found by bisection over the prefix). For the
+// scenario with the median disconnection ratio, diameter and average
+// shortest path length are reported at each requested failure fraction
+// (paper methodology, Section 11.2). For indirect topologies the distances
+// are measured between endpoint-carrying routers only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace polarstar::analysis {
+
+struct FaultCurvePoint {
+  double failed_fraction = 0.0;
+  std::uint32_t diameter = 0;
+  double avg_path_length = 0.0;
+  bool connected = false;
+};
+
+struct FaultReport {
+  /// Disconnection ratio of every scenario, sorted ascending.
+  std::vector<double> disconnection_ratios;
+  /// Median-scenario curve at the requested fractions (only points where
+  /// the graph is still connected are meaningful).
+  std::vector<FaultCurvePoint> median_curve;
+};
+
+FaultReport fault_tolerance(const topo::Topology& topo,
+                            const std::vector<double>& fractions,
+                            std::uint32_t num_scenarios = 100,
+                            std::uint64_t seed = 1);
+
+}  // namespace polarstar::analysis

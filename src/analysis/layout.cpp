@@ -1,0 +1,50 @@
+#include "analysis/layout.h"
+
+#include <map>
+
+namespace polarstar::analysis {
+
+using graph::Vertex;
+
+LayoutReport layout_report(const core::PolarStar& ps) {
+  LayoutReport rep;
+  const auto& er = ps.structure();
+  rep.supernodes = er.g.num_vertices();
+  rep.links_per_bundle = ps.supernode_order();
+
+  // Global links: one per (ER edge, supernode vertex).
+  rep.bundles = er.g.num_edges();
+  rep.global_links =
+      static_cast<std::uint64_t>(rep.bundles) * rep.links_per_bundle;
+  rep.cable_reduction =
+      rep.bundles == 0 ? 0.0
+                       : static_cast<double>(rep.global_links) /
+                             static_cast<double>(rep.bundles);
+
+  // Supernode clusters: the ER modular layout (Fig 8a). Count bundles
+  // (ER edges) between each cluster pair.
+  auto clusters = er.cluster_layout();
+  std::uint32_t num_clusters = 0;
+  for (Vertex v = 0; v < er.g.num_vertices(); ++v) {
+    num_clusters = std::max(num_clusters, clusters[v] + 1);
+  }
+  rep.clusters = num_clusters;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> between;
+  for (auto [u, v] : er.g.edge_list()) {
+    const auto cu = clusters[u], cv = clusters[v];
+    if (cu != cv) ++between[{std::min(cu, cv), std::max(cu, cv)}];
+  }
+  if (!between.empty()) {
+    std::uint64_t total = 0, min_b = ~0ull;
+    for (const auto& [pair, count] : between) {
+      total += count;
+      min_b = std::min(min_b, count);
+    }
+    rep.avg_bundles_between_clusters =
+        static_cast<double>(total) / static_cast<double>(between.size());
+    rep.min_bundles_between_clusters = static_cast<double>(min_b);
+  }
+  return rep;
+}
+
+}  // namespace polarstar::analysis

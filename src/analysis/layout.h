@@ -1,0 +1,31 @@
+// Section 8: hierarchical modular layout and multi-core-fiber bundling.
+//
+// In a PolarStar of degree d* with structure graph ER_q, adjacent
+// supernodes are joined by a bundle of 2(d*-q) parallel links; bundling
+// each into one multi-core fiber leaves q(q+1)^2 inter-module cables (the
+// non-self-loop edge count of ER_q... divided appropriately), reducing
+// global cable count by a factor ~ 2d*/3. The next hierarchy level groups
+// supernodes into q+1 supernode clusters with ~q bundles between each
+// cluster pair.
+#pragma once
+
+#include <cstdint>
+
+#include "core/polarstar.h"
+
+namespace polarstar::analysis {
+
+struct LayoutReport {
+  std::uint32_t supernodes = 0;          // modules (blades)
+  std::uint32_t links_per_bundle = 0;    // parallel links between neighbors
+  std::uint64_t global_links = 0;        // inter-supernode links
+  std::uint64_t bundles = 0;             // multi-core fibers needed
+  double cable_reduction = 0.0;          // global_links / bundles
+  std::uint32_t clusters = 0;            // supernode clusters (racks)
+  double avg_bundles_between_clusters = 0.0;
+  double min_bundles_between_clusters = 0.0;
+};
+
+LayoutReport layout_report(const core::PolarStar& ps);
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,117 @@
+#include "analysis/moore.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/design_space.h"
+#include "graph/algorithms.h"
+#include "topo/dragonfly.h"
+#include "topo/er.h"
+#include "topo/hyperx.h"
+#include "topo/kautz.h"
+#include "topo/lps.h"
+#include "topo/mms.h"
+#include "topo/paley.h"
+
+namespace polarstar::analysis {
+
+namespace {
+
+ScalePoint point3(std::uint32_t radix, std::uint64_t order) {
+  return {radix, order,
+          order == 0 ? 0.0
+                     : static_cast<double>(order) /
+                           static_cast<double>(core::moore_bound_3(radix))};
+}
+
+ScalePoint point2(std::uint32_t degree, std::uint64_t order) {
+  return {degree, order,
+          order == 0 ? 0.0
+                     : static_cast<double>(order) /
+                           static_cast<double>(core::moore_bound_2(degree))};
+}
+
+}  // namespace
+
+std::vector<ScaleSeries> diameter3_scale_series(std::uint32_t min_radix,
+                                                std::uint32_t max_radix) {
+  ScaleSeries ps{"PolarStar", {}}, bf{"Bundlefly", {}}, df{"Dragonfly", {}},
+      hx{"HyperX3D", {}}, kz{"Kautz-bidir", {}}, sm{"StarMax", {}};
+  for (std::uint32_t k = min_radix; k <= max_radix; ++k) {
+    ps.points.push_back(point3(k, core::best_polarstar(k).order));
+    bf.points.push_back(point3(k, core::bundlefly_best_order(k)));
+    df.points.push_back(point3(k, topo::dragonfly::max_order_for_radix(k)));
+    hx.points.push_back(point3(k, topo::hyperx::max_order_3d_for_radix(k)));
+    kz.points.push_back(point3(k, topo::kautz::max_order_bidirectional(k, 3)));
+    sm.points.push_back(point3(k, core::starmax_bound(k)));
+  }
+  return {ps, bf, df, hx, kz, sm};
+}
+
+ScaleSeries spectralfly_scale_series(std::uint32_t min_radix,
+                                     std::uint32_t max_radix,
+                                     std::uint64_t max_order) {
+  ScaleSeries sf{"Spectralfly", {}};
+  std::map<std::uint32_t, std::uint64_t> best;  // radix -> largest D<=3 order
+  for (std::uint32_t p = 3; p + 1 <= max_radix; p += 2) {
+    if (!gf::is_prime(p)) continue;
+    const std::uint32_t radix = p + 1;
+    if (radix < min_radix) continue;
+    for (std::uint32_t q = 5; q <= 61; q += 4) {
+      if (!topo::lps::feasible(p, q)) continue;
+      const std::uint64_t order = topo::lps::order(p, q);
+      if (order > max_order) break;
+      if (best.count(radix) && best[radix] >= order) continue;
+      auto t = topo::lps::build({p, q, 0});
+      auto stats = graph::path_stats(t.g);
+      if (stats.connected && stats.diameter <= 3) {
+        best[radix] = std::max(best[radix], order);
+      }
+    }
+  }
+  for (auto [radix, order] : best) sf.points.push_back(point3(radix, order));
+  return sf;
+}
+
+std::vector<ScaleSeries> diameter2_scale_series(std::uint32_t min_degree,
+                                                std::uint32_t max_degree) {
+  ScaleSeries er{"ER", {}}, mms{"MMS", {}}, paley{"Paley", {}};
+  for (std::uint32_t d = min_degree; d <= max_degree; ++d) {
+    // ER_q has degree q+1.
+    er.points.push_back(point2(
+        d, topo::ErGraph::feasible(d - 1) ? topo::ErGraph::order(d - 1) : 0));
+    // MMS(q) has degree (3q -/+ 1)/2; find a q matching d exactly.
+    std::uint64_t mms_order = 0;
+    for (std::uint32_t q = 3; 3 * q <= 2 * d + 2; ++q) {
+      if (topo::mms::feasible(q) && topo::mms::degree(q) == d) {
+        mms_order = topo::mms::order(q);
+      }
+    }
+    mms.points.push_back(point2(d, mms_order));
+    // Paley(q) has degree (q-1)/2.
+    const std::uint32_t pq = 2 * d + 1;
+    paley.points.push_back(
+        point2(d, topo::paley::feasible(pq) ? pq : 0));
+  }
+  return {er, mms, paley};
+}
+
+double geometric_mean_ratio(const ScaleSeries& polarstar,
+                            const ScaleSeries& other) {
+  double log_sum = 0;
+  int count = 0;
+  std::map<std::uint32_t, std::uint64_t> other_by_radix;
+  for (const auto& p : other.points) {
+    if (p.order > 0) other_by_radix[p.radix] = p.order;
+  }
+  for (const auto& p : polarstar.points) {
+    auto it = other_by_radix.find(p.radix);
+    if (p.order == 0 || it == other_by_radix.end()) continue;
+    log_sum += std::log(static_cast<double>(p.order) /
+                        static_cast<double>(it->second));
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::exp(log_sum / count);
+}
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,50 @@
+// Moore-bound efficiency series for the scalability figures.
+//
+// Fig 1: for each network radix, the largest diameter-3 instance of each
+// family (PolarStar, Bundlefly, Dragonfly, 3-D HyperX, bidirectional Kautz,
+// StarMax bound) and its fraction of the diameter-3 Moore bound.
+// Fig 4: diameter-2 families (ER, MMS, Paley) against the diameter-2 bound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace polarstar::analysis {
+
+struct ScalePoint {
+  std::uint32_t radix = 0;
+  std::uint64_t order = 0;
+  double moore_efficiency = 0.0;  // order / Moore bound at this radix
+};
+
+/// One row of Figure 1 per family name.
+struct ScaleSeries {
+  std::string family;
+  std::vector<ScalePoint> points;
+};
+
+/// Diameter-3 families of Fig 1 over radix in [min_radix, max_radix].
+/// Families: "PolarStar", "Bundlefly", "Dragonfly", "HyperX3D",
+/// "Kautz-bidir", "StarMax". (Spectralfly needs graph construction to find
+/// its diameter-3 points; see spectralfly_scale_series.)
+std::vector<ScaleSeries> diameter3_scale_series(std::uint32_t min_radix,
+                                                std::uint32_t max_radix);
+
+/// Spectralfly diameter-3 points: enumerates LPS(p, q) with radix p+1 in
+/// range and order at most max_order (construction + BFS diameter check,
+/// so keep max_order modest).
+ScaleSeries spectralfly_scale_series(std::uint32_t min_radix,
+                                     std::uint32_t max_radix,
+                                     std::uint64_t max_order);
+
+/// Diameter-2 families of Fig 4: "ER", "MMS", "Paley" over degree range.
+std::vector<ScaleSeries> diameter2_scale_series(std::uint32_t min_degree,
+                                                std::uint32_t max_degree);
+
+/// Geometric-mean ratio of PolarStar order over another family's order,
+/// across radixes where both exist (the 1.3x/1.9x/6.7x headline numbers).
+double geometric_mean_ratio(const ScaleSeries& polarstar,
+                            const ScaleSeries& other);
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,60 @@
+#include "analysis/path_diversity.h"
+
+#include <algorithm>
+
+namespace polarstar::analysis {
+
+using graph::Vertex;
+
+PathDiversityReport path_diversity(const topo::Topology& topo,
+                                   const routing::MinimalRouting& routing,
+                                   std::uint32_t max_sources) {
+  const Vertex n = topo.num_routers();
+  bool any_carrier = false;
+  for (Vertex v = 0; v < n; ++v) any_carrier = any_carrier || topo.conc[v] > 0;
+  auto carrier = [&](Vertex v) { return !any_carrier || topo.conc[v] > 0; };
+
+  PathDiversityReport rep;
+  rep.histogram.assign(17, 0);  // buckets 0..15, 16+ aggregated
+  double sum = 0;
+  std::uint64_t pairs = 0, singles = 0;
+
+  std::vector<std::uint64_t> npaths(n);
+  std::vector<Vertex> order(n), hops;
+  std::uint32_t sources_used = 0;
+  for (Vertex dst = 0; dst < n; ++dst) {
+    if (!carrier(dst)) continue;
+    if (max_sources != 0 && sources_used >= max_sources) break;
+    ++sources_used;
+    // Process routers nearest-to-dst first so every next hop's count is
+    // already final when a router sums over it.
+    for (Vertex v = 0; v < n; ++v) order[v] = v;
+    std::sort(order.begin(), order.end(), [&](Vertex a, Vertex b) {
+      return routing.distance(a, dst) < routing.distance(b, dst);
+    });
+    std::fill(npaths.begin(), npaths.end(), 0);
+    npaths[dst] = 1;
+    for (Vertex v : order) {
+      if (v == dst) continue;
+      hops.clear();
+      routing.next_hops(v, dst, hops);
+      std::uint64_t count = 0;
+      for (Vertex w : hops) count += npaths[w];
+      npaths[v] = count;
+      if (!carrier(v)) continue;
+      sum += static_cast<double>(count);
+      ++pairs;
+      singles += count == 1;
+      rep.max_paths = std::max(rep.max_paths, count);
+      ++rep.histogram[std::min<std::uint64_t>(count, rep.histogram.size() - 1)];
+    }
+  }
+  if (pairs > 0) {
+    rep.avg_paths = sum / static_cast<double>(pairs);
+    rep.frac_single_path =
+        static_cast<double>(singles) / static_cast<double>(pairs);
+  }
+  return rep;
+}
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,34 @@
+// Minimal-path diversity statistics: how many distinct shortest paths join
+// each router pair. The paper leans on this repeatedly -- SF/BF "store all
+// minpaths" because they have many, Megafly routes over "path diversity
+// between routers within the same group", and PolarStar's single analytic
+// minpath is competitive because its diversity is moderate but nonzero.
+//
+// Counting uses the standard DAG dynamic program over the distance field:
+// npaths(s, d) = sum over minimal next hops w of npaths(w, d).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::analysis {
+
+struct PathDiversityReport {
+  double avg_paths = 0.0;        // mean minimal-path count over pairs
+  std::uint64_t max_paths = 0;   // most-diverse pair
+  double frac_single_path = 0.0; // pairs with exactly one shortest path
+  /// histogram[k] = ordered pairs with min(k, size-1) minimal paths
+  /// (last bucket aggregates).
+  std::vector<std::uint64_t> histogram;
+};
+
+/// Over all ordered pairs of endpoint-carrying routers (sampled down to
+/// max_sources BFS roots for big graphs; 0 = all).
+PathDiversityReport path_diversity(const topo::Topology& topo,
+                                   const routing::MinimalRouting& routing,
+                                   std::uint32_t max_sources = 0);
+
+}  // namespace polarstar::analysis

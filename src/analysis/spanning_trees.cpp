@@ -1,0 +1,89 @@
+#include "analysis/spanning_trees.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace polarstar::analysis {
+
+using graph::Edge;
+using graph::Vertex;
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(Vertex n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  Vertex find(Vertex v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  bool unite(Vertex a, Vertex b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<Vertex> parent_;
+};
+
+}  // namespace
+
+TreePacking pack_spanning_trees(const graph::Graph& g, std::uint64_t seed) {
+  TreePacking packing;
+  const Vertex n = g.num_vertices();
+  if (n <= 1) return packing;
+  const std::size_t m = g.num_edges();
+
+  // Grow up to k forests simultaneously: each edge joins the first forest
+  // where its endpoints are still in different components. Growing in
+  // parallel spreads connectivity across forests far better than peeling
+  // trees off one at a time. Several shuffled trials, best kept.
+  const std::size_t k_cap =
+      std::min<std::size_t>(g.min_degree(), m / (n - 1));
+  if (k_cap == 0) return packing;
+
+  std::mt19937_64 rng(seed);
+  std::vector<Edge> pool = g.edge_list();
+  for (int trial = 0; trial < 8; ++trial) {
+    std::shuffle(pool.begin(), pool.end(), rng);
+    std::vector<UnionFind> forests(k_cap, UnionFind(n));
+    std::vector<std::vector<Edge>> trees(k_cap);
+    std::size_t leftover = 0;
+    for (auto e : pool) {
+      bool placed = false;
+      for (std::size_t f = 0; f < k_cap && !placed; ++f) {
+        if (trees[f].size() < static_cast<std::size_t>(n) - 1 &&
+            forests[f].unite(e.first, e.second)) {
+          trees[f].push_back(e);
+          placed = true;
+        }
+      }
+      if (!placed) ++leftover;
+    }
+    std::vector<std::vector<Edge>> complete;
+    for (auto& t : trees) {
+      if (t.size() == static_cast<std::size_t>(n) - 1) {
+        complete.push_back(std::move(t));
+      } else {
+        leftover += t.size();
+      }
+    }
+    if (complete.size() > packing.trees.size()) {
+      packing.trees = std::move(complete);
+      packing.leftover_edges = leftover;
+    }
+  }
+  if (packing.trees.empty()) packing.leftover_edges = m;
+  return packing;
+}
+
+}  // namespace polarstar::analysis

@@ -1,0 +1,32 @@
+// Edge-disjoint spanning trees (EDSTs) on star-product networks -- the
+// extension the paper points to (Dawkins, Isham, Kubicek, Lakhotia, Monroe
+// 2024): EDSTs carry concurrent in-network allreduce streams, so more trees
+// means more collective bandwidth.
+//
+// We use a greedy packing: repeatedly extract a spanning tree from the
+// remaining edges (BFS forest with union-find cycle avoidance), stopping
+// when the residual graph no longer spans. Greedy packing is a lower bound
+// on the Nash-Williams/Tutte tree-packing number (which itself is at least
+// floor(edge-connectivity / 2)); tests assert the structural guarantees of
+// each returned tree rather than optimality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::analysis {
+
+struct TreePacking {
+  /// Each tree is an edge list of size n-1 spanning all vertices.
+  std::vector<std::vector<graph::Edge>> trees;
+  std::size_t leftover_edges = 0;  // edges not used by any tree
+};
+
+/// Greedily packs edge-disjoint spanning trees. Deterministic for a seed
+/// (the seed shuffles edge consideration order across trees).
+TreePacking pack_spanning_trees(const graph::Graph& g,
+                                std::uint64_t seed = 1);
+
+}  // namespace polarstar::analysis

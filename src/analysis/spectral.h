@@ -1,0 +1,26 @@
+// Spectral graph analysis: algebraic connectivity (the Laplacian's second
+// eigenvalue, via deflated power iteration) and the classical lower bound
+// on minimum bisection, cut >= lambda_2 * n / 4.
+//
+// Used to *certify* the bisection findings of Figs 12-13: the multilevel
+// partitioner gives an upper bound on the minimum bisection, the spectral
+// bound a lower one, bracketing the truth.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace polarstar::analysis {
+
+/// lambda_2 of the graph Laplacian, to roughly 3 significant digits.
+/// Returns 0 for disconnected or trivial graphs.
+double algebraic_connectivity(const graph::Graph& g,
+                              std::uint32_t iterations = 600,
+                              std::uint64_t seed = 5);
+
+/// Lower bound on the minimum (perfectly balanced) bisection edge count:
+/// ceil(lambda_2 * n / 4) for even n.
+std::uint64_t spectral_bisection_lower_bound(const graph::Graph& g);
+
+}  // namespace polarstar::analysis

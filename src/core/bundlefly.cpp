@@ -1,0 +1,43 @@
+#include "core/bundlefly.h"
+
+#include <stdexcept>
+
+#include "core/star_product.h"
+#include "topo/mms.h"
+#include "topo/paley.h"
+
+namespace polarstar::core::bundlefly {
+
+using graph::Vertex;
+
+bool feasible(const Params& prm) {
+  return topo::mms::feasible(prm.q) && topo::paley::feasible(prm.paley_q);
+}
+
+std::uint64_t order(const Params& prm) {
+  return topo::mms::order(prm.q) * topo::paley::order(prm.paley_q);
+}
+
+topo::Topology build(const Params& prm) {
+  if (!feasible(prm)) {
+    throw std::invalid_argument("bundlefly: infeasible parameters");
+  }
+  auto structure = topo::mms::build(prm.q);
+  auto sn = topo::paley::build(prm.paley_q);
+  auto sp = star_product(structure, {}, sn);
+
+  topo::Topology t;
+  t.name = "Bundlefly(q=" + std::to_string(prm.q) +
+           ",paley=" + std::to_string(prm.paley_q) +
+           ",p=" + std::to_string(prm.p) + ")";
+  t.g = std::move(sp.product);
+  t.conc.assign(t.g.num_vertices(), prm.p);
+  t.group_of.resize(t.g.num_vertices());
+  for (Vertex v = 0; v < t.g.num_vertices(); ++v) {
+    t.group_of[v] = v / sn.order();
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace polarstar::core::bundlefly

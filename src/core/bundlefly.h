@@ -1,0 +1,32 @@
+// Bundlefly (Lei et al. 2020): the state-of-the-art star-product baseline.
+//
+// Structure graph: MMS(q) (diameter 2); supernode: a Property-R1 graph --
+// we use Paley(q') (a Cayley graph, order 2d'+1), joined via Theorem 5's
+// R1 star product. Diameter 3. The paper's Table 3 instance is
+// MMS(7) * Paley(9): 882 routers of network radix 15.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::core {
+
+namespace bundlefly {
+
+struct Params {
+  std::uint32_t q = 0;        // MMS structure parameter
+  std::uint32_t paley_q = 0;  // Paley supernode order (prime power, 1 mod 4)
+  std::uint32_t p = 0;        // endpoints per router
+};
+
+bool feasible(const Params& prm);
+
+std::uint64_t order(const Params& prm);
+
+/// Builds the topology; group_of is the supernode id.
+topo::Topology build(const Params& prm);
+
+}  // namespace bundlefly
+
+}  // namespace polarstar::core

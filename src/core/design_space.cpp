@@ -1,0 +1,78 @@
+#include "core/design_space.h"
+
+#include <cmath>
+
+#include "gf/gf.h"
+#include "topo/mms.h"
+
+namespace polarstar::core {
+
+std::vector<DesignPoint> polarstar_candidates(std::uint32_t radix,
+                                              bool include_bdf_and_complete) {
+  std::vector<DesignPoint> points;
+  std::vector<SupernodeKind> kinds = {SupernodeKind::kInductiveQuad,
+                                      SupernodeKind::kPaley};
+  if (include_bdf_and_complete) {
+    kinds.push_back(SupernodeKind::kBdf);
+    kinds.push_back(SupernodeKind::kComplete);
+  }
+  for (std::uint32_t q = 2; q + 1 < radix; ++q) {
+    const std::uint32_t d_prime = radix - (q + 1);
+    for (auto kind : kinds) {
+      PolarStarConfig cfg{q, d_prime, kind, 0};
+      const std::uint64_t order = polarstar_order(cfg);
+      if (order > 0) points.push_back({cfg, order});
+    }
+  }
+  return points;
+}
+
+DesignPoint best_polarstar(std::uint32_t radix) {
+  DesignPoint best;
+  for (const auto& pt : polarstar_candidates(radix)) {
+    if (pt.order > best.order) best = pt;
+  }
+  return best;
+}
+
+double optimal_q_real(std::uint32_t radix) {
+  const double d = radix;
+  return ((d - 1) + std::sqrt((d - 1) * (d - 2))) / 3.0;
+}
+
+double max_order_formula_iq(std::uint32_t radix) {
+  const double d = radix;
+  return (8 * d * d * d + 12 * d * d + 18 * d) / 27.0;
+}
+
+std::uint64_t starmax_bound(std::uint32_t radix) {
+  std::uint64_t best = 0;
+  for (std::uint32_t d = 1; d < radix; ++d) {
+    const std::uint64_t d_prime = radix - d;
+    best = std::max(best, moore_bound_2(d) * (2 * d_prime + 2));
+  }
+  return best;
+}
+
+std::uint64_t bundlefly_best_order(std::uint32_t radix) {
+  std::uint64_t best = 0;
+  for (std::uint32_t q = 3; 3 * q / 2 < radix + 2; ++q) {
+    if (!topo::mms::feasible(q)) continue;
+    const std::uint32_t dm = topo::mms::degree(q);
+    if (dm >= radix) continue;
+    const std::uint32_t d_prime = radix - dm;
+    // Largest R1 Cayley-style supernode order 2d' + delta'.
+    std::uint64_t sn = 0;
+    for (int delta = 1; delta >= -1 && sn == 0; --delta) {
+      const std::int64_t m = 2ll * d_prime + delta;
+      if (m >= 2 && gf::is_prime_power(static_cast<std::uint32_t>(m))) {
+        sn = static_cast<std::uint64_t>(m);
+      }
+    }
+    if (sn == 0) sn = 2 * d_prime;  // conservative fallback
+    best = std::max(best, topo::mms::order(q) * sn);
+  }
+  return best;
+}
+
+}  // namespace polarstar::core

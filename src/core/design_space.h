@@ -1,0 +1,52 @@
+// Design-space enumeration (Section 7): for a given network radix, every
+// feasible PolarStar configuration, the largest one, the closed-form
+// optimum of Equations (1)-(2), and the StarMax upper bound of Figure 1.
+// Also best-per-radix orders for the star-product baseline (Bundlefly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/polarstar.h"
+
+namespace polarstar::core {
+
+struct DesignPoint {
+  PolarStarConfig cfg;
+  std::uint64_t order = 0;
+};
+
+/// Every feasible PolarStar(q, d', kind) with q+1+d' == radix, for the
+/// supernode kinds the paper considers (IQ and Paley by default).
+std::vector<DesignPoint> polarstar_candidates(
+    std::uint32_t radix, bool include_bdf_and_complete = false);
+
+/// The largest feasible PolarStar for the radix ({order=0} if none).
+DesignPoint best_polarstar(std::uint32_t radix);
+
+/// Equation (1): the real-valued optimizer q* = ((d-1)+sqrt((d-1)(d-2)))/3.
+double optimal_q_real(std::uint32_t radix);
+
+/// Equation (2): closed-form approximate maximum order with an IQ supernode.
+double max_order_formula_iq(std::uint32_t radix);
+
+/// StarMax (Fig 1): max over d + d' = radix of (d^2+1) * (2d'+2) -- the
+/// diameter-2 Moore bound for the structure graph times the R*-supernode
+/// order bound of Proposition 2.
+std::uint64_t starmax_bound(std::uint32_t radix);
+
+/// Largest Bundlefly (MMS * R1-supernode star product) order for a radix.
+/// MMS structure degrees (3q-delta)/2 for prime powers q = 1, 3 mod 4;
+/// supernode order: largest prime power 2d'+delta' (delta' in {1,0,-1})
+/// admitting an R1 Cayley construction, per Table 2.
+std::uint64_t bundlefly_best_order(std::uint32_t radix);
+
+/// Diameter-3 Moore bound: d^3 - d^2 + d + 1... precisely
+/// 1 + d + d(d-1) + d(d-1)^2.
+inline std::uint64_t moore_bound_3(std::uint64_t d) {
+  return 1 + d + d * (d - 1) + d * (d - 1) * (d - 1);
+}
+/// Diameter-2 Moore bound: d^2 + 1.
+inline std::uint64_t moore_bound_2(std::uint64_t d) { return d * d + 1; }
+
+}  // namespace polarstar::core

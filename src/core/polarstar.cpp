@@ -1,0 +1,97 @@
+#include "core/polarstar.h"
+
+#include <stdexcept>
+
+#include "topo/bdf.h"
+#include "topo/complete.h"
+#include "topo/inductive_quad.h"
+#include "topo/paley.h"
+
+namespace polarstar::core {
+
+using graph::Vertex;
+
+const char* to_string(SupernodeKind kind) {
+  switch (kind) {
+    case SupernodeKind::kInductiveQuad: return "IQ";
+    case SupernodeKind::kPaley: return "Paley";
+    case SupernodeKind::kBdf: return "BDF";
+    case SupernodeKind::kComplete: return "Complete";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint64_t supernode_order_for(SupernodeKind kind, std::uint32_t d_prime) {
+  switch (kind) {
+    case SupernodeKind::kInductiveQuad:
+      return topo::iq::feasible(d_prime) ? topo::iq::order(d_prime) : 0;
+    case SupernodeKind::kPaley:
+      return topo::paley::q_for_degree(d_prime);
+    case SupernodeKind::kBdf:
+      return topo::bdf::feasible(d_prime) ? topo::bdf::order(d_prime) : 0;
+    case SupernodeKind::kComplete:
+      return topo::complete::order(d_prime);
+  }
+  return 0;
+}
+
+topo::Supernode build_supernode(SupernodeKind kind, std::uint32_t d_prime) {
+  switch (kind) {
+    case SupernodeKind::kInductiveQuad: return topo::iq::build(d_prime);
+    case SupernodeKind::kPaley:
+      return topo::paley::build(topo::paley::q_for_degree(d_prime));
+    case SupernodeKind::kBdf: return topo::bdf::build(d_prime);
+    case SupernodeKind::kComplete: return topo::complete::build(d_prime);
+  }
+  throw std::invalid_argument("unknown supernode kind");
+}
+
+}  // namespace
+
+bool polarstar_feasible(const PolarStarConfig& cfg) {
+  return topo::ErGraph::feasible(cfg.q) &&
+         supernode_order_for(cfg.kind, cfg.d_prime) > 0;
+}
+
+std::uint64_t polarstar_order(const PolarStarConfig& cfg) {
+  if (!polarstar_feasible(cfg)) return 0;
+  return topo::ErGraph::order(cfg.q) *
+         supernode_order_for(cfg.kind, cfg.d_prime);
+}
+
+PolarStar PolarStar::build(const PolarStarConfig& cfg) {
+  if (!polarstar_feasible(cfg)) {
+    throw std::invalid_argument("infeasible PolarStar configuration");
+  }
+  PolarStar ps;
+  ps.cfg_ = cfg;
+  ps.er_ = topo::ErGraph::build(cfg.q);
+  ps.supernode_ = build_supernode(cfg.kind, cfg.d_prime);
+
+  auto sp = star_product(ps.er_.g, ps.er_.quadric, ps.supernode_);
+
+  ps.topo_.name = std::string("PolarStar-") + to_string(cfg.kind) + "(q=" +
+                  std::to_string(cfg.q) + ",d'=" + std::to_string(cfg.d_prime) +
+                  ",p=" + std::to_string(cfg.endpoints) + ")";
+  ps.topo_.g = std::move(sp.product);
+  ps.topo_.conc.assign(ps.topo_.g.num_vertices(), cfg.endpoints);
+  ps.topo_.group_of.resize(ps.topo_.g.num_vertices());
+  for (Vertex v = 0; v < ps.topo_.g.num_vertices(); ++v) {
+    ps.topo_.group_of[v] = ps.supernode_of(v);
+  }
+  ps.topo_.finalize();
+  return ps;
+}
+
+std::vector<std::uint32_t> PolarStar::cluster_layout() const {
+  auto er_clusters = er_.cluster_layout();
+  std::vector<std::uint32_t> clusters(topo_.g.num_vertices());
+  for (Vertex v = 0; v < topo_.g.num_vertices(); ++v) {
+    clusters[v] = er_clusters[supernode_of(v)];
+  }
+  return clusters;
+}
+
+}  // namespace polarstar::core

@@ -1,0 +1,79 @@
+// PolarStar: the star product ER_q * G' where G' is an Inductive-Quad
+// (Property R*) or Paley (Property R1) supernode. Diameter 3; order
+// (q^2+q+1) * |V(G')|; network radix (q+1) + d'.
+//
+// This is the paper's primary contribution. The struct keeps the factor
+// graphs alive so the analytic (table-free) routing of Section 9.2 can
+// consult them, and exposes the hierarchical metadata (supernode ids,
+// supernode clusters) used by the layout/bundling analysis (Section 8) and
+// the adversarial traffic pattern (Section 9.6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/star_product.h"
+#include "topo/er.h"
+#include "topo/supernode.h"
+#include "topo/topology.h"
+
+namespace polarstar::core {
+
+enum class SupernodeKind { kInductiveQuad, kPaley, kBdf, kComplete };
+
+const char* to_string(SupernodeKind kind);
+
+struct PolarStarConfig {
+  std::uint32_t q = 0;        // ER_q structure graph parameter (prime power)
+  std::uint32_t d_prime = 0;  // supernode degree
+  SupernodeKind kind = SupernodeKind::kInductiveQuad;
+  std::uint32_t endpoints = 0;  // endpoints per router
+
+  std::uint32_t network_radix() const { return q + 1 + d_prime; }
+};
+
+/// Order of the PolarStar for a config (0 if infeasible).
+std::uint64_t polarstar_order(const PolarStarConfig& cfg);
+
+/// True iff both factor graphs exist for the config.
+bool polarstar_feasible(const PolarStarConfig& cfg);
+
+class PolarStar {
+ public:
+  /// Builds the full topology. Throws std::invalid_argument on infeasible
+  /// configs.
+  static PolarStar build(const PolarStarConfig& cfg);
+
+  const PolarStarConfig& config() const { return cfg_; }
+  const topo::Topology& topology() const { return topo_; }
+  const graph::Graph& graph() const { return topo_.g; }
+
+  const topo::ErGraph& structure() const { return er_; }
+  const topo::Supernode& supernode() const { return supernode_; }
+
+  std::uint32_t num_supernodes() const { return er_.g.num_vertices(); }
+  std::uint32_t supernode_order() const { return supernode_.order(); }
+
+  graph::Vertex router(graph::Vertex x, graph::Vertex xp) const {
+    return x * supernode_order() + xp;
+  }
+  graph::Vertex supernode_of(graph::Vertex v) const {
+    return v / supernode_order();
+  }
+  graph::Vertex label_of(graph::Vertex v) const {
+    return v % supernode_order();
+  }
+
+  /// Supernode-cluster id per router (Section 8 layout): the ER cluster of
+  /// the router's supernode.
+  std::vector<std::uint32_t> cluster_layout() const;
+
+ private:
+  PolarStarConfig cfg_;
+  topo::ErGraph er_;
+  topo::Supernode supernode_;
+  topo::Topology topo_;
+};
+
+}  // namespace polarstar::core

@@ -1,0 +1,78 @@
+// Analytic (table-free) minimal routing for PolarStar, Section 9.2.
+//
+// Instead of storing per-destination next hops for all N = (q^2+q+1)|G'|
+// routers, a PolarStar router derives minimal paths from:
+//   - the structure graph ER_q (adjacency + quadric flags),
+//   - the supernode graph G' (adjacency),
+//   - the bijection f (and f^{-1} for the Paley/R1 case).
+// Distances in the product are classified case-by-case (Property R / R* /
+// R1 path shapes); every case check is O(d) in factor-graph degrees.
+// The test suite certifies that the analytic distance equals BFS distance
+// and that emitted next hops are exactly the minimal ones.
+//
+// storage_entries() reports the structure-graph-scale state a router needs,
+// for the routing-table comparison against table-based schemes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/polarstar.h"
+
+namespace polarstar::core {
+
+class PolarStarRouting {
+ public:
+  explicit PolarStarRouting(const PolarStar& ps);
+
+  /// Analytic distance between routers (0..3).
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const;
+
+  /// Appends every neighbor of cur that lies on a minimal path to dst.
+  void next_hops(graph::Vertex cur, graph::Vertex dst,
+                 std::vector<graph::Vertex>& out) const;
+
+  /// Factor-graph storage a router needs (entries): supernode adjacency +
+  /// f + one row of ER adjacency per ER vertex. Compare with
+  /// MinimalNextHops::storage_entries() of the full product.
+  std::size_t storage_entries() const;
+
+ private:
+  // Labels are supernode vertex ids; phi maps a label across the arc
+  // (x -> y) of the structure graph (orientation-aware for the R1 case).
+  graph::Vertex phi(graph::Vertex x, graph::Vertex y, graph::Vertex lbl) const {
+    return x < y ? f_[lbl] : finv_[lbl];
+  }
+  graph::Vertex phi_inv(graph::Vertex x, graph::Vertex y,
+                        graph::Vertex lbl) const {
+    return x < y ? finv_[lbl] : f_[lbl];
+  }
+
+  bool super_adjacent(graph::Vertex a, graph::Vertex b) const {
+    return supernode_->has_edge(a, b);
+  }
+
+  // Distance within one supernode copy at structure vertex x (uses loop
+  // edges when x is quadric). Returns 1, 2 or 3; caller handles equality.
+  std::uint32_t intra_distance(graph::Vertex x, graph::Vertex a,
+                               graph::Vertex b) const;
+
+  // True iff a 2-hop path exists between (x, a) and (y, b) for adjacent
+  // structure vertices x != y.
+  bool two_hop_adjacent_supernodes(graph::Vertex x, graph::Vertex a,
+                                   graph::Vertex y, graph::Vertex b) const;
+
+  // True iff a 2-hop path exists between (x, a) and (y, b) for structure
+  // vertices at ER-distance 2.
+  bool two_hop_distance2(graph::Vertex x, graph::Vertex a, graph::Vertex y,
+                         graph::Vertex b) const;
+
+  const graph::Graph* er_ = nullptr;
+  const graph::Graph* supernode_ = nullptr;
+  const std::vector<bool>* quadric_ = nullptr;
+  std::vector<graph::Vertex> f_, finv_;
+  std::uint32_t n_super_ = 0;
+  const PolarStar* ps_ = nullptr;
+};
+
+}  // namespace polarstar::core

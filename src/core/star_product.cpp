@@ -1,0 +1,56 @@
+#include "core/star_product.h"
+
+namespace polarstar::core {
+
+using graph::Vertex;
+
+StarProduct star_product(const graph::Graph& structure,
+                         const std::vector<bool>& loops,
+                         const topo::Supernode& supernode) {
+  StarProduct sp;
+  sp.n_structure = structure.num_vertices();
+  sp.n_supernode = supernode.order();
+  const auto& f = supernode.f;
+
+  std::vector<graph::Edge> edges;
+  const auto super_edges = supernode.g.edge_list();
+  edges.reserve(static_cast<std::size_t>(sp.n_structure) * super_edges.size() +
+                structure.num_edges() * sp.n_supernode);
+
+  // (2a) Intra-supernode copies of E'.
+  for (Vertex x = 0; x < sp.n_structure; ++x) {
+    for (auto [a, b] : super_edges) {
+      edges.emplace_back(sp.id(x, a), sp.id(x, b));
+    }
+  }
+  // (2b) Inter-supernode bijective joins along each arc (x -> y), x < y.
+  for (Vertex x = 0; x < sp.n_structure; ++x) {
+    for (Vertex y : structure.neighbors(x)) {
+      if (x >= y) continue;
+      for (Vertex xp = 0; xp < sp.n_supernode; ++xp) {
+        edges.emplace_back(sp.id(x, xp), sp.id(y, f[xp]));
+      }
+    }
+  }
+  // Self-loop arcs become f-matching edges inside the supernode copy;
+  // fixed points of f would be product self-loops and are dropped by the
+  // Graph builder.
+  for (Vertex x = 0; x < std::min<std::size_t>(loops.size(), sp.n_structure);
+       ++x) {
+    if (!loops[x]) continue;
+    for (Vertex xp = 0; xp < sp.n_supernode; ++xp) {
+      if (xp < f[xp]) edges.emplace_back(sp.id(x, xp), sp.id(x, f[xp]));
+      // For non-involutions both orientations of the loop arc contribute;
+      // {xp, f(xp)} with xp > f(xp) is the same undirected edge.
+      if (!supernode.f_is_involution && xp > f[xp]) {
+        edges.emplace_back(sp.id(x, xp), sp.id(x, f[xp]));
+      }
+    }
+  }
+
+  sp.product =
+      graph::Graph::from_edges(sp.n_structure * sp.n_supernode, edges);
+  return sp;
+}
+
+}  // namespace polarstar::core

@@ -1,0 +1,37 @@
+// The star product G * G' (Bermond, Delorme, Farhi 1982; Definition 1 in
+// the paper), specialised as PolarStar uses it: a single bijection f for
+// every arc, arcs oriented canonically from the lower to the higher vertex
+// id, and structure-graph self-loops (the quadric vertices of ER_q)
+// materialising as supernode-internal f-matching edges (Fig 5c).
+//
+// Product vertex (x, x') has id x * |V(G')| + x'.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "topo/supernode.h"
+
+namespace polarstar::core {
+
+struct StarProduct {
+  graph::Graph product;
+  std::uint32_t n_structure = 0;
+  std::uint32_t n_supernode = 0;
+
+  graph::Vertex id(graph::Vertex x, graph::Vertex xp) const {
+    return x * n_supernode + xp;
+  }
+  graph::Vertex structure_of(graph::Vertex v) const { return v / n_supernode; }
+  graph::Vertex label_of(graph::Vertex v) const { return v % n_supernode; }
+};
+
+/// Builds G * G'. `loops` marks structure vertices carrying a self-loop
+/// (may be empty). Self-loops in the *product* (possible when f has fixed
+/// points) are dropped, as the paper specifies.
+StarProduct star_product(const graph::Graph& structure,
+                         const std::vector<bool>& loops,
+                         const topo::Supernode& supernode);
+
+}  // namespace polarstar::core

@@ -1,0 +1,210 @@
+#include "gf/gf.h"
+
+#include <algorithm>
+
+namespace polarstar::gf {
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>>
+factor_prime_power(std::uint32_t q) {
+  if (q < 2) return std::nullopt;
+  std::uint32_t p = q;
+  for (std::uint32_t d = 2; d * d <= q; ++d) {
+    if (q % d == 0) {
+      p = d;
+      break;
+    }
+  }
+  std::uint32_t k = 0, n = q;
+  while (n % p == 0) {
+    n /= p;
+    ++k;
+  }
+  if (n != 1) return std::nullopt;
+  return std::make_pair(p, k);
+}
+
+bool is_prime_power(std::uint32_t q) {
+  return factor_prime_power(q).has_value();
+}
+
+namespace {
+
+// Polynomials over GF(p) encoded as base-p digit strings in a uint64.
+// Digit i (value (enc / p^i) % p) is the coefficient of x^i.
+
+int poly_degree(std::uint64_t a, std::uint32_t p) {
+  int d = -1;
+  for (int i = 0; a != 0; ++i, a /= p) {
+    if (a % p != 0) d = i;
+  }
+  return d;
+}
+
+std::uint64_t poly_mul(std::uint64_t a, std::uint64_t b, std::uint32_t p) {
+  // Schoolbook multiplication digit by digit.
+  std::vector<std::uint32_t> da, db;
+  for (std::uint64_t x = a; x != 0; x /= p) da.push_back(x % p);
+  for (std::uint64_t x = b; x != 0; x /= p) db.push_back(x % p);
+  if (da.empty() || db.empty()) return 0;
+  std::vector<std::uint32_t> dc(da.size() + db.size() - 1, 0);
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    for (std::size_t j = 0; j < db.size(); ++j) {
+      dc[i + j] = (dc[i + j] + da[i] * db[j]) % p;
+    }
+  }
+  std::uint64_t c = 0;
+  for (std::size_t i = dc.size(); i-- > 0;) c = c * p + dc[i];
+  return c;
+}
+
+std::uint64_t poly_mod(std::uint64_t a, std::uint64_t m, std::uint32_t p) {
+  const int dm = poly_degree(m, p);
+  std::vector<std::uint32_t> da;
+  for (std::uint64_t x = a; x != 0; x /= p) da.push_back(x % p);
+  std::vector<std::uint32_t> dm_digits;
+  for (std::uint64_t x = m; x != 0; x /= p) dm_digits.push_back(x % p);
+  // Make m monic (find inverse of leading coefficient mod p).
+  std::uint32_t lead = dm_digits[static_cast<std::size_t>(dm)];
+  std::uint32_t lead_inv = 1;
+  for (std::uint32_t c = 1; c < p; ++c) {
+    if (c * lead % p == 1) {
+      lead_inv = c;
+      break;
+    }
+  }
+  for (int i = static_cast<int>(da.size()) - 1; i >= dm; --i) {
+    std::uint32_t coef = da[static_cast<std::size_t>(i)];
+    if (coef == 0) continue;
+    std::uint32_t factor = coef * lead_inv % p;
+    for (int j = 0; j <= dm; ++j) {
+      auto& d = da[static_cast<std::size_t>(i - dm + j)];
+      d = (d + p * p - factor * dm_digits[static_cast<std::size_t>(j)] % p) % p;
+    }
+  }
+  std::uint64_t r = 0;
+  for (int i = std::min<int>(dm, static_cast<int>(da.size())) - 1; i >= 0; --i) {
+    r = r * p + da[static_cast<std::size_t>(i)];
+  }
+  return r;
+}
+
+bool poly_irreducible(std::uint64_t f, std::uint32_t p) {
+  const int df = poly_degree(f, p);
+  if (df < 1) return false;
+  // Trial division by every monic polynomial of degree 1 .. df/2.
+  for (int dg = 1; dg <= df / 2; ++dg) {
+    std::uint64_t lo = 1;
+    for (int i = 0; i < dg; ++i) lo *= p;  // p^dg = encoding of monic x^dg
+    for (std::uint64_t tail = 0; tail < lo; ++tail) {
+      std::uint64_t g = lo + tail;  // monic of degree dg
+      if (poly_mod(f, g, p) == 0) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t find_irreducible(std::uint32_t p, std::uint32_t k) {
+  std::uint64_t lead = 1;
+  for (std::uint32_t i = 0; i < k; ++i) lead *= p;
+  for (std::uint64_t tail = 0; tail < lead; ++tail) {
+    std::uint64_t f = lead + tail;
+    if (poly_irreducible(f, p)) return f;
+  }
+  throw std::logic_error("no irreducible polynomial found");  // unreachable
+}
+
+}  // namespace
+
+Field::Field(std::uint32_t q) : q_(q) {
+  auto pk = factor_prime_power(q);
+  if (!pk || q > 65536) {
+    throw std::invalid_argument("GF(q): q must be a prime power in [2, 65536]");
+  }
+  p_ = pk->first;
+  k_ = pk->second;
+  if (k_ > 1) modulus_ = find_irreducible(p_, k_);
+
+  // Find a primitive element by trying candidates; build log/antilog tables.
+  log_.assign(q_, 0);
+  exp_.assign(2 * (q_ - 1), 0);
+  for (Elem g = 1; g < q_; ++g) {
+    std::fill(log_.begin(), log_.end(), 0);
+    Elem x = 1;
+    std::uint32_t order = 0;
+    bool ok = true;
+    do {
+      if (x != 1 && log_[x] != 0) {
+        ok = false;  // cycle shorter than q-1
+        break;
+      }
+      exp_[order] = x;
+      log_[x] = order;
+      x = mul_poly(x, g);
+      ++order;
+    } while (x != 1 && order < q_);
+    if (ok && order == q_ - 1) {
+      generator_ = g;
+      log_[1] = 0;
+      for (std::uint32_t i = 0; i < q_ - 1; ++i) exp_[q_ - 1 + i] = exp_[i];
+      return;
+    }
+  }
+  throw std::logic_error("no primitive element found");  // unreachable
+}
+
+Field::Elem Field::add_ext(Elem a, Elem b) const {
+  Elem r = 0, mulp = 1;
+  while (a != 0 || b != 0) {
+    Elem da = a % p_, db = b % p_;
+    r += (da + db) % p_ * mulp;
+    a /= p_;
+    b /= p_;
+    mulp *= p_;
+  }
+  return r;
+}
+
+Field::Elem Field::neg_ext(Elem a) const {
+  Elem r = 0, mulp = 1;
+  while (a != 0) {
+    Elem d = a % p_;
+    r += (d == 0 ? 0 : p_ - d) * mulp;
+    a /= p_;
+    mulp *= p_;
+  }
+  return r;
+}
+
+Field::Elem Field::mul_poly(Elem a, Elem b) const {
+  if (k_ == 1) {
+    return static_cast<Elem>(static_cast<std::uint64_t>(a) * b % p_);
+  }
+  return static_cast<Elem>(poly_mod(poly_mul(a, b, p_), modulus_, p_));
+}
+
+Field::Elem Field::pow(Elem a, std::uint64_t e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  std::uint64_t le = static_cast<std::uint64_t>(log_[a]) * (e % (q_ - 1));
+  return exp_[le % (q_ - 1)];
+}
+
+std::optional<Field::Elem> Field::sqrt(Elem a) const {
+  if (a == 0) return Elem{0};
+  if (p_ == 2) {
+    // Squaring is a bijection in characteristic 2: sqrt(a) = a^(q/2).
+    return pow(a, q_ / 2);
+  }
+  std::uint32_t l = log_[a];
+  if (l % 2 != 0) return std::nullopt;
+  return exp_[l / 2];
+}
+
+}  // namespace polarstar::gf

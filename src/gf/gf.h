@@ -1,0 +1,135 @@
+// Finite field arithmetic GF(p^k) for prime powers q = p^k.
+//
+// Elements are represented as integers in [0, q). For prime fields the value
+// is the residue itself; for extension fields the base-p digits of the value
+// are the coefficients of a polynomial over GF(p), reduced modulo a monic
+// irreducible polynomial found at construction time.
+//
+// Multiplication and inversion go through discrete log/antilog tables built
+// from a primitive element, so every operation is O(1) after an O(q^2)
+// one-time setup (q <= 2^16).
+//
+// This substrate backs the Erdos-Renyi polarity graphs, Paley graphs,
+// McKay-Miller-Siran graphs and LPS Ramanujan graphs used by PolarStar and
+// its baselines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace polarstar::gf {
+
+/// True iff n is prime.
+bool is_prime(std::uint64_t n);
+
+/// If q = p^k for a prime p and k >= 1, returns {p, k}; otherwise nullopt.
+std::optional<std::pair<std::uint32_t, std::uint32_t>>
+factor_prime_power(std::uint32_t q);
+
+/// True iff q is a prime power (and thus GF(q) exists).
+bool is_prime_power(std::uint32_t q);
+
+/// A finite field GF(q), q = p^k a prime power, 2 <= q <= 65536.
+///
+/// Field objects are immutable and safe to share across threads after
+/// construction.
+class Field {
+ public:
+  using Elem = std::uint32_t;
+
+  /// Builds GF(q). Throws std::invalid_argument if q is not a prime power
+  /// in range.
+  explicit Field(std::uint32_t q);
+
+  std::uint32_t q() const { return q_; }
+  std::uint32_t characteristic() const { return p_; }
+  std::uint32_t extension_degree() const { return k_; }
+
+  Elem zero() const { return 0; }
+  Elem one() const { return 1; }
+
+  Elem add(Elem a, Elem b) const {
+    if (k_ == 1) {
+      std::uint32_t s = a + b;
+      return s >= q_ ? s - q_ : s;
+    }
+    if (p_ == 2) return a ^ b;
+    return add_ext(a, b);
+  }
+
+  Elem neg(Elem a) const {
+    if (k_ == 1) return a == 0 ? 0 : q_ - a;
+    if (p_ == 2) return a;
+    return neg_ext(a);
+  }
+
+  Elem sub(Elem a, Elem b) const { return add(a, neg(b)); }
+
+  Elem mul(Elem a, Elem b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  Elem inv(Elem a) const {
+    if (a == 0) throw std::domain_error("gf::Field::inv(0)");
+    return exp_[(q_ - 1) - log_[a]];
+  }
+
+  Elem div(Elem a, Elem b) const { return mul(a, inv(b)); }
+
+  /// a^e with e >= 0 (e reduced mod q-1 for nonzero a).
+  Elem pow(Elem a, std::uint64_t e) const;
+
+  /// A fixed generator of the multiplicative group.
+  Elem primitive_element() const { return generator_; }
+
+  /// Discrete log base the primitive element; a must be nonzero.
+  std::uint32_t log(Elem a) const {
+    if (a == 0) throw std::domain_error("gf::Field::log(0)");
+    return log_[a];
+  }
+
+  /// True iff a is a nonzero square (quadratic residue) in GF(q).
+  /// For even characteristic every element is a square.
+  bool is_square(Elem a) const {
+    if (a == 0) return false;
+    if (p_ == 2) return true;
+    return log_[a] % 2 == 0;
+  }
+
+  /// Some fixed non-square (quadratic non-residue); only valid for odd q.
+  Elem non_square() const {
+    if (p_ == 2) throw std::domain_error("gf::Field::non_square in char 2");
+    return exp_[1];  // the primitive element itself is a non-square
+  }
+
+  /// If a = s^2 for some s, returns s (one of the two roots); else nullopt.
+  std::optional<Elem> sqrt(Elem a) const;
+
+  /// Dot product of 3-vectors over the field (used by polarity graphs).
+  Elem dot3(const Elem u[3], const Elem v[3]) const {
+    return add(add(mul(u[0], v[0]), mul(u[1], v[1])), mul(u[2], v[2]));
+  }
+
+  /// The monic irreducible polynomial used for the extension, as base-p
+  /// digit encoding including the leading coefficient (degree k).
+  /// For prime fields returns the encoding of "x - 0"? No: returns p (i.e.
+  /// the polynomial x) which is unused; meaningful only when k > 1.
+  std::uint64_t modulus_poly() const { return modulus_; }
+
+ private:
+  Elem add_ext(Elem a, Elem b) const;
+  Elem neg_ext(Elem a) const;
+  Elem mul_poly(Elem a, Elem b) const;  // slow path used to build tables
+
+  std::uint32_t q_ = 0, p_ = 0, k_ = 0;
+  std::uint64_t modulus_ = 0;        // irreducible poly, digits base p
+  Elem generator_ = 0;
+  std::vector<Elem> exp_;            // size 2(q-1): exp_[i] = g^i
+  std::vector<std::uint32_t> log_;   // size q: log_[g^i] = i, log_[0] unused
+};
+
+}  // namespace polarstar::gf

@@ -1,0 +1,217 @@
+#include "graph/algorithms.h"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace polarstar::graph {
+
+void parallel_for(std::size_t n, unsigned num_threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  if (num_threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  unsigned spawn = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, n));
+  pool.reserve(spawn);
+  for (unsigned t = 0; t < spawn; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+}
+
+namespace {
+
+// BFS into a caller-provided scratch buffer; returns (max finite distance,
+// number of reached vertices, sum of distances).
+struct BfsResult {
+  std::uint32_t ecc = 0;
+  std::uint64_t reached = 0;
+  std::uint64_t dist_sum = 0;
+};
+
+BfsResult bfs_into(const Graph& g, Vertex src, std::vector<std::uint32_t>& dist,
+                   std::vector<Vertex>& queue,
+                   std::vector<std::uint64_t>* histogram) {
+  const Vertex n = g.num_vertices();
+  dist.assign(n, kUnreachable);
+  queue.clear();
+  dist[src] = 0;
+  queue.push_back(src);
+  BfsResult r;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    Vertex u = queue[head];
+    std::uint32_t du = dist[u];
+    r.ecc = du;
+    r.dist_sum += du;
+    ++r.reached;
+    if (histogram) {
+      if (histogram->size() <= du) histogram->resize(du + 1, 0);
+      ++(*histogram)[du];
+    }
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = du + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex src) {
+  std::vector<std::uint32_t> dist;
+  std::vector<Vertex> queue;
+  bfs_into(g, src, dist, queue, nullptr);
+  return dist;
+}
+
+std::pair<std::vector<std::uint32_t>, std::uint32_t> connected_components(
+    const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> comp(n, kUnreachable);
+  std::uint32_t count = 0;
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != kUnreachable) continue;
+    comp[s] = count;
+    queue.assign(1, s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (Vertex w : g.neighbors(queue[head])) {
+        if (comp[w] == kUnreachable) {
+          comp[w] = count;
+          queue.push_back(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return {std::move(comp), count};
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).second == 1;
+}
+
+PathStats path_stats(const Graph& g, unsigned num_threads) {
+  const Vertex n = g.num_vertices();
+  PathStats stats;
+  if (n <= 1) {
+    stats.connected = true;
+    return stats;
+  }
+  std::mutex merge_mu;
+  std::uint32_t diam = 0;
+  std::uint64_t pair_count = 0, dist_sum = 0;
+  std::vector<std::uint64_t> histogram;
+  bool all_reached = true;
+
+  if (num_threads == 0) num_threads = std::thread::hardware_concurrency();
+  const unsigned workers =
+      std::max(1u, std::min<unsigned>(num_threads, static_cast<unsigned>(n)));
+  std::atomic<Vertex> next{0};
+  auto body = [&] {
+    std::vector<std::uint32_t> dist;
+    std::vector<Vertex> queue;
+    std::uint32_t local_diam = 0;
+    std::uint64_t local_pairs = 0, local_sum = 0;
+    std::vector<std::uint64_t> local_hist;
+    bool local_all = true;
+    for (Vertex s = next.fetch_add(1); s < n; s = next.fetch_add(1)) {
+      auto r = bfs_into(g, s, dist, queue, &local_hist);
+      local_diam = std::max(local_diam, r.ecc);
+      local_pairs += r.reached - 1;  // exclude the self pair
+      local_sum += r.dist_sum;
+      if (r.reached != n) local_all = false;
+    }
+    std::scoped_lock lk(merge_mu);
+    diam = std::max(diam, local_diam);
+    pair_count += local_pairs;
+    dist_sum += local_sum;
+    all_reached = all_reached && local_all;
+    if (histogram.size() < local_hist.size()) histogram.resize(local_hist.size(), 0);
+    for (std::size_t d = 0; d < local_hist.size(); ++d) histogram[d] += local_hist[d];
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(body);
+  for (auto& th : pool) th.join();
+
+  stats.diameter = diam;
+  stats.avg_path_length =
+      pair_count == 0 ? 0.0 : static_cast<double>(dist_sum) / static_cast<double>(pair_count);
+  stats.connected = all_reached;
+  if (!histogram.empty()) histogram[0] = 0;  // drop self pairs
+  stats.distance_histogram = std::move(histogram);
+  return stats;
+}
+
+std::uint32_t diameter(const Graph& g) { return path_stats(g).diameter; }
+
+double avg_path_length(const Graph& g) { return path_stats(g).avg_path_length; }
+
+DistanceMatrix::DistanceMatrix(const Graph& g, unsigned num_threads)
+    : n_(g.num_vertices()) {
+  dist_.assign(static_cast<std::size_t>(n_) * n_, 0xffff);
+  parallel_for(n_, num_threads, [&](std::size_t s) {
+    thread_local std::vector<std::uint32_t> dist;
+    thread_local std::vector<Vertex> queue;
+    bfs_into(g, static_cast<Vertex>(s), dist, queue, nullptr);
+    auto* row = dist_.data() + s * n_;
+    for (Vertex v = 0; v < n_; ++v) {
+      row[v] = dist[v] == kUnreachable
+                   ? std::numeric_limits<std::uint16_t>::max()
+                   : static_cast<std::uint16_t>(dist[v]);
+    }
+  });
+}
+
+MinimalNextHops::MinimalNextHops(const Graph& g, const DistanceMatrix& dist)
+    : n_(g.num_vertices()) {
+  ranges_.resize(static_cast<std::size_t>(n_) * n_);
+  // First pass: counts; second pass: fill. Keeps hops_ contiguous.
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(n_) * n_, 0);
+  for (Vertex s = 0; s < n_; ++s) {
+    for (Vertex d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      std::uint16_t sd = dist.at(s, d);
+      if (sd == std::numeric_limits<std::uint16_t>::max()) continue;
+      std::uint32_t c = 0;
+      for (Vertex w : g.neighbors(s)) {
+        if (dist.at(w, d) + 1 == sd) ++c;
+      }
+      counts[static_cast<std::size_t>(s) * n_ + d] = c;
+    }
+  }
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ranges_[i] = {total, total + counts[i]};
+    total += counts[i];
+  }
+  hops_.resize(total);
+  for (Vertex s = 0; s < n_; ++s) {
+    for (Vertex d = 0; d < n_; ++d) {
+      auto [b, e] = ranges_[static_cast<std::size_t>(s) * n_ + d];
+      if (b == e) continue;
+      std::uint16_t sd = dist.at(s, d);
+      std::uint32_t w_idx = b;
+      for (Vertex w : g.neighbors(s)) {
+        if (dist.at(w, d) + 1 == sd) hops_[w_idx++] = w;
+      }
+    }
+  }
+}
+
+}  // namespace polarstar::graph

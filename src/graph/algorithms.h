@@ -1,0 +1,90 @@
+// Graph algorithms used throughout the library: BFS distances, diameter,
+// average shortest path length, connectivity, and minimal-path next-hop
+// tables for routing.
+//
+// Whole-graph sweeps (diameter, APL) fan BFS sources out over a small thread
+// pool; results are deterministic regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::graph {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS hop distances from src; unreachable vertices get kUnreachable.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Vertex src);
+
+/// Component id per vertex (0-based, BFS order) and the component count.
+std::pair<std::vector<std::uint32_t>, std::uint32_t> connected_components(
+    const Graph& g);
+
+bool is_connected(const Graph& g);
+
+struct PathStats {
+  /// Max finite distance over reachable pairs. 0 for n <= 1.
+  std::uint32_t diameter = 0;
+  /// Mean distance over ordered reachable pairs (excluding self-pairs).
+  double avg_path_length = 0.0;
+  /// True iff every pair is reachable.
+  bool connected = false;
+  /// Histogram of distances: hops[d] = number of ordered pairs at distance d.
+  std::vector<std::uint64_t> distance_histogram;
+};
+
+/// Diameter + APL in one parallel all-sources BFS sweep.
+/// `num_threads` 0 means hardware concurrency.
+PathStats path_stats(const Graph& g, unsigned num_threads = 0);
+
+/// Convenience wrappers.
+std::uint32_t diameter(const Graph& g);
+double avg_path_length(const Graph& g);
+
+/// For each (src, dst): distance table. n^2 entries of uint16; only suitable
+/// for graphs up to a few thousand vertices (all simulated configs qualify).
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const Graph& g, unsigned num_threads = 0);
+
+  std::uint16_t at(Vertex src, Vertex dst) const {
+    return dist_[static_cast<std::size_t>(src) * n_ + dst];
+  }
+  Vertex size() const { return n_; }
+
+ private:
+  Vertex n_;
+  std::vector<std::uint16_t> dist_;
+};
+
+/// All minimal next hops: next(src, dst) = every neighbor w of src with
+/// dist(w, dst) == dist(src, dst) - 1. This is the "all minpaths stored in a
+/// routing table" scheme the paper attributes to Spectralfly/Bundlefly.
+class MinimalNextHops {
+ public:
+  MinimalNextHops(const Graph& g, const DistanceMatrix& dist);
+
+  std::span<const Vertex> next_hops(Vertex src, Vertex dst) const {
+    auto [b, e] = ranges_[static_cast<std::size_t>(src) * n_ + dst];
+    return {hops_.data() + b, hops_.data() + e};
+  }
+
+  /// Total stored next-hop entries -- the routing-table storage metric.
+  std::size_t storage_entries() const { return hops_.size(); }
+
+ private:
+  Vertex n_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges_;
+  std::vector<Vertex> hops_;
+};
+
+/// Runs fn(i) for i in [0, n) on `num_threads` threads (0 = hardware).
+void parallel_for(std::size_t n, unsigned num_threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace polarstar::graph

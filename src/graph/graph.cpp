@@ -1,0 +1,90 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace polarstar::graph {
+
+Graph Graph::from_edges(Vertex n, const std::vector<Edge>& edges) {
+  std::vector<Edge> canon;
+  canon.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    if (u >= n || v >= n) throw std::out_of_range("Graph::from_edges: vertex id");
+    if (u == v) continue;
+    canon.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : canon) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(canon.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (auto [u, v] : canon) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Per-vertex ranges are already sorted because canon is sorted by (u, v)
+  // for the forward direction, but the reverse insertions interleave; sort
+  // each range to guarantee the binary-search invariant.
+  for (Vertex v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t d = 0;
+  for (Vertex v = 0; v < num_vertices(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+std::uint32_t Graph::min_degree() const {
+  if (num_vertices() == 0) return 0;
+  std::uint32_t d = degree(0);
+  for (Vertex v = 1; v < num_vertices(); ++v) d = std::min(d, degree(v));
+  return d;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (Vertex u = 0; u < num_vertices(); ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::remove_edges(const std::vector<Edge>& edges) const {
+  std::vector<Edge> removed;
+  removed.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    removed.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(removed.begin(), removed.end());
+  std::vector<Edge> kept;
+  kept.reserve(num_edges());
+  for (auto e : edge_list()) {
+    if (!std::binary_search(removed.begin(), removed.end(), e)) {
+      kept.push_back(e);
+    }
+  }
+  return Graph::from_edges(num_vertices(), kept);
+}
+
+}  // namespace polarstar::graph

@@ -1,0 +1,87 @@
+// Immutable CSR (compressed sparse row) undirected graph.
+//
+// All topology constructions in this library produce a Graph; all analyses
+// (diameter, bisection, fault tolerance) and the network simulator consume
+// one. Vertices are dense 0-based ids. The representation is a sorted
+// adjacency array per vertex, so neighbor iteration is cache-friendly and
+// has_edge() is a binary search.
+//
+// Self-loops are not stored as edges: constructions that need them (the
+// Erdos-Renyi polarity graph's quadric vertices) track them out of band.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace polarstar::graph {
+
+using Vertex = std::uint32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a simple undirected graph on n vertices from an edge list.
+  /// Duplicate edges and self-loops are dropped; endpoints must be < n.
+  static Graph from_edges(Vertex n, const std::vector<Edge>& edges);
+
+  Vertex num_vertices() const { return static_cast<Vertex>(offsets_.size() - 1); }
+  std::size_t num_edges() const { return adjacency_.size() / 2; }
+
+  std::uint32_t degree(Vertex v) const {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const Vertex> neighbors(Vertex v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log degree) membership test; u and v must be valid vertices.
+  bool has_edge(Vertex u, Vertex v) const;
+
+  std::uint32_t max_degree() const;
+  std::uint32_t min_degree() const;
+  bool is_regular() const { return max_degree() == min_degree(); }
+
+  /// All edges as (u, v) with u < v, sorted.
+  std::vector<Edge> edge_list() const;
+
+  /// Returns a copy of this graph with the given edges removed (edges listed
+  /// in either orientation). Used by fault-tolerance experiments.
+  Graph remove_edges(const std::vector<Edge>& edges) const;
+
+ private:
+  std::vector<std::size_t> offsets_{0};  // size n+1
+  std::vector<Vertex> adjacency_;        // size 2m, sorted per vertex
+};
+
+/// Incremental edge-list builder with optional self-loop tracking.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex n) : n_(n) {}
+
+  void add_edge(Vertex u, Vertex v) {
+    if (u == v) {
+      loops_.push_back(u);
+      return;
+    }
+    edges_.emplace_back(u, v);
+  }
+
+  Vertex num_vertices() const { return n_; }
+  const std::vector<Vertex>& self_loops() const { return loops_; }
+
+  Graph build() const { return Graph::from_edges(n_, edges_); }
+
+ private:
+  Vertex n_;
+  std::vector<Edge> edges_;
+  std::vector<Vertex> loops_;
+};
+
+}  // namespace polarstar::graph

@@ -1,0 +1,99 @@
+#include "io/export.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace polarstar::io {
+
+using graph::Vertex;
+
+void write_edge_list(std::ostream& os, const graph::Graph& g,
+                     const std::string& comment) {
+  if (!comment.empty()) os << "# " << comment << "\n";
+  os << "# vertices " << g.num_vertices() << " edges " << g.num_edges()
+     << "\n";
+  for (auto [u, v] : g.edge_list()) os << u << " " << v << "\n";
+}
+
+graph::Graph read_edge_list(std::istream& is) {
+  std::vector<graph::Edge> edges;
+  Vertex max_v = 0;
+  Vertex declared_n = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Honor the "# vertices N ..." header so isolated vertices survive.
+      std::istringstream hs(line.substr(1));
+      std::string word;
+      while (hs >> word) {
+        if (word == "vertices") {
+          hs >> declared_n;
+          break;
+        }
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    long long u = -1, v = -1;
+    if (!(ls >> u >> v) || u < 0 || v < 0) {
+      throw std::invalid_argument("read_edge_list: malformed line: " + line);
+    }
+    edges.push_back({static_cast<Vertex>(u), static_cast<Vertex>(v)});
+    max_v = std::max({max_v, static_cast<Vertex>(u), static_cast<Vertex>(v)});
+  }
+  const Vertex n = std::max<Vertex>(declared_n, edges.empty() ? 0 : max_v + 1);
+  return graph::Graph::from_edges(n, edges);
+}
+
+void write_dot(std::ostream& os, const topo::Topology& topo) {
+  os << "graph \"" << topo.name << "\" {\n";
+  os << "  node [shape=circle];\n";
+  if (!topo.group_of.empty()) {
+    for (Vertex v = 0; v < topo.num_routers(); ++v) {
+      os << "  " << v << " [colorscheme=set312, style=filled, fillcolor="
+         << topo.group_of[v] % 12 + 1 << "];\n";
+    }
+  }
+  for (auto [u, v] : topo.g.edge_list()) {
+    os << "  " << u << " -- " << v << ";\n";
+  }
+  os << "}\n";
+}
+
+void write_booksim_anynet(std::ostream& os, const topo::Topology& topo) {
+  for (Vertex r = 0; r < topo.num_routers(); ++r) {
+    os << "router " << r;
+    const auto first = topo.first_endpoint(r);
+    for (std::uint32_t s = 0; s < topo.conc[r]; ++s) {
+      os << " node " << first + s;
+    }
+    for (Vertex u : topo.g.neighbors(r)) {
+      os << " router " << u;
+    }
+    os << "\n";
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    *os_ << (i ? "," : "") << cols[i];
+  }
+  *os_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    *os_ << (i ? "," : "") << values[i];
+  }
+  *os_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    *os_ << (i ? "," : "") << values[i];
+  }
+  *os_ << "\n";
+}
+
+}  // namespace polarstar::io

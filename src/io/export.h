@@ -1,0 +1,47 @@
+// Topology serialization for downstream tools:
+//   - plain edge list (one "u v" per line, header comment),
+//   - Graphviz DOT (with optional group coloring),
+//   - BookSim2 "anynet" config files (router-to-router and router-to-node
+//     connectivity), so constructions built here can be replayed in the
+//     original simulator the paper used,
+//   - CSV for (x, y...) data series emitted by the benches.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace polarstar::io {
+
+/// "u v" per line; lines starting with '#' are comments.
+void write_edge_list(std::ostream& os, const graph::Graph& g,
+                     const std::string& comment = "");
+
+/// Parses the edge-list format back (ignores comments/blank lines).
+/// Throws std::invalid_argument on malformed lines.
+graph::Graph read_edge_list(std::istream& is);
+
+/// Graphviz DOT; groups (if present) become fill colors.
+void write_dot(std::ostream& os, const topo::Topology& topo);
+
+/// BookSim2 anynet_file contents: one line per router listing attached
+/// nodes (endpoints) and router links, e.g.
+///   router 0 node 0 node 1 router 3 router 7
+void write_booksim_anynet(std::ostream& os, const topo::Topology& topo);
+
+/// Simple CSV writer for bench series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+  void header(const std::vector<std::string>& cols);
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace polarstar::io

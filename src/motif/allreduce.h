@@ -1,0 +1,34 @@
+// Allreduce motifs (Fig 11a): recursive doubling (the Ember default for
+// power-of-two communicators) and ring allreduce (ablation alternative).
+//
+// Recursive doubling: log2(R) exchange rounds per iteration; in round k
+// rank r exchanges a full-size message with r XOR 2^k.
+// Ring: 2(R-1) rounds per iteration; rank r sends a chunk to (r+1) mod R
+// and receives from (r-1) mod R each round.
+#pragma once
+
+#include <cstdint>
+
+#include "motif/motif.h"
+
+namespace polarstar::motif {
+
+enum class AllreduceAlgorithm {
+  kRecursiveDoubling,
+  kRing,
+  /// Binomial-tree reduce followed by binomial-tree broadcast:
+  /// 2*log2(R) sequential phases, each rank active in one step per phase.
+  kBinomialTree,
+};
+
+/// Builds the allreduce program over `ranks` ranks (must be a power of two
+/// for recursive doubling; any >= 2 for ring).
+StepProgram make_allreduce(std::uint32_t ranks,
+                           std::uint32_t packets_per_message,
+                           std::uint32_t iterations,
+                           AllreduceAlgorithm algorithm);
+
+/// Largest power of two <= n (helper for sizing communicators).
+std::uint32_t pow2_floor(std::uint32_t n);
+
+}  // namespace polarstar::motif

@@ -1,0 +1,51 @@
+#include "motif/halo.h"
+
+#include <stdexcept>
+
+namespace polarstar::motif {
+
+namespace {
+
+StepProgram make_halo(const std::vector<std::uint32_t>& dims,
+                      std::uint32_t packets_per_message,
+                      std::uint32_t iterations) {
+  std::uint32_t ranks = 1;
+  for (auto d : dims) ranks *= d;
+  if (ranks < 2) throw std::invalid_argument("halo: need >= 2 ranks");
+  StepProgram prog(ranks, packets_per_message);
+
+  std::vector<std::uint32_t> stride(dims.size(), 1);
+  for (std::size_t d = 1; d < dims.size(); ++d) {
+    stride[d] = stride[d - 1] * dims[d - 1];
+  }
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    StepProgram::Step step;  // the same exchange every iteration
+    std::uint32_t rest = r;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      const std::uint32_t coord = rest % dims[d];
+      rest /= dims[d];
+      if (coord > 0) step.send_to.push_back(r - stride[d]);
+      if (coord + 1 < dims[d]) step.send_to.push_back(r + stride[d]);
+    }
+    step.recv_messages = static_cast<std::uint32_t>(step.send_to.size());
+    std::vector<StepProgram::Step> steps(iterations, step);
+    prog.set_program(r, std::move(steps));
+  }
+  return prog;
+}
+
+}  // namespace
+
+StepProgram make_halo2d(std::uint32_t px, std::uint32_t py,
+                        std::uint32_t packets_per_message,
+                        std::uint32_t iterations) {
+  return make_halo({px, py}, packets_per_message, iterations);
+}
+
+StepProgram make_halo3d(std::uint32_t px, std::uint32_t py, std::uint32_t pz,
+                        std::uint32_t packets_per_message,
+                        std::uint32_t iterations) {
+  return make_halo({px, py, pz}, packets_per_message, iterations);
+}
+
+}  // namespace polarstar::motif

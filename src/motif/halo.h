@@ -1,0 +1,23 @@
+// Halo exchange motifs (Ember's halo2d/halo3d): each rank on a process grid
+// exchanges boundary data with its face neighbors every iteration -- the
+// canonical stencil-communication pattern of structured-mesh codes.
+#pragma once
+
+#include <cstdint>
+
+#include "motif/motif.h"
+
+namespace polarstar::motif {
+
+/// 2-D halo: ranks on a px * py grid (non-periodic); one step per
+/// iteration exchanging with up to 4 neighbors.
+StepProgram make_halo2d(std::uint32_t px, std::uint32_t py,
+                        std::uint32_t packets_per_message,
+                        std::uint32_t iterations);
+
+/// 3-D halo on px * py * pz, up to 6 neighbors.
+StepProgram make_halo3d(std::uint32_t px, std::uint32_t py, std::uint32_t pz,
+                        std::uint32_t packets_per_message,
+                        std::uint32_t iterations);
+
+}  // namespace polarstar::motif

@@ -1,0 +1,46 @@
+#include "motif/sweep3d.h"
+
+#include <stdexcept>
+
+namespace polarstar::motif {
+
+StepProgram make_sweep3d(std::uint32_t px, std::uint32_t py,
+                         std::uint32_t packets_per_message,
+                         std::uint32_t iterations) {
+  if (px < 2 || py < 2) throw std::invalid_argument("sweep3d: grid >= 2x2");
+  const std::uint32_t ranks = px * py;
+  StepProgram prog(ranks, packets_per_message);
+  // Sweep directions: (dx, dy) in {(+,+), (-,+), (+,-), (-,-)}.
+  const int dirs[4][2] = {{1, 1}, {-1, 1}, {1, -1}, {-1, -1}};
+  for (std::uint32_t r = 0; r < ranks; ++r) {
+    const std::uint32_t x = r % px, y = r / px;
+    std::vector<StepProgram::Step> steps;
+    steps.reserve(4ull * iterations);
+    for (std::uint32_t it = 0; it < iterations; ++it) {
+      for (const auto& d : dirs) {
+        StepProgram::Step step;
+        step.send_after_recv = true;  // wavefront dependency
+        // Upstream neighbors: the ones this rank receives from.
+        const bool has_up_x = d[0] > 0 ? x > 0 : x + 1 < px;
+        const bool has_up_y = d[1] > 0 ? y > 0 : y + 1 < py;
+        step.recv_messages = (has_up_x ? 1 : 0) + (has_up_y ? 1 : 0);
+        // Downstream: where it sends after its "compute".
+        const bool has_dn_x = d[0] > 0 ? x + 1 < px : x > 0;
+        const bool has_dn_y = d[1] > 0 ? y + 1 < py : y > 0;
+        if (has_dn_x) {
+          step.send_to.push_back(
+              static_cast<std::uint32_t>(y * px + (d[0] > 0 ? x + 1 : x - 1)));
+        }
+        if (has_dn_y) {
+          step.send_to.push_back(
+              static_cast<std::uint32_t>((d[1] > 0 ? y + 1 : y - 1) * px + x));
+        }
+        steps.push_back(std::move(step));
+      }
+    }
+    prog.set_program(r, std::move(steps));
+  }
+  return prog;
+}
+
+}  // namespace polarstar::motif

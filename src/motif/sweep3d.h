@@ -1,0 +1,18 @@
+// Sweep3D wavefront motif (Fig 11b): ranks form a px x py process grid;
+// a sweep starts at one corner and propagates diagonally -- each rank
+// receives from its upstream neighbors in the sweep direction, then sends
+// to its downstream neighbors. One iteration performs the four corner
+// sweeps in sequence, as in the Ember Sweep3D pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "motif/motif.h"
+
+namespace polarstar::motif {
+
+StepProgram make_sweep3d(std::uint32_t px, std::uint32_t py,
+                         std::uint32_t packets_per_message,
+                         std::uint32_t iterations);
+
+}  // namespace polarstar::motif

@@ -1,0 +1,284 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+
+namespace polarstar::partition {
+
+using graph::Vertex;
+
+namespace {
+
+// Weighted graph used internally by the multilevel pipeline.
+struct WGraph {
+  // adj[v] = (neighbor, edge weight); parallel edges merged.
+  std::vector<std::vector<std::pair<Vertex, std::uint64_t>>> adj;
+  std::vector<std::uint64_t> vw;  // vertex weights
+
+  Vertex n() const { return static_cast<Vertex>(adj.size()); }
+  std::uint64_t total_weight() const {
+    std::uint64_t t = 0;
+    for (auto w : vw) t += w;
+    return t;
+  }
+};
+
+WGraph from_graph(const graph::Graph& g,
+                  const std::vector<std::uint64_t>& weights) {
+  WGraph wg;
+  wg.adj.resize(g.num_vertices());
+  wg.vw.assign(g.num_vertices(), 1);
+  if (!weights.empty()) wg.vw = weights;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex u : g.neighbors(v)) wg.adj[v].push_back({u, 1});
+  }
+  return wg;
+}
+
+// Heavy-edge matching; returns the coarse graph and the fine->coarse map.
+std::pair<WGraph, std::vector<Vertex>> coarsen(const WGraph& g,
+                                               std::mt19937_64& rng) {
+  const Vertex n = g.n();
+  std::vector<Vertex> order(n);
+  for (Vertex v = 0; v < n; ++v) order[v] = v;
+  std::shuffle(order.begin(), order.end(), rng);
+
+  constexpr Vertex kUnmatched = ~0u;
+  std::vector<Vertex> match(n, kUnmatched);
+  for (Vertex v : order) {
+    if (match[v] != kUnmatched) continue;
+    Vertex best = kUnmatched;
+    std::uint64_t best_w = 0;
+    for (auto [u, w] : g.adj[v]) {
+      if (u != v && match[u] == kUnmatched && w > best_w) {
+        best = u;
+        best_w = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;
+    }
+  }
+  std::vector<Vertex> coarse_id(n, kUnmatched);
+  Vertex next = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    if (coarse_id[v] != kUnmatched) continue;
+    coarse_id[v] = next;
+    coarse_id[match[v]] = next;
+    ++next;
+  }
+  WGraph cg;
+  cg.adj.resize(next);
+  cg.vw.assign(next, 0);
+  for (Vertex v = 0; v < n; ++v) cg.vw[coarse_id[v]] += g.vw[v];
+  // Emit cross edges per fine vertex; duplicates merged below.
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex cv = coarse_id[v];
+    for (auto [u, w] : g.adj[v]) {
+      const Vertex cu = coarse_id[u];
+      if (cu != cv) cg.adj[cv].push_back({cu, w});
+    }
+  }
+  for (Vertex cv = 0; cv < next; ++cv) {
+    auto& a = cg.adj[cv];
+    std::sort(a.begin(), a.end());
+    std::vector<std::pair<Vertex, std::uint64_t>> merged;
+    for (auto [u, w] : a) {
+      if (!merged.empty() && merged.back().first == u) {
+        merged.back().second += w;
+      } else {
+        merged.push_back({u, w});
+      }
+    }
+    a = std::move(merged);
+  }
+  return {std::move(cg), std::move(coarse_id)};
+}
+
+std::uint64_t cut_of(const WGraph& g, const std::vector<std::uint8_t>& side) {
+  std::uint64_t cut = 0;
+  for (Vertex v = 0; v < g.n(); ++v) {
+    for (auto [u, w] : g.adj[v]) {
+      if (v < u && side[v] != side[u]) cut += w;
+    }
+  }
+  return cut;
+}
+
+// Greedy BFS-grown initial bisection: grow side 0 from a random seed until
+// it holds half the weight.
+std::vector<std::uint8_t> initial_partition(const WGraph& g,
+                                            std::mt19937_64& rng) {
+  const Vertex n = g.n();
+  std::vector<std::uint8_t> side(n, 1);
+  const std::uint64_t target = g.total_weight() / 2;
+  std::uint64_t grown = 0;
+  std::vector<bool> visited(n, false);
+  std::queue<Vertex> frontier;
+  const Vertex seed = static_cast<Vertex>(rng() % n);
+  frontier.push(seed);
+  visited[seed] = true;
+  while (grown < target) {
+    Vertex v;
+    if (frontier.empty()) {
+      // Disconnected remainder: pick any unvisited vertex.
+      v = 0;
+      while (v < n && visited[v]) ++v;
+      if (v == n) break;
+      visited[v] = true;
+    } else {
+      v = frontier.front();
+      frontier.pop();
+    }
+    if (grown + g.vw[v] > target + g.vw[v] / 2 && grown > 0) break;
+    side[v] = 0;
+    grown += g.vw[v];
+    for (auto [u, w] : g.adj[v]) {
+      (void)w;
+      if (!visited[u]) {
+        visited[u] = true;
+        frontier.push(u);
+      }
+    }
+  }
+  return side;
+}
+
+// One Fiduccia-Mattheyses pass with rollback to the best prefix.
+// Returns true if the cut improved.
+//
+// Moves may transiently dip one max-vertex-weight below the balance floor
+// (otherwise a perfectly balanced partition could never start a swap);
+// only prefixes that respect the floor on both sides are recorded.
+bool fm_pass(const WGraph& g, std::vector<std::uint8_t>& side,
+             std::uint64_t min_side_weight) {
+  const Vertex n = g.n();
+  std::vector<std::int64_t> gain(n, 0);
+  std::vector<bool> locked(n, false);
+  std::uint64_t weight[2] = {0, 0};
+  std::uint64_t max_vw = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    weight[side[v]] += g.vw[v];
+    max_vw = std::max(max_vw, g.vw[v]);
+  }
+  const std::uint64_t floor_with_slack =
+      min_side_weight > max_vw ? min_side_weight - max_vw : 0;
+
+  auto compute_gain = [&](Vertex v) {
+    std::int64_t gext = 0;
+    for (auto [u, w] : g.adj[v]) {
+      gext += side[u] != side[v] ? static_cast<std::int64_t>(w)
+                                 : -static_cast<std::int64_t>(w);
+    }
+    return gext;
+  };
+  using Entry = std::pair<std::int64_t, Vertex>;
+  std::priority_queue<Entry> heap;
+  for (Vertex v = 0; v < n; ++v) {
+    gain[v] = compute_gain(v);
+    heap.push({gain[v], v});
+  }
+
+  std::vector<Vertex> moved;
+  moved.reserve(n);
+  std::int64_t best_delta = 0, delta = 0;
+  std::size_t best_prefix = 0;
+  while (!heap.empty()) {
+    auto [gv, v] = heap.top();
+    heap.pop();
+    if (locked[v] || gv != gain[v]) continue;  // stale entry
+    const std::uint8_t from = side[v];
+    if (weight[from] < floor_with_slack + g.vw[v]) continue;  // balance
+    locked[v] = true;
+    side[v] = 1 - from;
+    weight[from] -= g.vw[v];
+    weight[1 - from] += g.vw[v];
+    delta += gv;
+    moved.push_back(v);
+    if (delta > best_delta && weight[0] >= min_side_weight &&
+        weight[1] >= min_side_weight) {
+      best_delta = delta;
+      best_prefix = moved.size();
+    }
+    for (auto [u, w] : g.adj[v]) {
+      if (locked[u]) continue;
+      gain[u] += side[u] == side[v] ? -2 * static_cast<std::int64_t>(w)
+                                    : 2 * static_cast<std::int64_t>(w);
+      heap.push({gain[u], u});
+    }
+  }
+  // Roll back moves beyond the best prefix.
+  for (std::size_t i = moved.size(); i > best_prefix; --i) {
+    const Vertex v = moved[i - 1];
+    side[v] = 1 - side[v];
+  }
+  return best_delta > 0;
+}
+
+}  // namespace
+
+BisectionResult bisect(const graph::Graph& g,
+                       const std::vector<std::uint64_t>& weights,
+                       const BisectionOptions& opts) {
+  const Vertex n = g.num_vertices();
+  BisectionResult best;
+  best.cut_edges = ~0ull;
+  if (n == 0) {
+    best.cut_edges = 0;
+    return best;
+  }
+  std::mt19937_64 rng(opts.seed);
+  const WGraph base = from_graph(g, weights);
+  const std::uint64_t total = base.total_weight();
+  const std::uint64_t min_side =
+      total / 2 - static_cast<std::uint64_t>(opts.balance_tolerance * total);
+
+  for (std::uint32_t trial = 0; trial < opts.num_trials; ++trial) {
+    // Coarsen.
+    std::vector<WGraph> levels;
+    std::vector<std::vector<Vertex>> maps;
+    levels.push_back(base);
+    while (levels.back().n() > opts.coarsen_to) {
+      auto [cg, map] = coarsen(levels.back(), rng);
+      if (cg.n() >= levels.back().n() * 95 / 100) break;  // stalled
+      levels.push_back(std::move(cg));
+      maps.push_back(std::move(map));
+    }
+    // Initial partition on the coarsest level, refine, project back.
+    std::vector<std::uint8_t> side = initial_partition(levels.back(), rng);
+    for (std::size_t lvl = levels.size(); lvl-- > 0;) {
+      for (std::uint32_t pass = 0; pass < opts.refinement_passes; ++pass) {
+        if (!fm_pass(levels[lvl], side, min_side)) break;
+      }
+      if (lvl > 0) {
+        std::vector<std::uint8_t> fine(levels[lvl - 1].n());
+        for (Vertex v = 0; v < levels[lvl - 1].n(); ++v) {
+          fine[v] = side[maps[lvl - 1][v]];
+        }
+        side = std::move(fine);
+      }
+    }
+    const std::uint64_t cut = cut_of(base, side);
+    if (cut < best.cut_edges) {
+      best.cut_edges = cut;
+      best.side = side;
+    }
+  }
+  for (Vertex v = 0; v < n; ++v) {
+    best.side_weight[best.side[v]] += weights.empty() ? 1 : weights[v];
+  }
+  return best;
+}
+
+double bisection_fraction(const graph::Graph& g,
+                          const BisectionOptions& opts) {
+  if (g.num_edges() == 0) return 0.0;
+  auto r = bisect(g, {}, opts);
+  return static_cast<double>(r.cut_edges) / static_cast<double>(g.num_edges());
+}
+
+}  // namespace polarstar::partition

@@ -1,0 +1,75 @@
+#include "routing/dragonfly_routing.h"
+
+#include <stdexcept>
+
+namespace polarstar::routing {
+
+using graph::Vertex;
+
+DragonflyRouting::DragonflyRouting(const topo::Topology& topo)
+    : topo_(&topo) {
+  if (topo.group_of.empty()) {
+    throw std::invalid_argument("DragonflyRouting: topology has no groups");
+  }
+  for (Vertex v = 0; v < topo.num_routers(); ++v) {
+    num_groups_ = std::max(num_groups_, topo.group_of[v] + 1);
+  }
+  gateway_.assign(static_cast<std::size_t>(num_groups_) * num_groups_,
+                  graph::kUnreachable);
+  for (auto [u, v] : topo.g.edge_list()) {
+    const auto gu = topo.group_of[u], gv = topo.group_of[v];
+    if (gu == gv) continue;
+    auto& slot_uv = gateway_[static_cast<std::size_t>(gu) * num_groups_ + gv];
+    auto& slot_vu = gateway_[static_cast<std::size_t>(gv) * num_groups_ + gu];
+    if (slot_uv != graph::kUnreachable) {
+      throw std::invalid_argument(
+          "DragonflyRouting: more than one global link per group pair");
+    }
+    slot_uv = u;
+    slot_vu = v;
+  }
+  for (std::uint32_t g = 0; g < num_groups_; ++g) {
+    for (std::uint32_t h = 0; h < num_groups_; ++h) {
+      if (g != h &&
+          gateway_[static_cast<std::size_t>(g) * num_groups_ + h] ==
+              graph::kUnreachable) {
+        throw std::invalid_argument(
+            "DragonflyRouting: missing global link between groups");
+      }
+    }
+  }
+}
+
+std::uint32_t DragonflyRouting::distance(Vertex src, Vertex dst) const {
+  if (src == dst) return 0;
+  const auto gs = topo_->group_of[src], gd = topo_->group_of[dst];
+  if (gs == gd) return 1;  // groups are complete graphs
+  const Vertex gw_s = gateway_[static_cast<std::size_t>(gs) * num_groups_ + gd];
+  const Vertex gw_d = gateway_[static_cast<std::size_t>(gd) * num_groups_ + gs];
+  return (src != gw_s ? 1 : 0) + 1 + (gw_d != dst ? 1 : 0);
+}
+
+void DragonflyRouting::next_hops(Vertex cur, Vertex dst,
+                                 std::vector<Vertex>& out) const {
+  if (cur == dst) return;
+  const auto gc = topo_->group_of[cur], gd = topo_->group_of[dst];
+  if (gc == gd) {
+    out.push_back(dst);  // intra-group direct link
+    return;
+  }
+  const Vertex gw_c = gateway_[static_cast<std::size_t>(gc) * num_groups_ + gd];
+  if (cur != gw_c) {
+    out.push_back(gw_c);  // local hop to the gateway
+  } else {
+    out.push_back(
+        gateway_[static_cast<std::size_t>(gd) * num_groups_ + gc]);  // global
+  }
+}
+
+std::size_t DragonflyRouting::storage_entries() const {
+  // One gateway entry per (router's group, target group) -- routers share
+  // the per-group table: G-1 entries each.
+  return static_cast<std::size_t>(num_groups_) * (num_groups_ - 1);
+}
+
+}  // namespace polarstar::routing

@@ -1,0 +1,38 @@
+// Hierarchical Dragonfly minimal routing (the BookSim built-in the paper
+// uses): a packet goes local -> global -> local, always crossing the single
+// direct global link between source and destination groups. This is NOT
+// always graph-minimal -- the graph contains equal-length
+// global-local-global shortcuts through third groups -- but it is what
+// Dragonfly routers implement (table: one gateway per target group), and it
+// is what makes the adversarial pattern collapse onto one link (Fig 10).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::routing {
+
+class DragonflyRouting final : public MinimalRouting {
+ public:
+  /// The topology must be a dragonfly::build result (complete groups,
+  /// exactly one global link per group pair). Throws otherwise.
+  explicit DragonflyRouting(const topo::Topology& topo);
+
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override;
+  void next_hops(graph::Vertex cur, graph::Vertex dst,
+                 std::vector<graph::Vertex>& out) const override;
+  std::size_t storage_entries() const override;
+  std::string name() const override { return "dragonfly-hierarchical"; }
+
+ private:
+  const topo::Topology* topo_;
+  std::uint32_t num_groups_ = 0;
+  /// gateway_[g * num_groups_ + h] = router in group g owning the link to
+  /// group h (undefined for g == h).
+  std::vector<graph::Vertex> gateway_;
+};
+
+}  // namespace polarstar::routing

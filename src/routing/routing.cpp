@@ -1,0 +1,14 @@
+#include "routing/routing.h"
+
+namespace polarstar::routing {
+
+std::unique_ptr<MinimalRouting> make_table_routing(const graph::Graph& g) {
+  return std::make_unique<TableRouting>(g);
+}
+
+std::unique_ptr<MinimalRouting> make_polarstar_routing(
+    const core::PolarStar& ps) {
+  return std::make_unique<PolarStarAnalyticRouting>(ps);
+}
+
+}  // namespace polarstar::routing

@@ -1,0 +1,98 @@
+// Routing abstractions shared by the simulator and the analyses.
+//
+// A MinimalRouting answers distance / minimal-next-hop queries on the router
+// graph. Implementations:
+//   - TableRouting: all minimal next hops stored per (src, dst) pair -- the
+//     scheme the paper says Spectralfly and Bundlefly need (large tables),
+//     and the generic fallback for every baseline.
+//   - PolarStarAnalyticRouting: wraps core::PolarStarRouting (table-free).
+//   - UpDownRouting (fat-tree): identical path sets to TableRouting on a
+//     folded Clos, provided for the storage comparison.
+//
+// Non-minimal (Valiant / UGAL) path selection is built on top of any
+// MinimalRouting by routing/ugal.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/polarstar.h"
+#include "core/polarstar_routing.h"
+#include "graph/algorithms.h"
+
+namespace polarstar::routing {
+
+class MinimalRouting {
+ public:
+  virtual ~MinimalRouting() = default;
+
+  /// Hop distance between routers.
+  virtual std::uint32_t distance(graph::Vertex src,
+                                 graph::Vertex dst) const = 0;
+
+  /// Appends all neighbors of cur on minimal paths to dst.
+  virtual void next_hops(graph::Vertex cur, graph::Vertex dst,
+                         std::vector<graph::Vertex>& out) const = 0;
+
+  /// Routing-state entries a router implementation would store (the §9.5
+  /// storage comparison).
+  virtual std::size_t storage_entries() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// All-minpath table routing over an arbitrary graph.
+class TableRouting final : public MinimalRouting {
+ public:
+  explicit TableRouting(const graph::Graph& g)
+      : dist_(g), hops_(g, dist_) {}
+
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override {
+    return dist_.at(src, dst);
+  }
+  void next_hops(graph::Vertex cur, graph::Vertex dst,
+                 std::vector<graph::Vertex>& out) const override {
+    auto h = hops_.next_hops(cur, dst);
+    out.insert(out.end(), h.begin(), h.end());
+  }
+  std::size_t storage_entries() const override {
+    return hops_.storage_entries();
+  }
+  std::string name() const override { return "table-min"; }
+
+ private:
+  graph::DistanceMatrix dist_;
+  graph::MinimalNextHops hops_;
+};
+
+/// Table-free PolarStar routing (§9.2). The PolarStar object must outlive
+/// this router.
+class PolarStarAnalyticRouting final : public MinimalRouting {
+ public:
+  explicit PolarStarAnalyticRouting(const core::PolarStar& ps)
+      : impl_(ps) {}
+
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override {
+    return impl_.distance(src, dst);
+  }
+  void next_hops(graph::Vertex cur, graph::Vertex dst,
+                 std::vector<graph::Vertex>& out) const override {
+    impl_.next_hops(cur, dst, out);
+  }
+  std::size_t storage_entries() const override {
+    return impl_.storage_entries();
+  }
+  std::string name() const override { return "polarstar-analytic"; }
+
+ private:
+  core::PolarStarRouting impl_;
+};
+
+/// Factory helpers.
+std::unique_ptr<MinimalRouting> make_table_routing(const graph::Graph& g);
+std::unique_ptr<MinimalRouting> make_polarstar_routing(
+    const core::PolarStar& ps);
+
+}  // namespace polarstar::routing

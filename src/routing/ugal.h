@@ -1,0 +1,76 @@
+// UGAL-L path selection (§9.3): at injection, compare the minimal path with
+// a handful of Valiant candidates (random intermediate routers) and pick the
+// smallest predicted latency, estimated from hop count and the local output
+// queue occupancy toward each path's first hop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+
+#include "routing/routing.h"
+
+namespace polarstar::routing {
+
+struct PathChoice {
+  bool valiant = false;
+  graph::Vertex intermediate = 0;  // meaningful when valiant
+  std::uint32_t hops = 0;          // total hop estimate
+};
+
+class UgalSelector {
+ public:
+  /// `candidates` = number of random Valiant intermediates sampled per
+  /// packet (the paper uses 4).
+  UgalSelector(const MinimalRouting& routing, std::uint32_t num_routers,
+               std::uint32_t candidates = 4)
+      : routing_(routing), n_(num_routers), candidates_(candidates) {}
+
+  /// occupancy(router, next_router) estimates the queue toward next_router
+  /// at `router` (local information only, as in UGAL-L).
+  template <typename Occupancy, typename Rng>
+  PathChoice select(graph::Vertex src, graph::Vertex dst,
+                    const Occupancy& occupancy, Rng& rng) const {
+    const std::uint32_t h_min = routing_.distance(src, dst);
+    PathChoice best{false, 0, h_min};
+    double best_cost = cost(src, dst, h_min, occupancy);
+    for (std::uint32_t i = 0; i < candidates_; ++i) {
+      const graph::Vertex mid = static_cast<graph::Vertex>(rng() % n_);
+      if (mid == src || mid == dst) continue;
+      const std::uint32_t hops =
+          routing_.distance(src, mid) + routing_.distance(mid, dst);
+      const double c = cost(src, mid, hops, occupancy);
+      if (c < best_cost) {
+        best_cost = c;
+        best = {true, mid, hops};
+      }
+    }
+    return best;
+  }
+
+ private:
+  template <typename Occupancy>
+  double cost(graph::Vertex src, graph::Vertex toward, std::uint32_t hops,
+              const Occupancy& occupancy) const {
+    if (src == toward) return hops;
+    // First-hop queue estimate: min over minimal first hops (an adaptive
+    // router would pick the least-loaded one).
+    thread_local std::vector<graph::Vertex> hops_buf;
+    hops_buf.clear();
+    routing_.next_hops(src, toward, hops_buf);
+    double q = 0;
+    if (!hops_buf.empty()) {
+      q = occupancy(src, hops_buf.front());
+      for (std::size_t i = 1; i < hops_buf.size(); ++i) {
+        q = std::min(q, static_cast<double>(occupancy(src, hops_buf[i])));
+      }
+    }
+    return static_cast<double>(hops) * (1.0 + q);
+  }
+
+  const MinimalRouting& routing_;
+  std::uint32_t n_;
+  std::uint32_t candidates_;
+};
+
+}  // namespace polarstar::routing

@@ -1,0 +1,126 @@
+#include "sim/flow_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/network.h"
+
+namespace polarstar::sim {
+
+using graph::Vertex;
+
+namespace {
+
+struct LinkIndex {
+  std::vector<std::size_t> port_base;
+  explicit LinkIndex(const graph::Graph& g) {
+    port_base.assign(g.num_vertices() + 1, 0);
+    for (Vertex r = 0; r < g.num_vertices(); ++r) {
+      port_base[r + 1] = port_base[r] + g.degree(r);
+    }
+  }
+  std::size_t of(const graph::Graph& g, Vertex r, Vertex next) const {
+    auto nb = g.neighbors(r);
+    const auto it = std::lower_bound(nb.begin(), nb.end(), next);
+    return port_base[r] + static_cast<std::size_t>(it - nb.begin());
+  }
+  std::size_t total() const { return port_base.back(); }
+};
+
+}  // namespace
+
+FlowModelResult max_min_rates(
+    const topo::Topology& topo, const routing::MinimalRouting& routing,
+    const std::function<std::uint64_t(std::uint64_t)>& traffic) {
+  LinkIndex links(topo.g);
+
+  // Trace each flow's single deterministic minimal path.
+  std::vector<std::vector<std::size_t>> flow_links;
+  std::vector<Vertex> hops;
+  for (std::uint64_t e = 0; e < topo.num_endpoints(); ++e) {
+    const std::uint64_t d = traffic(e);
+    if (d == kFlowNoDst || d == e) continue;
+    Vertex cur = topo.router_of_endpoint(e);
+    const Vertex dst = topo.router_of_endpoint(d);
+    std::vector<std::size_t> path;
+    while (cur != dst) {
+      hops.clear();
+      routing.next_hops(cur, dst, hops);
+      const Vertex nx =
+          hops[flow_path_hash(topo.router_of_endpoint(e), dst, cur) %
+               hops.size()];
+      path.push_back(links.of(topo.g, cur, nx));
+      cur = nx;
+    }
+    flow_links.push_back(std::move(path));
+  }
+
+  // Progressive filling.
+  const std::size_t f = flow_links.size();
+  std::vector<double> rate(f, 0.0);
+  std::vector<bool> frozen(f, false);
+  std::vector<double> capacity(links.total(), 1.0);
+  std::vector<std::uint32_t> active_on(links.total(), 0);
+  for (const auto& path : flow_links) {
+    for (std::size_t l : path) ++active_on[l];
+  }
+  std::size_t remaining = f;
+  // Flows whose path is empty (same-router endpoints) get unbounded local
+  // rate; cap at 1 flit/cycle (the injection port).
+  for (std::size_t i = 0; i < f; ++i) {
+    if (flow_links[i].empty()) {
+      rate[i] = 1.0;
+      frozen[i] = true;
+      --remaining;
+    }
+  }
+  while (remaining > 0) {
+    // Bottleneck link: the smallest fair share among loaded links.
+    double share = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < capacity.size(); ++l) {
+      if (active_on[l] > 0) {
+        share = std::min(share, capacity[l] / active_on[l]);
+      }
+    }
+    if (!std::isfinite(share)) break;  // no loaded link left
+    // Freeze every active flow crossing a link at that share.
+    bool froze_any = false;
+    for (std::size_t i = 0; i < f; ++i) {
+      if (frozen[i]) continue;
+      bool bottlenecked = false;
+      for (std::size_t l : flow_links[i]) {
+        if (capacity[l] / active_on[l] <= share * (1 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      rate[i] = share;
+      frozen[i] = true;
+      froze_any = true;
+      --remaining;
+      for (std::size_t l : flow_links[i]) {
+        capacity[l] -= share;
+        --active_on[l];
+      }
+    }
+    if (!froze_any) break;  // numeric stall guard
+  }
+
+  FlowModelResult res;
+  res.flows = f;
+  if (f == 0) return res;
+  double sum = 0, mn = std::numeric_limits<double>::infinity();
+  for (double x : rate) {
+    sum += x;
+    mn = std::min(mn, x);
+  }
+  res.min_rate = mn;
+  res.avg_rate = sum / static_cast<double>(f);
+  res.aggregate_per_endpoint =
+      sum / static_cast<double>(topo.num_endpoints());
+  return res;
+}
+
+}  // namespace polarstar::sim

@@ -1,0 +1,39 @@
+// Flow-level network model: max-min fair rate allocation.
+//
+// A fast analytical counterpart to the flit simulator for steady-state
+// throughput questions: each (source, destination) endpoint pair is a flow
+// on a single deterministic minimal path (the same path the flit
+// simulator's single-minpath mode uses, via sim::flow_path_hash), links
+// have unit capacity, and rates are assigned by progressive filling.
+//
+// Use it to sweep full-scale configurations in milliseconds, then confirm
+// interesting points with the cycle-level simulator; the test suite checks
+// the two engines agree on saturation ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::sim {
+
+struct FlowModelResult {
+  std::size_t flows = 0;
+  double min_rate = 0.0;   // the most-throttled flow's rate
+  double avg_rate = 0.0;   // mean over flows
+  /// Accepted flits/cycle/endpoint if every endpoint offers at its max-min
+  /// rate: sum(rates) / total endpoints.
+  double aggregate_per_endpoint = 0.0;
+};
+
+inline constexpr std::uint64_t kFlowNoDst = ~0ull;
+
+/// traffic(src_endpoint) -> dst endpoint or kFlowNoDst.
+FlowModelResult max_min_rates(
+    const topo::Topology& topo, const routing::MinimalRouting& routing,
+    const std::function<std::uint64_t(std::uint64_t)>& traffic);
+
+}  // namespace polarstar::sim

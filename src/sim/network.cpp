@@ -1,0 +1,57 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace polarstar::sim {
+
+using graph::Vertex;
+
+Network::Network(const topo::Topology& topo,
+                 const routing::MinimalRouting& routing)
+    : topo_(&topo), routing_(&routing), n_(topo.g.num_vertices()) {
+  port_base_.assign(n_ + 1, 0);
+  for (Vertex r = 0; r < n_; ++r) {
+    port_base_[r + 1] = port_base_[r] + topo.g.degree(r);
+  }
+  total_link_ports_ = port_base_[n_];
+
+  reverse_port_.resize(total_link_ports_);
+  for (Vertex r = 0; r < n_; ++r) {
+    auto nb = topo.g.neighbors(r);
+    for (std::uint32_t p = 0; p < nb.size(); ++p) {
+      reverse_port_[port_base_[r] + p] =
+          static_cast<std::uint16_t>(port_toward(nb[p], r));
+    }
+  }
+
+  // Flatten minimal next hops into port candidate lists.
+  route_ranges_.resize(static_cast<std::size_t>(n_) * n_);
+  std::vector<Vertex> hops;
+  for (Vertex s = 0; s < n_; ++s) {
+    for (Vertex d = 0; d < n_; ++d) {
+      const std::size_t idx = static_cast<std::size_t>(s) * n_ + d;
+      const auto begin = static_cast<std::uint32_t>(route_ports_.size());
+      if (s != d) {
+        hops.clear();
+        routing.next_hops(s, d, hops);
+        for (Vertex w : hops) {
+          route_ports_.push_back(static_cast<std::uint16_t>(port_toward(s, w)));
+        }
+      }
+      route_ranges_[idx] = {begin,
+                            static_cast<std::uint32_t>(route_ports_.size())};
+    }
+  }
+}
+
+std::uint32_t Network::port_toward(Vertex r, Vertex u) const {
+  auto nb = topo_->g.neighbors(r);
+  auto it = std::lower_bound(nb.begin(), nb.end(), u);
+  if (it == nb.end() || *it != u) {
+    throw std::logic_error("Network::port_toward: not a neighbor");
+  }
+  return static_cast<std::uint32_t>(it - nb.begin());
+}
+
+}  // namespace polarstar::sim

@@ -1,0 +1,84 @@
+// Static per-topology precomputation for the flit-level simulator: port
+// numbering (link ports first, then injection/ejection per endpoint slot)
+// and flattened minimal-route port tables derived from a MinimalRouting.
+//
+// The route table is a *simulator acceleration*: the storage the paper
+// compares is reported by MinimalRouting::storage_entries(), not by this
+// cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace polarstar::sim {
+
+/// Deterministic per-(flow, router) hash used to pick a single minimal
+/// path: shared by the flit simulator and the flow-level model so their
+/// "single-minpath" modes route identically.
+inline std::uint64_t flow_path_hash(graph::Vertex src_router,
+                                    graph::Vertex target, graph::Vertex r) {
+  std::uint64_t h = (src_router * 0x9E3779B97F4A7C15ull + target) ^
+                    (static_cast<std::uint64_t>(r) * 0xD1B54A32D192ED03ull);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return h;
+}
+
+class Network {
+ public:
+  Network(const topo::Topology& topo, const routing::MinimalRouting& routing);
+
+  const topo::Topology& topology() const { return *topo_; }
+  const routing::MinimalRouting& routing() const { return *routing_; }
+
+  std::uint32_t num_routers() const { return n_; }
+
+  /// Link ports of router r are 0 .. degree(r)-1 in sorted-neighbor order.
+  std::uint32_t num_link_ports(graph::Vertex r) const {
+    return topo_->g.degree(r);
+  }
+  graph::Vertex neighbor_at(graph::Vertex r, std::uint32_t port) const {
+    return topo_->g.neighbors(r)[port];
+  }
+  /// Port index on r facing neighbor u.
+  std::uint32_t port_toward(graph::Vertex r, graph::Vertex u) const;
+  /// The port on neighbor_at(r, port) that faces back to r.
+  std::uint32_t reverse_port(graph::Vertex r, std::uint32_t port) const {
+    return reverse_port_[port_base_[r] + port];
+  }
+
+  /// Minimal-route candidate ports from cur toward dst (empty iff cur==dst).
+  std::span<const std::uint16_t> route_ports(graph::Vertex cur,
+                                             graph::Vertex dst) const {
+    const auto [b, e] = route_ranges_[static_cast<std::size_t>(cur) * n_ + dst];
+    return {route_ports_.data() + b, route_ports_.data() + e};
+  }
+
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const {
+    return routing_->distance(src, dst);
+  }
+
+  /// Flat index of the directed link (r, port); used for credit state.
+  std::size_t link_index(graph::Vertex r, std::uint32_t port) const {
+    return port_base_[r] + port;
+  }
+  std::size_t total_link_ports() const { return total_link_ports_; }
+  std::size_t port_base(graph::Vertex r) const { return port_base_[r]; }
+
+ private:
+  const topo::Topology* topo_;
+  const routing::MinimalRouting* routing_;
+  std::uint32_t n_ = 0;
+  std::vector<std::size_t> port_base_;          // size n+1
+  std::size_t total_link_ports_ = 0;
+  std::vector<std::uint16_t> reverse_port_;     // per directed link
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> route_ranges_;
+  std::vector<std::uint16_t> route_ports_;
+};
+
+}  // namespace polarstar::sim

@@ -1,0 +1,440 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace polarstar::sim {
+
+using graph::Vertex;
+
+namespace {
+constexpr std::uint32_t kInjectionFlag = 0x80000000u;
+}
+
+Simulation::Simulation(const Network& net, const SimParams& prm,
+                       TrafficSource& source)
+    : net_(&net),
+      prm_(prm),
+      source_(&source),
+      rng_(prm.seed),
+      ugal_(net.routing(), net.num_routers(), prm.ugal_candidates) {
+  const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
+  buf_store_.resize(nbuf * prm_.vc_buffer_flits);
+  buf_head_.assign(nbuf, 0);
+  buf_size_.assign(nbuf, 0);
+  vc_state_.assign(nbuf, {});
+  credits_.assign(nbuf, static_cast<std::uint16_t>(prm_.vc_buffer_flits));
+  out_owner_.assign(nbuf, 0);
+
+  const auto& topo = net.topology();
+  const std::uint64_t eps = topo.num_endpoints();
+  inj_queue_.resize(eps);
+  inj_sent_.assign(eps, 0);
+  inj_state_.assign(eps, {});
+  out_rr_ej_.assign(eps, 0);
+  out_rr_link_.assign(net.total_link_ports(), 0);
+
+  arrivals_.resize(prm_.link_latency + prm_.router_latency + 1);
+  credit_returns_.resize(prm_.credit_latency + 1);
+  if (prm_.record_link_utilization) {
+    link_flits_.assign(net.total_link_ports(), 0);
+  }
+
+  std::uint32_t max_out = 0;
+  for (Vertex r = 0; r < net.num_routers(); ++r) {
+    max_out = std::max(max_out, net.num_link_ports(r) + topo.conc[r]);
+  }
+  req_scratch_.resize(max_out);
+  inport_used_.assign(max_out, 0);
+}
+
+void Simulation::buffer_push(std::size_t b, Flit f) {
+  const std::uint32_t cap = prm_.vc_buffer_flits;
+  assert(buf_size_[b] < cap);
+  buf_store_[b * cap + (buf_head_[b] + buf_size_[b]) % cap] = f;
+  ++buf_size_[b];
+}
+
+void Simulation::buffer_pop(std::size_t b) {
+  buf_head_[b] = static_cast<std::uint16_t>((buf_head_[b] + 1) %
+                                            prm_.vc_buffer_flits);
+  --buf_size_[b];
+}
+
+std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
+                                     std::uint64_t tag) {
+  std::uint32_t idx;
+  if (!packet_free_.empty()) {
+    idx = packet_free_.back();
+    packet_free_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(packets_.size());
+    packets_.emplace_back();
+  }
+  PacketRecord& pk = packets_[idx];
+  pk = PacketRecord{};
+  pk.id = next_packet_id_++;
+  pk.src_endpoint = src_ep;
+  pk.dst_endpoint = dst_ep;
+  const auto& topo = net_->topology();
+  pk.src_router = topo.router_of_endpoint(src_ep);
+  pk.dst_router = topo.router_of_endpoint(dst_ep);
+  pk.birth_cycle = cycle_;
+  pk.tag = tag;
+  pk.flits = static_cast<std::uint16_t>(prm_.packet_flits);
+  pk.measured = cycle_ >= measure_begin_ && cycle_ < measure_end_;
+  if (pk.measured) ++measured_outstanding_;
+  ++live_packets_;
+
+  if (prm_.path_mode == PathMode::kUgal && pk.src_router != pk.dst_router) {
+    auto occ = [this](Vertex r, Vertex next) { return occupancy(r, next); };
+    auto choice = ugal_.select(pk.src_router, pk.dst_router, occ, rng_);
+    pk.valiant = choice.valiant;
+    pk.intermediate = choice.intermediate;
+  }
+  return idx;
+}
+
+void Simulation::free_packet(std::uint32_t idx) {
+  packet_free_.push_back(idx);
+  --live_packets_;
+}
+
+void Simulation::enqueue_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
+                                std::uint64_t tag) {
+  const std::uint32_t idx = new_packet(src_ep, dst_ep, tag);
+  inj_queue_[src_ep].push_back(idx);
+}
+
+double Simulation::occupancy(Vertex r, Vertex next) const {
+  const std::uint32_t port = net_->port_toward(r, next);
+  const Vertex nbr = net_->neighbor_at(r, port);
+  const std::uint32_t rev = net_->reverse_port(r, port);
+  double occupied = 0;
+  for (std::uint32_t vc = 0; vc < prm_.num_vcs; ++vc) {
+    const std::size_t b = buffer_index(nbr, rev, vc);
+    occupied += prm_.vc_buffer_flits - credits_[b];
+  }
+  return occupied;  // absolute flits: the classic UGAL-L queue estimate
+}
+
+void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
+                               std::uint16_t& out, std::uint8_t& ovc) {
+  PacketRecord& pk = packets_[pkt_idx];
+  if (pk.valiant && !pk.phase2 && r == pk.intermediate) pk.phase2 = true;
+  const Vertex target =
+      (pk.valiant && !pk.phase2) ? pk.intermediate : pk.dst_router;
+  const std::uint32_t deg = net_->num_link_ports(r);
+  if (target == r) {
+    // Only reachable when the target is the destination router: eject.
+    out = static_cast<std::uint16_t>(
+        deg + (pk.dst_endpoint - net_->topology().first_endpoint(r)));
+    ovc = 0;
+    return;
+  }
+  auto ports = net_->route_ports(r, target);
+  assert(!ports.empty());
+  ovc = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(pk.hops, prm_.num_vcs - 1));
+  if (prm_.min_select == MinSelect::kSingleHash || ports.size() == 1) {
+    // Deterministic single minpath per (source router, target) flow, as in
+    // destination-based table routing with one stored next hop. The current
+    // router participates in the hash so successive stages decorrelate
+    // (otherwise e.g. a fat-tree would funnel each mid's transit traffic
+    // into a single top router); the path of a flow is still fixed.
+    out = ports[flow_path_hash(pk.src_router, target, r) % ports.size()];
+  } else {
+    // Adaptive: the candidate with the most downstream credits on ovc.
+    std::uint16_t best = ports[0];
+    int best_credit = -1;
+    for (std::uint16_t p : ports) {
+      const Vertex nbr = net_->neighbor_at(r, p);
+      const std::uint32_t rev = net_->reverse_port(r, p);
+      const int c = credits_[buffer_index(nbr, rev, ovc)];
+      if (c > best_credit) {
+        best_credit = c;
+        best = p;
+      }
+    }
+    out = best;
+  }
+}
+
+void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
+  PacketRecord& pk = packets_[pkt_idx];
+  ++pk.delivered_flits;
+  if (cycle_ >= measure_begin_ && cycle_ < measure_end_) {
+    ++ejected_flits_in_window_;
+  }
+  if (pk.delivered_flits == pk.flits) {
+    ++packets_delivered_total_;
+    hop_sum_ += pk.hops;
+    if (pk.measured) {
+      --measured_outstanding_;
+      ++measured_delivered_;
+      const std::uint64_t lat = cycle_ - pk.birth_cycle + 1;
+      latency_sum_ += static_cast<double>(lat);
+      latency_samples_.push_back(static_cast<std::uint32_t>(lat));
+    }
+    source_->on_delivered(*this, pk);
+    free_packet(pkt_idx);
+  }
+}
+
+void Simulation::step() {
+  // 1. Deliver link arrivals and credit returns scheduled for this cycle.
+  auto& slot = arrivals_[cycle_ % arrivals_.size()];
+  for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
+  slot.clear();
+  auto& credit_slot = credit_returns_[cycle_ % credit_returns_.size()];
+  for (std::uint32_t b : credit_slot) ++credits_[b];
+  credit_slot.clear();
+
+  // 2. Traffic generation.
+  source_->tick(*this);
+
+  // 3. Per-router separable allocation + switch traversal.
+  const auto& topo = net_->topology();
+  moved_this_cycle_ = 0;
+  for (Vertex r = 0; r < net_->num_routers(); ++r) {
+    const std::uint32_t deg = net_->num_link_ports(r);
+    const std::uint32_t conc = topo.conc[r];
+    const std::uint32_t nout = deg + conc;
+
+    // Collect feasible requests per output.
+    bool any = false;
+    for (std::uint32_t o = 0; o < nout; ++o) req_scratch_[o].clear();
+
+    auto consider = [&](std::uint32_t input_key, std::uint32_t pkt,
+                        std::uint16_t out, std::uint8_t ovc,
+                        std::uint16_t seq) {
+      if (out < deg) {
+        const Vertex nbr = net_->neighbor_at(r, out);
+        const std::uint32_t rev = net_->reverse_port(r, out);
+        const std::size_t recv = buffer_index(nbr, rev, ovc);
+        if (credits_[recv] == 0) return;
+        const std::uint32_t owner = out_owner_[recv];
+        if (seq == 0) {
+          if (owner != 0 && owner != pkt + 1) return;  // VC held by another
+        } else {
+          if (owner != pkt + 1) return;  // body must follow its head
+        }
+      }
+      req_scratch_[out].push_back({input_key, pkt, ovc});
+      any = true;
+    };
+
+    for (std::uint32_t port = 0; port < deg; ++port) {
+      for (std::uint32_t vc = 0; vc < prm_.num_vcs; ++vc) {
+        const std::size_t b = buffer_index(r, port, vc);
+        if (buffer_empty(b)) continue;
+        const Flit f = buffer_front(b);
+        VcState& st = vc_state_[b];
+        if (!st.active) {
+          // A head flit must be at the front (wormhole order).
+          compute_route(f.pkt, r, st.out_port, st.out_vc);
+          st.active = true;
+        }
+        consider(static_cast<std::uint32_t>(b), f.pkt, st.out_port, st.out_vc,
+                 f.seq);
+      }
+    }
+    const std::uint64_t ep0 = topo.first_endpoint(r);
+    for (std::uint32_t s = 0; s < conc; ++s) {
+      const std::uint64_t ep = ep0 + s;
+      if (inj_queue_[ep].empty()) continue;
+      const std::uint32_t pkt = inj_queue_[ep].front();
+      VcState& st = inj_state_[ep];
+      if (!st.active) {
+        compute_route(pkt, r, st.out_port, st.out_vc);
+        st.active = true;
+      }
+      consider(kInjectionFlag | static_cast<std::uint32_t>(ep), pkt,
+               st.out_port, st.out_vc, inj_sent_[ep]);
+    }
+    if (!any) continue;
+
+    // Grant: per output, round-robin over requesters; an input port moves
+    // at most one flit per cycle.
+    for (std::uint32_t o = 0; o < nout; ++o) inport_used_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) {
+      auto& reqs = req_scratch_[o];
+      if (reqs.empty()) continue;
+      std::uint16_t& rr = o < deg ? out_rr_link_[net_->link_index(r, o)]
+                                  : out_rr_ej_[ep0 + (o - deg)];
+      const std::size_t k = reqs.size();
+      std::size_t winner = k;
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t cand = (rr + i) % k;
+        const std::uint32_t key = reqs[cand].input_key;
+        const std::uint32_t inport =
+            key & kInjectionFlag
+                ? deg + static_cast<std::uint32_t>((key & ~kInjectionFlag) - ep0)
+                : static_cast<std::uint32_t>(key / prm_.num_vcs -
+                                             net_->port_base(r));
+        if (!inport_used_[inport]) {
+          winner = cand;
+          inport_used_[inport] = 1;
+          rr = static_cast<std::uint16_t>((cand + 1) % k);
+          break;
+        }
+      }
+      if (winner == k) continue;
+      const Request& req = reqs[winner];
+      const std::uint32_t pkt_idx = req.pkt;
+      PacketRecord& pk = packets_[pkt_idx];
+
+      // Pop the flit from its input.
+      Flit f;
+      if (req.input_key & kInjectionFlag) {
+        const std::uint64_t ep = req.input_key & ~kInjectionFlag;
+        f = {pkt_idx, inj_sent_[ep]};
+        ++inj_sent_[ep];
+        if (f.seq + 1u == pk.flits) {
+          inj_queue_[ep].pop_front();
+          inj_sent_[ep] = 0;
+          inj_state_[ep].active = false;
+        }
+      } else {
+        const std::size_t b = req.input_key;
+        f = buffer_front(b);
+        buffer_pop(b);
+        if (prm_.credit_latency == 0) {
+          ++credits_[b];  // idealized instantaneous credit return
+        } else {
+          credit_returns_[(cycle_ + prm_.credit_latency) %
+                          credit_returns_.size()]
+              .push_back(static_cast<std::uint32_t>(b));
+        }
+        if (f.seq + 1u == pk.flits) vc_state_[b].active = false;
+      }
+
+      // Forward.
+      if (o < deg) {
+        const Vertex nbr = net_->neighbor_at(r, o);
+        const std::uint32_t rev = net_->reverse_port(r, o);
+        const std::size_t recv = buffer_index(nbr, rev, req.ovc);
+        if (f.seq == 0) {
+          out_owner_[recv] = pkt_idx + 1;
+          ++pk.hops;
+        }
+        if (f.seq + 1u == pk.flits) out_owner_[recv] = 0;
+        --credits_[recv];
+        arrivals_[(cycle_ + prm_.link_latency + prm_.router_latency) %
+                  arrivals_.size()]
+            .push_back({static_cast<std::uint32_t>(recv), f});
+        if (!link_flits_.empty() && cycle_ >= measure_begin_ &&
+            cycle_ < measure_end_) {
+          ++link_flits_[net_->link_index(r, o)];
+        }
+      } else {
+        finalize_flit(pkt_idx, r);
+      }
+      ++moved_this_cycle_;
+    }
+  }
+
+  if (moved_this_cycle_ > 0 || live_packets_ == 0) {
+    last_progress_cycle_ = cycle_;
+  } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
+    deadlock_ = true;
+  }
+  if (prm_.paranoid_checks) check_invariants();
+  ++cycle_;
+}
+
+void Simulation::check_invariants() const {
+  const std::uint32_t cap = prm_.vc_buffer_flits;
+  std::size_t credits_in_flight = 0;
+  for (const auto& slot : credit_returns_) credits_in_flight += slot.size();
+  std::size_t arrivals_in_flight = 0;
+  for (const auto& slot : arrivals_) arrivals_in_flight += slot.size();
+
+  const std::size_t nbuf = buf_size_.size();
+  std::size_t total_buffered = 0, total_credits = 0;
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    if (buf_size_[b] > cap || credits_[b] > cap) {
+      throw std::logic_error("sim invariant: buffer/credit over capacity");
+    }
+    total_buffered += buf_size_[b];
+    total_credits += credits_[b];
+    // Wormhole contiguity: flits of one packet occupy consecutive slots
+    // with ascending sequence numbers.
+    for (std::uint16_t i = 1; i < buf_size_[b]; ++i) {
+      const Flit& prev =
+          buf_store_[b * cap + (buf_head_[b] + i - 1) % cap];
+      const Flit& curf = buf_store_[b * cap + (buf_head_[b] + i) % cap];
+      if (curf.pkt == prev.pkt && curf.seq != prev.seq + 1) {
+        throw std::logic_error("sim invariant: wormhole order broken");
+      }
+      if (curf.pkt != prev.pkt && prev.seq + 1u != packets_[prev.pkt].flits &&
+          packets_[prev.pkt].flits != 0) {
+        throw std::logic_error(
+            "sim invariant: packet interleaved mid-stream in one VC");
+      }
+    }
+  }
+  // Credit conservation: every slot is either free (credit), occupied,
+  // in-flight toward the buffer, or a credit still in the return pipeline.
+  if (total_credits + total_buffered + arrivals_in_flight +
+          credits_in_flight !=
+      nbuf * static_cast<std::size_t>(cap)) {
+    throw std::logic_error("sim invariant: credit conservation violated");
+  }
+}
+
+SimResult Simulation::collect(std::uint64_t cycles) {
+  SimResult res;
+  res.cycles = cycles;
+  res.packets_delivered = packets_delivered_total_;
+  res.measured_packets = measured_delivered_;
+  res.deadlock = deadlock_;
+  res.stable = !deadlock_ && measured_outstanding_ == 0;
+  if (!latency_samples_.empty()) {
+    res.avg_packet_latency = latency_sum_ / latency_samples_.size();
+    auto p99 = latency_samples_.begin() +
+               static_cast<std::ptrdiff_t>(0.99 * (latency_samples_.size() - 1));
+    std::nth_element(latency_samples_.begin(), p99, latency_samples_.end());
+    res.p99_packet_latency = *p99;
+  }
+  if (res.packets_delivered > 0) {
+    res.avg_hops =
+        static_cast<double>(hop_sum_) / static_cast<double>(res.packets_delivered);
+  }
+  const std::uint64_t eps = net_->topology().num_endpoints();
+  const std::uint64_t window = measure_end_ - measure_begin_;
+  if (eps > 0 && window > 0 && measure_end_ != ~0ull) {
+    res.accepted_flit_rate = static_cast<double>(ejected_flits_in_window_) /
+                             (static_cast<double>(eps) * window);
+  }
+  std::uint64_t maxq = 0;
+  for (const auto& q : inj_queue_) maxq = std::max<std::uint64_t>(maxq, q.size());
+  res.max_source_queue = maxq;
+  res.link_flits = link_flits_;
+  return res;
+}
+
+SimResult Simulation::run() {
+  measure_begin_ = prm_.warmup_cycles;
+  measure_end_ = prm_.warmup_cycles + prm_.measure_cycles;
+  const std::uint64_t budget = measure_end_ + prm_.drain_cycles;
+  while (cycle_ < budget && !deadlock_) {
+    step();
+    if (cycle_ >= measure_end_ && measured_outstanding_ == 0) break;
+  }
+  return collect(cycle_);
+}
+
+SimResult Simulation::run_app(std::uint64_t max_cycles) {
+  measure_begin_ = 0;
+  measure_end_ = ~0ull;
+  while (cycle_ < max_cycles && !deadlock_) {
+    step();
+    if (source_->finished(*this) && live_packets_ == 0) break;
+  }
+  auto res = collect(cycle_);
+  res.stable = !deadlock_ && live_packets_ == 0;
+  return res;
+}
+
+}  // namespace polarstar::sim

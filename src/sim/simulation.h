@@ -1,0 +1,244 @@
+// Cycle-level flit simulator (the BookSim substitute).
+//
+// Model: input-queued routers with per-(port, VC) ring buffers and
+// credit-based flow control; wormhole switching with per-hop VC allocation
+// (VC class = hops taken, so any path of length < num_vcs is deadlock-free);
+// separable switch allocation with per-output round-robin arbiters; one-flit
+// links of configurable latency; per-endpoint injection queues (source
+// queues, unbounded) and 1-flit/cycle ejection ports.
+//
+// Two path modes: Minimal (deterministic hash pick or adaptive credit-based
+// pick among all minimal ports) and UGAL-L (per-packet choice between the
+// minimal path and the best of a few Valiant candidates, judged by local
+// queue occupancy; §9.3 of the paper).
+//
+// Runs are deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <vector>
+
+#include "routing/ugal.h"
+#include "sim/network.h"
+
+namespace polarstar::sim {
+
+enum class PathMode { kMinimal, kUgal };
+enum class MinSelect { kSingleHash, kAdaptive };
+
+struct SimParams {
+  std::uint32_t num_vcs = 4;
+  std::uint32_t vc_buffer_flits = 32;  // per input VC (4 x 32 = 128 per port)
+  std::uint32_t packet_flits = 4;
+  std::uint32_t link_latency = 1;
+  /// Extra per-hop router pipeline delay (cycles added to traversal).
+  std::uint32_t router_latency = 0;
+  /// Cycles for a freed buffer slot's credit to reach the upstream router
+  /// (0 = instantaneous, the idealized default).
+  std::uint32_t credit_latency = 0;
+  /// Record per-directed-link traversal counts during the measurement
+  /// window (SimResult::link_flits).
+  bool record_link_utilization = false;
+  /// Validate structural invariants every cycle (credit conservation,
+  /// wormhole contiguity, VC ownership); throws std::logic_error on
+  /// violation. Slow -- for tests.
+  bool paranoid_checks = false;
+  std::uint64_t warmup_cycles = 2000;
+  std::uint64_t measure_cycles = 5000;
+  std::uint64_t drain_cycles = 30000;
+  std::uint64_t seed = 1;
+  std::uint32_t deadlock_threshold = 4000;  // cycles with no flit movement
+  PathMode path_mode = PathMode::kMinimal;
+  MinSelect min_select = MinSelect::kSingleHash;
+  std::uint32_t ugal_candidates = 4;
+};
+
+struct PacketRecord {
+  std::uint64_t id = 0;
+  std::uint64_t src_endpoint = 0, dst_endpoint = 0;
+  std::uint32_t src_router = 0, dst_router = 0;
+  std::uint64_t birth_cycle = 0;
+  std::uint64_t tag = 0;  // motif message id (0 = pattern traffic)
+  std::uint16_t flits = 0;
+  std::uint16_t delivered_flits = 0;
+  std::uint8_t hops = 0;
+  bool valiant = false;
+  bool phase2 = false;  // passed the Valiant intermediate
+  std::uint32_t intermediate = 0;
+  bool measured = false;
+};
+
+struct SimResult {
+  std::uint64_t cycles = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t measured_packets = 0;
+  double avg_packet_latency = 0.0;
+  double p99_packet_latency = 0.0;
+  double avg_hops = 0.0;
+  /// Ejected flits per endpoint per cycle during the measurement window.
+  double accepted_flit_rate = 0.0;
+  bool stable = true;
+  bool deadlock = false;
+  std::uint64_t max_source_queue = 0;
+  /// Flits that crossed each directed link during the measurement window
+  /// (indexed like Network::link_index); empty unless
+  /// SimParams::record_link_utilization.
+  std::vector<std::uint64_t> link_flits;
+};
+
+class Simulation;
+
+/// Traffic generators and motif engines implement this.
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+  /// Called once per cycle before switch allocation; enqueue packets here.
+  virtual void tick(Simulation& sim) = 0;
+  /// Called when a packet's tail flit is ejected.
+  virtual void on_delivered(Simulation& sim, const PacketRecord& pkt) {
+    (void)sim;
+    (void)pkt;
+  }
+  /// For application runs (run_app): all work generated and none pending?
+  virtual bool finished(const Simulation& sim) const {
+    (void)sim;
+    return false;
+  }
+};
+
+class Simulation {
+ public:
+  Simulation(const Network& net, const SimParams& prm, TrafficSource& source);
+
+  /// Open-loop pattern run: warmup, measurement, then drain (sources keep
+  /// injecting) until every measured packet is delivered or the drain
+  /// budget is exhausted (-> unstable).
+  SimResult run();
+
+  /// Closed-loop application run: cycles until the source is finished and
+  /// the network has drained (Fig 11 completion-time metric).
+  SimResult run_app(std::uint64_t max_cycles);
+
+  /// Enqueue a packet of packet_flits flits into the source queue.
+  void enqueue_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
+                      std::uint64_t tag = 0);
+
+  std::uint64_t cycle() const { return cycle_; }
+  const Network& network() const { return *net_; }
+  const SimParams& params() const { return prm_; }
+  std::mt19937_64& rng() { return rng_; }
+  std::uint64_t outstanding_packets() const { return live_packets_; }
+
+  /// Occupied flits in the downstream input buffers toward `next`
+  /// (the UGAL-L local queue estimate).
+  double occupancy(graph::Vertex r, graph::Vertex next) const;
+
+ private:
+  struct Flit {
+    std::uint32_t pkt;
+    std::uint16_t seq;
+  };
+  struct VcState {
+    std::uint16_t out_port = 0;
+    std::uint8_t out_vc = 0;
+    bool active = false;
+  };
+  struct Arrival {
+    std::uint32_t buffer;  // destination input-buffer index
+    Flit flit;
+  };
+
+  std::size_t buffer_index(graph::Vertex r, std::uint32_t port,
+                           std::uint32_t vc) const {
+    return (net_->port_base(r) + port) * prm_.num_vcs + vc;
+  }
+
+  bool buffer_empty(std::size_t b) const { return buf_size_[b] == 0; }
+  Flit& buffer_front(std::size_t b) {
+    return buf_store_[b * prm_.vc_buffer_flits + buf_head_[b]];
+  }
+  void buffer_push(std::size_t b, Flit f);
+  void buffer_pop(std::size_t b);
+
+  std::uint32_t new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
+                           std::uint64_t tag);
+  void free_packet(std::uint32_t idx);
+
+  // Route the head flit of packet pkt at router r; fills out/ovc.
+  // Returns false if no output decision is possible (never in practice).
+  void compute_route(std::uint32_t pkt_idx, graph::Vertex r,
+                     std::uint16_t& out, std::uint8_t& ovc);
+
+  void step();                 // one full cycle
+  void finalize_flit(std::uint32_t pkt_idx, graph::Vertex r);
+  void check_invariants() const;  // paranoid mode
+
+  SimResult collect(std::uint64_t cycles);
+
+  const Network* net_;
+  SimParams prm_;
+  TrafficSource* source_;
+  std::mt19937_64 rng_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t next_packet_id_ = 1;
+  std::uint64_t live_packets_ = 0;
+  std::uint64_t moved_this_cycle_ = 0;
+  std::uint64_t last_progress_cycle_ = 0;
+  bool deadlock_ = false;
+
+  // Measurement window [measure_begin_, measure_end_).
+  std::uint64_t measure_begin_ = 0, measure_end_ = ~0ull;
+  std::uint64_t measured_outstanding_ = 0;
+  std::uint64_t measured_delivered_ = 0;
+  std::uint64_t packets_delivered_total_ = 0;
+  std::uint64_t ejected_flits_in_window_ = 0;
+  double latency_sum_ = 0;
+  std::uint64_t hop_sum_ = 0;
+  std::vector<std::uint32_t> latency_samples_;
+
+  // Packet pool.
+  std::vector<PacketRecord> packets_;
+  std::vector<std::uint32_t> packet_free_;
+
+  // Input buffers (link ports only), flattened rings.
+  std::vector<Flit> buf_store_;
+  std::vector<std::uint16_t> buf_head_, buf_size_;
+  std::vector<VcState> vc_state_;
+  std::vector<std::uint16_t> credits_;  // free slots per input buffer
+  // Output VC ownership: packet currently holding (directed link, vc),
+  // 0 = free (packet pool index + 1 otherwise).
+  std::vector<std::uint32_t> out_owner_;
+
+  // Injection: per endpoint.
+  std::vector<std::deque<std::uint32_t>> inj_queue_;
+  std::vector<std::uint16_t> inj_sent_;  // flits of head packet already sent
+  std::vector<VcState> inj_state_;
+
+  // Link pipeline.
+  std::vector<std::vector<Arrival>> arrivals_;  // ring by cycle % depth
+  // Delayed credit returns (buffer indexes), ring by cycle % depth.
+  std::vector<std::vector<std::uint32_t>> credit_returns_;
+  std::vector<std::uint64_t> link_flits_;  // telemetry (optional)
+
+  // Per-output round-robin pointers, indexed by router-port (links) and
+  // ejection slots.
+  std::vector<std::uint16_t> out_rr_link_;
+  std::vector<std::uint16_t> out_rr_ej_;
+  std::vector<std::uint64_t> ej_base_;  // first ejection-rr index per router
+
+  // Scratch for allocation.
+  struct Request {
+    std::uint32_t input_key;  // link-buffer index | 0x80000000 + endpoint
+    std::uint32_t pkt;
+    std::uint8_t ovc;
+  };
+  std::vector<std::vector<Request>> req_scratch_;  // per output port
+  std::vector<std::uint8_t> inport_used_;
+
+  routing::UgalSelector ugal_;
+};
+
+}  // namespace polarstar::sim

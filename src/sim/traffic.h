@@ -1,0 +1,72 @@
+// Synthetic traffic patterns of §9.4 and the adversarial pattern of §9.6.
+//
+//  - uniform:      destination endpoint uniform at random.
+//  - permutation:  fixed random permutation of endpoint-carrying routers;
+//                  endpoint slots map to corresponding slots.
+//  - bit shuffle:  destination id = source id rotated left by 1 within b
+//                  bits, using the largest 2^b <= total endpoints.
+//  - bit reverse:  destination id = bit-reversed source id, same domain.
+//  - adversarial:  every group/supernode sends only to the next group, and
+//                  each source picks the router in the paired group at
+//                  maximal hop distance (forcing the longest minpaths).
+//
+// All patterns inject packets per endpoint as a Bernoulli process with
+// flit-rate `injection_rate` (probability rate/packet_flits per cycle).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace polarstar::sim {
+
+enum class Pattern {
+  kUniform,
+  kPermutation,
+  kBitShuffle,
+  kBitReverse,
+  kAdversarial,
+  /// Group g sends to group g + G/2 (classic worst case for hierarchical
+  /// networks); router-bijective like the adversarial pattern but with the
+  /// fixed antipodal pairing. Ungrouped topologies fall back to endpoint
+  /// tornado: dst = src + E/2.
+  kTornado,
+  /// 10% of packets target one of a few fixed hot endpoints; the rest are
+  /// uniform (incast stress).
+  kHotspot,
+};
+
+const char* to_string(Pattern p);
+
+class PatternSource final : public TrafficSource {
+ public:
+  PatternSource(const topo::Topology& topo, Pattern pattern,
+                double injection_rate, std::uint32_t packet_flits,
+                std::uint64_t seed);
+
+  void tick(Simulation& sim) override;
+
+  /// Destination endpoint for a source endpoint (kNoTraffic if idle).
+  static constexpr std::uint64_t kNoTraffic = ~0ull;
+  std::uint64_t destination(std::uint64_t src, Simulation& sim);
+
+ private:
+  void prepare_adversarial(Simulation& sim);
+  void prepare_tornado();
+
+  const topo::Topology* topo_;
+  Pattern pattern_;
+  double packet_probability_;
+  std::mt19937_64 rng_;
+
+  std::uint64_t domain_bits_ = 0;  // for shuffle/reverse
+  std::vector<graph::Vertex> router_perm_;      // permutation pattern
+  std::vector<std::uint64_t> adversarial_dst_;  // per source router
+  bool adversarial_ready_ = false;
+  std::vector<std::uint64_t> tornado_dst_;      // per source router
+  std::vector<std::uint64_t> hot_endpoints_;    // hotspot targets
+};
+
+}  // namespace polarstar::sim

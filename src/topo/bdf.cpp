@@ -1,0 +1,84 @@
+#include "topo/bdf.h"
+
+#include <stdexcept>
+
+namespace polarstar::topo::bdf {
+
+using graph::Edge;
+using graph::Vertex;
+
+namespace {
+
+// Exhaustively searched base graphs (see DESIGN.md). In each base of order
+// 2k the involution pairs v <-> v + k.
+//
+// d'=1: a single edge.
+constexpr Edge kBase1[] = {{0, 1}};
+// d'=2: the 4-cycle with antipodal pairing.
+constexpr Edge kBase2[] = {{0, 1}, {1, 2}, {2, 3}, {0, 3}};
+// d'=3: 6 vertices, 3-regular.
+constexpr Edge kBase3[] = {{0, 1}, {0, 2}, {0, 4}, {1, 2}, {1, 5},
+                           {2, 3}, {3, 4}, {3, 5}, {4, 5}};
+// d'=4: 8 vertices, 4-regular.
+constexpr Edge kBase4[] = {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 4}, {1, 5},
+                           {1, 6}, {2, 4}, {2, 6}, {2, 7}, {3, 4}, {3, 5},
+                           {3, 7}, {5, 6}, {5, 7}, {6, 7}};
+
+// The induction octet is the IQ_3 graph plus a perfect matching between its
+// x-group {0,2,4,6} and y-group {1,3,5,7} chosen among non-edges, so that
+// octet vertices reach degree 4 internally (compensating the smaller side
+// size |A| = d' of BDF graphs relative to Inductive-Quad).
+constexpr Edge kOctetEdges[] = {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 6},
+                                {2, 4}, {2, 7}, {3, 4}, {3, 5}, {5, 6},
+                                {5, 7}, {6, 7},
+                                // extra matching
+                                {0, 5}, {4, 7}, {6, 3}, {2, 1}};
+constexpr Vertex kXGroup[] = {0, 2, 4, 6};
+constexpr Vertex kYGroup[] = {1, 3, 5, 7};
+
+}  // namespace
+
+Supernode build(std::uint32_t d_prime) {
+  if (!feasible(d_prime)) {
+    throw std::invalid_argument("BDF supernode requires d' >= 1");
+  }
+  std::vector<Edge> edges;
+  std::vector<Vertex> f;
+  std::vector<Vertex> side_a;
+  std::uint32_t d = (d_prime - 1) % 4 + 1;  // base degree in {1,2,3,4}
+
+  auto load_base = [&](const Edge* b, std::size_t count, Vertex k) {
+    edges.assign(b, b + count);
+    for (Vertex i = 0; i < 2 * k; ++i) f.push_back(i < k ? i + k : i - k);
+    for (Vertex i = 0; i < k; ++i) side_a.push_back(i);
+  };
+  switch (d) {
+    case 1: load_base(kBase1, std::size(kBase1), 1); break;
+    case 2: load_base(kBase2, std::size(kBase2), 2); break;
+    case 3: load_base(kBase3, std::size(kBase3), 3); break;
+    default: load_base(kBase4, std::size(kBase4), 4); break;
+  }
+
+  while (d < d_prime) {
+    const Vertex base = static_cast<Vertex>(f.size());
+    for (auto [u, v] : kOctetEdges) edges.emplace_back(base + u, base + v);
+    for (Vertex x : kXGroup) {
+      for (Vertex a : side_a) edges.emplace_back(base + x, a);
+    }
+    for (Vertex y : kYGroup) {
+      for (Vertex a : side_a) edges.emplace_back(base + y, f[a]);
+    }
+    for (Vertex i = 0; i < 8; ++i) f.push_back(base + (i ^ 4));
+    for (Vertex i = 0; i < 4; ++i) side_a.push_back(base + i);
+    d += 4;
+  }
+
+  Supernode sn;
+  sn.g = graph::Graph::from_edges(static_cast<Vertex>(f.size()), edges);
+  sn.f = std::move(f);
+  sn.f_is_involution = true;
+  sn.name = "BDF" + std::to_string(d_prime);
+  return sn;
+}
+
+}  // namespace polarstar::topo::bdf

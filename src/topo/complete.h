@@ -1,0 +1,26 @@
+// Complete-graph supernode K_{d'+1} (Table 2 row "Complete").
+//
+// K_n trivially satisfies Property R* with the identity involution: every
+// distinct pair is adjacent. It is the densest (and smallest) supernode and
+// models densely-connected locality regions.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/supernode.h"
+
+namespace polarstar::topo {
+
+namespace complete {
+
+inline bool feasible(std::uint32_t /*d_prime*/) { return true; }
+
+/// Order d' + 1.
+inline std::uint64_t order(std::uint32_t d_prime) { return d_prime + 1ull; }
+
+/// Builds K_{d'+1} with the identity involution.
+Supernode build(std::uint32_t d_prime);
+
+}  // namespace complete
+
+}  // namespace polarstar::topo

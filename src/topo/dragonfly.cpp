@@ -1,0 +1,56 @@
+#include "topo/dragonfly.h"
+
+namespace polarstar::topo::dragonfly {
+
+using graph::Vertex;
+
+std::uint64_t max_order_for_radix(std::uint32_t radix) {
+  // radix = (a - 1) + h; unconstrained search over the split. The optimum
+  // lands near h = (radix+1)/3, i.e. the canonical a = 2h balance.
+  std::uint64_t best = 0;
+  for (std::uint32_t h = 1; h < radix; ++h) {
+    const std::uint32_t a = radix + 1 - h;
+    best = std::max(best, order({a, h, 0}));
+  }
+  return best;
+}
+
+Topology build(const Params& prm) {
+  const std::uint32_t g = num_groups(prm);
+  const std::uint32_t a = prm.a, h = prm.h;
+  const Vertex n = static_cast<Vertex>(order(prm));
+  graph::GraphBuilder builder(n);
+  auto router = [&](std::uint32_t grp, std::uint32_t idx) {
+    return static_cast<Vertex>(grp * a + idx);
+  };
+  // Local: complete graph inside each group.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t i = 0; i < a; ++i) {
+      for (std::uint32_t j = i + 1; j < a; ++j) {
+        builder.add_edge(router(grp, i), router(grp, j));
+      }
+    }
+  }
+  // Global: channel t of group grp (t in [0, a*h)) goes to group
+  // (grp + t + 1) mod g, owned by router t/h. This yields exactly one link
+  // between every group pair.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t t = 0; t < a * h; ++t) {
+      const std::uint32_t dst_grp = (grp + t + 1) % g;
+      if (dst_grp < grp) continue;  // add each link once
+      const std::uint32_t back = a * h - t - 1;  // channel index at dst side
+      builder.add_edge(router(grp, t / h), router(dst_grp, back / h));
+    }
+  }
+  Topology topo;
+  topo.name = "Dragonfly(a=" + std::to_string(a) + ",h=" + std::to_string(h) +
+              ",p=" + std::to_string(prm.p) + ")";
+  topo.g = builder.build();
+  topo.conc.assign(n, prm.p);
+  topo.group_of.resize(n);
+  for (Vertex v = 0; v < n; ++v) topo.group_of[v] = v / a;
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace polarstar::topo::dragonfly

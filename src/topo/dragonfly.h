@@ -1,0 +1,43 @@
+// Canonical Dragonfly (Kim et al. 2008).
+//
+// Parameters: a routers per group (fully connected within the group),
+// h global links per router, p endpoints per router. The balanced maximum
+// configuration uses g = a*h + 1 groups with exactly one global link
+// between each pair of groups (the arrangement below is the standard
+// "relative/palmtree" scheme). Network radix is (a-1) + h; diameter 3.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace dragonfly {
+
+struct Params {
+  std::uint32_t a = 0;  // routers per group
+  std::uint32_t h = 0;  // global links per router
+  std::uint32_t p = 0;  // endpoints per router
+};
+
+/// Number of groups in the maximal configuration: a*h + 1.
+inline std::uint32_t num_groups(const Params& prm) { return prm.a * prm.h + 1; }
+
+/// Total routers: a * (a*h + 1).
+inline std::uint64_t order(const Params& prm) {
+  return static_cast<std::uint64_t>(prm.a) * num_groups(prm);
+}
+
+/// Largest balanced dragonfly order for a given network radix k:
+/// a = ceil(k*2/3)+... we follow the paper's standard balancing
+/// a = 2p = 2h with radix 4h - 1; for arbitrary radix we search all (a, h)
+/// splits with a >= h (balance constraint a >= 2h relaxed to the best fit).
+std::uint64_t max_order_for_radix(std::uint32_t radix);
+
+/// Builds the topology; routers numbered group-major.
+Topology build(const Params& prm);
+
+}  // namespace dragonfly
+
+}  // namespace polarstar::topo

@@ -1,0 +1,96 @@
+#include "topo/er.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace polarstar::topo {
+
+using gf::Field;
+using graph::GraphBuilder;
+using graph::Vertex;
+
+bool ErGraph::feasible(std::uint32_t q) { return gf::is_prime_power(q); }
+
+namespace {
+
+std::array<Field::Elem, 3> normalize(const Field& F,
+                                     std::array<Field::Elem, 3> v) {
+  for (int i = 0; i < 3; ++i) {
+    if (v[i] != 0) {
+      Field::Elem s = F.inv(v[i]);
+      for (int j = 0; j < 3; ++j) v[j] = F.mul(v[j], s);
+      return v;
+    }
+  }
+  throw std::invalid_argument("ER: zero vector is not a projective point");
+}
+
+}  // namespace
+
+ErGraph ErGraph::build(std::uint32_t q) {
+  if (!feasible(q)) {
+    throw std::invalid_argument("ER_q requires q to be a prime power");
+  }
+  ErGraph er;
+  er.q = q;
+  er.field_storage_ = std::make_shared<Field>(q);
+  er.field_ = er.field_storage_.get();
+  const Field& F = *er.field_;
+
+  // Enumerate left-normalized points: (1, a, b), (0, 1, a), (0, 0, 1).
+  er.points.reserve(order(q));
+  for (Field::Elem a = 0; a < q; ++a) {
+    for (Field::Elem b = 0; b < q; ++b) {
+      er.points.push_back({1, a, b});
+    }
+  }
+  for (Field::Elem a = 0; a < q; ++a) er.points.push_back({0, 1, a});
+  er.points.push_back({0, 0, 1});
+
+  const Vertex n = static_cast<Vertex>(er.points.size());
+  GraphBuilder builder(n);
+  er.quadric.assign(n, false);
+  for (Vertex u = 0; u < n; ++u) {
+    if (F.dot3(er.points[u].data(), er.points[u].data()) == 0) {
+      er.quadric[u] = true;
+    }
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (F.dot3(er.points[u].data(), er.points[v].data()) == 0) {
+        builder.add_edge(u, v);
+      }
+    }
+  }
+  er.g = builder.build();
+  return er;
+}
+
+Vertex ErGraph::vertex_of(const std::array<Field::Elem, 3>& coords) const {
+  auto norm = normalize(*field_, coords);
+  // Points are stored in enumeration order; decode the index directly.
+  const std::uint32_t q = this->q;
+  if (norm[0] == 1) return norm[1] * q + norm[2];
+  if (norm[1] == 1) return q * q + norm[2];
+  return q * q + q;
+}
+
+std::vector<std::uint32_t> ErGraph::cluster_layout() const {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> cluster(n, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    if (quadric[v]) {
+      cluster[v] = 0;
+      continue;
+    }
+    const auto& p = points[v];
+    if (p[0] == 1) {
+      cluster[v] = 1 + p[1];
+    } else if (p[1] == 1) {
+      cluster[v] = 1 + p[2];
+    } else {
+      cluster[v] = 1;  // the point (0,0,1); quadric iff q even
+    }
+  }
+  return cluster;
+}
+
+}  // namespace polarstar::topo

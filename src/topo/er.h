@@ -1,0 +1,68 @@
+// Erdos-Renyi (Brown) polarity graph ER_q over GF(q).
+//
+// Vertices are the q^2+q+1 points of the projective plane PG(2, q),
+// represented by left-normalized 3-vectors over GF(q). Two distinct points
+// are adjacent iff their dot product is zero. Self-orthogonal ("quadric")
+// points conceptually carry a self-loop; the simple graph omits it but the
+// construction reports which vertices are quadric, because the star product
+// turns those loops into supernode-internal f-matching edges (Fig 5c of the
+// paper).
+//
+// ER_q has diameter 2, satisfies Property R (with loops), and is the
+// structure graph of every PolarStar instance. It is also the PolarFly
+// topology in its own right.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gf/gf.h"
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+struct ErGraph {
+  std::uint32_t q = 0;
+  graph::Graph g;
+  /// quadric[v] == true iff point v is self-orthogonal (has a self-loop).
+  std::vector<bool> quadric;
+  /// Projective coordinates (left-normalized) of each vertex.
+  std::vector<std::array<gf::Field::Elem, 3>> points;
+
+  /// Number of vertices: q^2 + q + 1.
+  static std::uint64_t order(std::uint32_t q) {
+    return static_cast<std::uint64_t>(q) * q + q + 1;
+  }
+  /// Degree counting the self-loop once, as the paper does: q + 1.
+  static std::uint32_t degree(std::uint32_t q) { return q + 1; }
+
+  /// True iff ER_q exists (q a prime power).
+  static bool feasible(std::uint32_t q);
+
+  /// Builds ER_q. Throws std::invalid_argument if q is not a prime power.
+  static ErGraph build(std::uint32_t q);
+
+  /// Index of the vertex with the given projective coordinates (the
+  /// representative is computed internally), or throws if invalid.
+  graph::Vertex vertex_of(const std::array<gf::Field::Elem, 3>& coords) const;
+
+  /// PolarFly-style modular layout (Fig 8a): cluster id per vertex.
+  /// Quadric vertices form cluster 0; the remaining vertices split into
+  /// q + 1 clusters around the quadric points' tangent structure --
+  /// here we use the simpler line-based grouping: non-quadric vertex
+  /// (1, a, b) goes to cluster 1 + a; (0, 1, a) and (0, 0, 1) go to
+  /// cluster based on their second coordinate. The layout is used by the
+  /// bundling analysis; any balanced modular grouping suffices.
+  std::vector<std::uint32_t> cluster_layout() const;
+
+ private:
+  const gf::Field* field_ = nullptr;  // owned via shared storage below
+  std::shared_ptr<gf::Field> field_storage_;
+
+ public:
+  const gf::Field& field() const { return *field_; }
+};
+
+}  // namespace polarstar::topo

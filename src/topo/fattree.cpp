@@ -1,0 +1,38 @@
+#include "topo/fattree.h"
+
+namespace polarstar::topo::fattree {
+
+using graph::Vertex;
+
+Topology build(const Params& prm) {
+  const std::uint32_t p = prm.p;
+  const std::uint32_t layer = p * p;
+  graph::GraphBuilder builder(3 * layer);
+  // Leaf (pod P, index i) = P*p + i; middle (P, j) = layer + P*p + j.
+  for (std::uint32_t P = 0; P < p; ++P) {
+    for (std::uint32_t i = 0; i < p; ++i) {
+      for (std::uint32_t j = 0; j < p; ++j) {
+        builder.add_edge(P * p + i, layer + P * p + j);
+      }
+    }
+  }
+  // Middle (P, j) connects to tops (j, s) = 2*layer + j*p + s for all s.
+  for (std::uint32_t P = 0; P < p; ++P) {
+    for (std::uint32_t j = 0; j < p; ++j) {
+      for (std::uint32_t s = 0; s < p; ++s) {
+        builder.add_edge(layer + P * p + j, 2 * layer + j * p + s);
+      }
+    }
+  }
+  Topology topo;
+  topo.name = "FatTree(p=" + std::to_string(p) + ")";
+  topo.g = builder.build();
+  topo.conc.assign(3 * layer, 0);
+  for (Vertex leaf = 0; leaf < layer; ++leaf) topo.conc[leaf] = p;
+  topo.group_of.resize(3 * layer, p);  // pods for leaves/middles; tops: pod p
+  for (Vertex v = 0; v < 2 * layer; ++v) topo.group_of[v] = (v % layer) / p;
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace polarstar::topo::fattree

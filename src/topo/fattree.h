@@ -1,0 +1,42 @@
+// Three-level folded-Clos fat-tree, matching BookSim's construction as the
+// paper describes it: router radix 2p, three layers of p^2 routers each,
+// top-layer routers using only half their ports (radix p), supporting p^3
+// endpoints on the leaf layer.
+//
+// Indirect topology: only leaf routers carry endpoints. Routing is up/down
+// (equivalently, all graph-minimal paths between leaves).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace fattree {
+
+struct Params {
+  std::uint32_t p = 0;  // half-radix: endpoints per leaf, up-links per router
+};
+
+/// Total routers: 3 p^2.
+inline std::uint64_t order(const Params& prm) {
+  return 3ull * prm.p * prm.p;
+}
+inline std::uint64_t num_endpoints(const Params& prm) {
+  return static_cast<std::uint64_t>(prm.p) * prm.p * prm.p;
+}
+
+/// Router ids: leaves [0, p^2), middles [p^2, 2p^2), tops [2p^2, 3p^2).
+/// Leaf l sits in pod l / p; middle m = p^2 + P*p + j is middle j of pod P;
+/// top t = 2p^2 + j*p + s connects to middle j of every pod.
+Topology build(const Params& prm);
+
+/// Level of a router id: 0 leaf, 1 middle, 2 top.
+inline std::uint32_t level(const Params& prm, graph::Vertex v) {
+  return static_cast<std::uint32_t>(v / (prm.p * prm.p));
+}
+
+}  // namespace fattree
+
+}  // namespace polarstar::topo

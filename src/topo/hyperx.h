@@ -1,0 +1,41 @@
+// HyperX (Ahn et al. 2009): n-dimensional array with every dimension fully
+// connected. A router has coordinates (c_0 .. c_{n-1}), c_i in [0, S_i), and
+// links to every router differing in exactly one coordinate. Network radix
+// is sum(S_i - 1); diameter is the number of dimensions.
+//
+// The paper evaluates the 3-D 9x9x8 instance; the design-space plots use the
+// best diameter-3 (3-dimensional) HyperX per radix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace hyperx {
+
+struct Params {
+  std::vector<std::uint32_t> dims;  // S_0 .. S_{n-1}
+  std::uint32_t p = 0;              // endpoints per router
+};
+
+inline std::uint64_t order(const Params& prm) {
+  std::uint64_t n = 1;
+  for (auto s : prm.dims) n *= s;
+  return n;
+}
+
+/// Largest 3-D HyperX order for a given network radix (search over splits
+/// S_0 + S_1 + S_2 = radix + 3).
+std::uint64_t max_order_3d_for_radix(std::uint32_t radix);
+
+Topology build(const Params& prm);
+
+/// Coordinates of a router id (mixed-radix decode, dim 0 fastest).
+std::vector<std::uint32_t> coordinates(const Params& prm, graph::Vertex v);
+
+}  // namespace hyperx
+
+}  // namespace polarstar::topo

@@ -1,0 +1,72 @@
+#include "topo/inductive_quad.h"
+
+#include <stdexcept>
+
+namespace polarstar::topo::iq {
+
+using graph::Edge;
+using graph::Vertex;
+
+namespace {
+
+// Canonical IQ_3 octet: vertices 0..7, involution v <-> v^4, pairing side
+// A = {0,1,2,3}. Verified to satisfy Property R* (tests re-check).
+constexpr Edge kIq3Edges[] = {{0, 1}, {0, 2}, {0, 3}, {1, 4}, {1, 6}, {2, 4},
+                              {2, 7}, {3, 4}, {3, 5}, {5, 6}, {5, 7}, {6, 7}};
+
+// Inductive step "quad groups" within the octet: the x-group attaches to
+// side A of the existing graph, the y-group to side f(A) (Fig 6b).
+constexpr Vertex kXGroup[] = {0, 2, 4, 6};
+constexpr Vertex kYGroup[] = {1, 3, 5, 7};
+
+}  // namespace
+
+bool feasible(std::uint32_t d_prime) {
+  return d_prime % 4 == 0 || d_prime % 4 == 3;
+}
+
+Supernode build(std::uint32_t d_prime) {
+  if (!feasible(d_prime)) {
+    throw std::invalid_argument("IQ_d' exists only for d' = 0 or 3 (mod 4)");
+  }
+  // Start from the base (IQ_0 or IQ_3) and apply the +4 step.
+  std::vector<Edge> edges;
+  std::vector<Vertex> f;
+  std::vector<Vertex> side_a;  // one vertex per f-pair
+  std::uint32_t d = d_prime % 4;
+
+  if (d == 0) {
+    f = {1, 0};
+    side_a = {0};
+  } else {  // d == 3
+    edges.assign(std::begin(kIq3Edges), std::end(kIq3Edges));
+    f = {4, 5, 6, 7, 0, 1, 2, 3};
+    side_a = {0, 1, 2, 3};
+  }
+
+  while (d < d_prime) {
+    const Vertex base = static_cast<Vertex>(f.size());
+    // Octet-internal edges.
+    for (auto [u, v] : kIq3Edges) edges.emplace_back(base + u, base + v);
+    // x-group joins all of A, y-group joins all of f(A).
+    for (Vertex x : kXGroup) {
+      for (Vertex a : side_a) edges.emplace_back(base + x, a);
+    }
+    for (Vertex y : kYGroup) {
+      for (Vertex a : side_a) edges.emplace_back(base + y, f[a]);
+    }
+    // Extend the involution and the A side.
+    for (Vertex i = 0; i < 8; ++i) f.push_back(base + (i ^ 4));
+    for (Vertex i = 0; i < 4; ++i) side_a.push_back(base + i);
+    d += 4;
+  }
+
+  Supernode sn;
+  sn.g = graph::Graph::from_edges(static_cast<Vertex>(f.size()), edges);
+  sn.f = std::move(f);
+  sn.f_is_involution = true;
+  sn.name = "IQ" + std::to_string(d_prime);
+  return sn;
+}
+
+}  // namespace polarstar::topo::iq

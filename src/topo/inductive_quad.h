@@ -1,0 +1,35 @@
+// Inductive-Quad supernode graphs IQ_d' (Section 6.2.1 of the paper).
+//
+// IQ_d' is a d'-regular graph on 2d'+2 vertices satisfying Property R* --
+// the maximum order any R* graph can have (Proposition 2) -- and exists for
+// d' == 0 or 3 (mod 4).
+//
+// Construction: base graphs IQ_0 (two isolated paired vertices) and IQ_3
+// (an 8-vertex 3-regular graph found by exhaustive search; the paper gives
+// the existence argument but no edge list, see DESIGN.md). The inductive
+// step glues an IQ_3 octet onto IQ_d': half the octet joins side A of the
+// pairing, the other half joins f(A), giving IQ_{d'+4}.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/supernode.h"
+
+namespace polarstar::topo {
+
+namespace iq {
+
+/// True iff IQ_d' exists: d' congruent to 0 or 3 mod 4.
+bool feasible(std::uint32_t d_prime);
+
+/// Order of IQ_d': 2d' + 2.
+inline std::uint64_t order(std::uint32_t d_prime) {
+  return 2ull * d_prime + 2;
+}
+
+/// Builds IQ_d' with its embedded involution. Throws if infeasible.
+Supernode build(std::uint32_t d_prime);
+
+}  // namespace iq
+
+}  // namespace polarstar::topo

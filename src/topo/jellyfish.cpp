@@ -1,0 +1,82 @@
+#include "topo/jellyfish.h"
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.h"
+
+namespace polarstar::topo::jellyfish {
+
+using graph::Edge;
+using graph::Vertex;
+
+Topology build(const Params& prm) {
+  const std::uint32_t n = prm.n, r = prm.r;
+  if (r >= n || (static_cast<std::uint64_t>(n) * r) % 2 != 0) {
+    throw std::invalid_argument("jellyfish: need r < n and n*r even");
+  }
+  std::mt19937_64 rng(prm.seed);
+
+  // Configuration model: shuffle stubs, pair them up, then repair.
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * r);
+  for (Vertex v = 0; v < n; ++v) {
+    for (std::uint32_t k = 0; k < r; ++k) stubs.push_back(v);
+  }
+
+  std::set<Edge> edges;
+  auto canon = [](Vertex a, Vertex b) {
+    return Edge{std::min(a, b), std::max(a, b)};
+  };
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    edges.clear();
+    std::vector<Edge> bad;  // self-loops / duplicates to repair by swaps
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      Vertex a = stubs[i], b = stubs[i + 1];
+      if (a == b || edges.count(canon(a, b))) {
+        bad.push_back({a, b});
+      } else {
+        edges.insert(canon(a, b));
+      }
+    }
+    // Repair each bad pair with a double edge swap against a random edge.
+    bool ok = true;
+    for (auto [a, b] : bad) {
+      bool fixed = false;
+      for (int tries = 0; tries < 2000 && !fixed; ++tries) {
+        auto it = edges.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(rng() % edges.size()));
+        auto [c, d] = *it;
+        // Rewire (a,b),(c,d) -> (a,c),(b,d).
+        if (a == c || b == d || a == d || b == c) continue;
+        if (edges.count(canon(a, c)) || edges.count(canon(b, d))) continue;
+        edges.erase(it);
+        edges.insert(canon(a, c));
+        edges.insert(canon(b, d));
+        fixed = true;
+      }
+      if (!fixed) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    std::vector<Edge> elist(edges.begin(), edges.end());
+    auto g = graph::Graph::from_edges(n, elist);
+    if (!graph::is_connected(g)) continue;
+
+    Topology topo;
+    topo.name = "Jellyfish(n=" + std::to_string(n) + ",r=" + std::to_string(r) + ")";
+    topo.g = std::move(g);
+    topo.conc.assign(n, prm.p);
+    topo.finalize();
+    return topo;
+  }
+  throw std::runtime_error("jellyfish: failed to build a connected regular graph");
+}
+
+}  // namespace polarstar::topo::jellyfish

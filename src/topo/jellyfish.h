@@ -1,0 +1,30 @@
+// Jellyfish (Singla et al. 2012): a uniformly random r-regular graph used as
+// the bisection-bandwidth yardstick in Fig 12.
+//
+// Built with the configuration model plus double-edge-swap repair of
+// parallel edges / self-loops, then connectivity repair by swapping across
+// components. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace jellyfish {
+
+struct Params {
+  std::uint32_t n = 0;       // routers
+  std::uint32_t r = 0;       // network radix (degree)
+  std::uint32_t p = 0;       // endpoints per router
+  std::uint64_t seed = 1;
+};
+
+/// Builds a connected random r-regular graph on n vertices (n*r must be
+/// even, r < n). Throws on infeasible parameters.
+Topology build(const Params& prm);
+
+}  // namespace jellyfish
+
+}  // namespace polarstar::topo

@@ -1,0 +1,55 @@
+#include "topo/kautz.h"
+
+#include <functional>
+#include <vector>
+
+namespace polarstar::topo::kautz {
+
+using graph::Vertex;
+
+namespace {
+
+// Encode a Kautz string (s_0 .. s_{n-1}), s_i in [0, d], s_i != s_{i+1},
+// as a dense integer: s_0 in [0, d], each later symbol mapped to [0, d)
+// by skipping its predecessor.
+std::uint64_t encode(const std::vector<std::uint32_t>& s, std::uint32_t d) {
+  std::uint64_t code = s[0];
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const std::uint32_t digit = s[i] < s[i - 1] ? s[i] : s[i] - 1;
+    code = code * d + digit;
+  }
+  return code;
+}
+
+}  // namespace
+
+graph::Graph build_undirected(std::uint32_t d, std::uint32_t n) {
+  std::vector<graph::Edge> edges;
+  std::vector<std::uint32_t> str(n);
+  std::function<void(std::uint32_t)> enumerate = [&](std::uint32_t depth) {
+    if (depth == n) {
+      // Out-edges: shift left, append any symbol t != str[n-1].
+      const std::uint64_t u = encode(str, d);
+      std::vector<std::uint32_t> nxt(str.begin() + 1, str.end());
+      nxt.push_back(0);
+      for (std::uint32_t t = 0; t <= d; ++t) {
+        if (t == str[n - 1]) continue;
+        nxt[n - 1] = t;
+        const std::uint64_t v = encode(nxt, d);
+        if (u != v) {
+          edges.emplace_back(static_cast<Vertex>(u), static_cast<Vertex>(v));
+        }
+      }
+      return;
+    }
+    for (std::uint32_t sym = 0; sym <= d; ++sym) {
+      if (depth > 0 && sym == str[depth - 1]) continue;
+      str[depth] = sym;
+      enumerate(depth + 1);
+    }
+  };
+  enumerate(0);
+  return graph::Graph::from_edges(static_cast<Vertex>(order(d, n)), edges);
+}
+
+}  // namespace polarstar::topo::kautz

@@ -1,0 +1,39 @@
+// Kautz graphs K(d, n): vertices are length-n strings over an alphabet of
+// d+1 symbols with no two consecutive symbols equal; u -> v iff v is u
+// shifted left by one with any new last symbol. Directed out-degree d,
+// diameter n, order (d+1) d^{n-1} = d^n + d^{n-1}.
+//
+// Figure 1 treats each link as bidirectional, doubling the radix to 2d.
+// We expose both the order formula and the undirected graph (directed edges
+// collapsed into undirected ones).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+namespace kautz {
+
+/// Order of K(d, n): d^n + d^{n-1}.
+inline std::uint64_t order(std::uint32_t d, std::uint32_t n) {
+  std::uint64_t dn1 = 1;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) dn1 *= d;
+  return dn1 * d + dn1;
+}
+
+/// Largest bidirectional-Kautz order for a given *undirected* radix k
+/// (= 2d) and diameter n. Returns 0 when k is odd.
+inline std::uint64_t max_order_bidirectional(std::uint32_t radix,
+                                             std::uint32_t n) {
+  if (radix % 2 != 0) return 0;
+  return order(radix / 2, n);
+}
+
+/// Builds the undirected interpretation of K(d, n).
+graph::Graph build_undirected(std::uint32_t d, std::uint32_t n);
+
+}  // namespace kautz
+
+}  // namespace polarstar::topo

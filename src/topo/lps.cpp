@@ -1,0 +1,144 @@
+#include "topo/lps.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "gf/gf.h"
+
+namespace polarstar::topo::lps {
+
+using gf::Field;
+using graph::Vertex;
+
+bool is_psl_case(std::uint32_t p, std::uint32_t q) {
+  Field F(q);
+  return F.is_square(p % q);
+}
+
+bool feasible(std::uint32_t p, std::uint32_t q) {
+  return p != q && p % 2 == 1 && gf::is_prime(p) && gf::is_prime(q) &&
+         q % 4 == 1 && q > 2;
+}
+
+std::uint64_t order(std::uint32_t p, std::uint32_t q) {
+  const std::uint64_t pgl = static_cast<std::uint64_t>(q) * (q - 1) * (q + 1);
+  return is_psl_case(p, q) ? pgl / 2 : pgl;
+}
+
+namespace {
+
+using Mat = std::array<Field::Elem, 4>;  // row-major 2x2
+
+Mat mat_mul(const Field& F, const Mat& a, const Mat& b) {
+  return {F.add(F.mul(a[0], b[0]), F.mul(a[1], b[2])),
+          F.add(F.mul(a[0], b[1]), F.mul(a[1], b[3])),
+          F.add(F.mul(a[2], b[0]), F.mul(a[3], b[2])),
+          F.add(F.mul(a[2], b[1]), F.mul(a[3], b[3]))};
+}
+
+// Canonical projective representative: scale so the first nonzero entry
+// (row-major) is 1.
+Mat normalize(const Field& F, Mat m) {
+  for (auto e : m) {
+    if (e != 0) {
+      const Field::Elem s = F.inv(e);
+      for (auto& x : m) x = F.mul(x, s);
+      return m;
+    }
+  }
+  throw std::logic_error("LPS: zero matrix");
+}
+
+std::uint64_t key_of(std::uint32_t q, const Mat& m) {
+  return ((static_cast<std::uint64_t>(m[0]) * q + m[1]) * q + m[2]) * q + m[3];
+}
+
+// Canonical integer solutions of a0^2+a1^2+a2^2+a3^2 = p (see lps.h docs).
+std::vector<std::array<int, 4>> canonical_solutions(std::uint32_t p) {
+  std::vector<std::array<int, 4>> sols;
+  const int r = static_cast<int>(std::sqrt(static_cast<double>(p))) + 1;
+  for (int a0 = -r; a0 <= r; ++a0) {
+    for (int a1 = -r; a1 <= r; ++a1) {
+      for (int a2 = -r; a2 <= r; ++a2) {
+        for (int a3 = -r; a3 <= r; ++a3) {
+          if (a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3 !=
+              static_cast<int>(p)) {
+            continue;
+          }
+          const bool a0_odd = (a0 & 1) != 0;
+          if (p % 4 == 1) {
+            // Exactly one odd coordinate; canonical: it is a0 and a0 > 0.
+            if (!a0_odd || a0 <= 0) continue;
+          } else {
+            // p = 3 mod 4: exactly one even coordinate; canonical: it is a0,
+            // a0 >= 0, and when a0 == 0 fix the overall sign by a1 > 0.
+            if (a0_odd) continue;
+            if (a0 < 0 || (a0 == 0 && a1 < 0)) continue;
+          }
+          sols.push_back({a0, a1, a2, a3});
+        }
+      }
+    }
+  }
+  return sols;
+}
+
+}  // namespace
+
+Topology build(const Params& prm) {
+  const std::uint32_t p = prm.p, q = prm.q;
+  if (!feasible(p, q)) {
+    throw std::invalid_argument("LPS X^{p,q}: need distinct odd primes, q = 1 mod 4");
+  }
+  Field F(q);
+  // i = sqrt(-1) mod q (exists since q = 1 mod 4).
+  const Field::Elem i_unit = *F.sqrt(F.neg(1));
+
+  auto to_elem = [&](int v) -> Field::Elem {
+    int m = v % static_cast<int>(q);
+    if (m < 0) m += static_cast<int>(q);
+    return static_cast<Field::Elem>(m);
+  };
+
+  std::vector<Mat> gens;
+  for (const auto& a : canonical_solutions(p)) {
+    Mat m = {F.add(to_elem(a[0]), F.mul(i_unit, to_elem(a[1]))),
+             F.add(to_elem(a[2]), F.mul(i_unit, to_elem(a[3]))),
+             F.add(F.neg(to_elem(a[2])), F.mul(i_unit, to_elem(a[3]))),
+             F.sub(to_elem(a[0]), F.mul(i_unit, to_elem(a[1])))};
+    gens.push_back(normalize(F, m));
+  }
+
+  // Cayley enumeration by BFS from the identity.
+  std::unordered_map<std::uint64_t, Vertex> id_of;
+  std::vector<Mat> mats;
+  const Mat identity = {1, 0, 0, 1};
+  id_of[key_of(q, identity)] = 0;
+  mats.push_back(identity);
+  std::vector<graph::Edge> edges;
+  for (std::size_t head = 0; head < mats.size(); ++head) {
+    const Mat cur = mats[head];
+    for (const Mat& s : gens) {
+      const Mat nx = normalize(F, mat_mul(F, cur, s));
+      const std::uint64_t k = key_of(q, nx);
+      auto [it, inserted] =
+          id_of.emplace(k, static_cast<Vertex>(mats.size()));
+      if (inserted) mats.push_back(nx);
+      const Vertex u = static_cast<Vertex>(head), v = it->second;
+      if (u < v) edges.emplace_back(u, v);
+      // Edges with u > v appear again from the other side (generator set is
+      // closed under inverse); u == v would be a self-loop and is dropped.
+    }
+  }
+
+  Topology topo;
+  topo.name = "Spectralfly(p=" + std::to_string(p) + ",q=" + std::to_string(q) + ")";
+  topo.g = graph::Graph::from_edges(static_cast<Vertex>(mats.size()), edges);
+  topo.conc.assign(mats.size(), prm.endpoints);
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace polarstar::topo::lps

@@ -1,0 +1,46 @@
+// Lubotzky-Phillips-Sarnak (LPS) Ramanujan graphs X^{p,q} -- the Spectralfly
+// topology (Young et al. 2022).
+//
+// For distinct odd primes p, q with q = 1 (mod 4), q > 2*sqrt(p): the graph
+// is the Cayley graph of PSL(2,q) (when p is a quadratic residue mod q) or
+// PGL(2,q) (otherwise) with the p+1 generators derived from the integer
+// solutions of a0^2 + a1^2 + a2^2 + a3^2 = p. Each solution maps to the
+// projective matrix
+//     [ a0 + i*a1   a2 + i*a3 ]
+//     [-a2 + i*a3   a0 - i*a1 ]   with i^2 = -1 (mod q).
+// Degree p+1; order q(q^2-1)/2 or q(q^2-1). The paper's Table 3 instance
+// (rho=23, q=13) is PSL(2,13): 1092 routers of network radix 24.
+//
+// We enumerate the group by BFS over normalized projective matrices, so the
+// construction is self-validating: order, regularity and connectivity are
+// asserted in the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace lps {
+
+struct Params {
+  std::uint32_t p = 0;  // degree - 1 (odd prime)
+  std::uint32_t q = 0;  // field prime, q = 1 mod 4, q != p
+  std::uint32_t endpoints = 0;  // endpoints per router when used as a network
+};
+
+/// True iff X^{p,q} is constructible here.
+bool feasible(std::uint32_t p, std::uint32_t q);
+
+/// True iff p is a quadratic residue mod q (the PSL case, bipartite = no).
+bool is_psl_case(std::uint32_t p, std::uint32_t q);
+
+/// q(q^2-1)/2 for the PSL case, q(q^2-1) for PGL.
+std::uint64_t order(std::uint32_t p, std::uint32_t q);
+
+Topology build(const Params& prm);
+
+}  // namespace lps
+
+}  // namespace polarstar::topo

@@ -1,0 +1,59 @@
+#include "topo/megafly.h"
+
+namespace polarstar::topo::megafly {
+
+using graph::Vertex;
+
+std::uint64_t max_order_for_radix(std::uint32_t radix) {
+  // Spine radix = s + rho; maximize 2s(s*rho + 1) over the split.
+  std::uint64_t best = 0;
+  for (std::uint32_t s = 1; s < radix; ++s) {
+    const std::uint32_t rho = radix - s;
+    best = std::max(best, order({s, rho, 0}));
+  }
+  return best;
+}
+
+Topology build(const Params& prm) {
+  const std::uint32_t s = prm.s, rho = prm.rho;
+  const std::uint32_t g = num_groups(prm);
+  const Vertex n = static_cast<Vertex>(order(prm));
+  graph::GraphBuilder builder(n);
+  auto leaf = [&](std::uint32_t grp, std::uint32_t i) {
+    return static_cast<Vertex>(grp * 2 * s + i);
+  };
+  auto spine = [&](std::uint32_t grp, std::uint32_t i) {
+    return static_cast<Vertex>(grp * 2 * s + s + i);
+  };
+  // Intra-group complete bipartite leaf x spine.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t i = 0; i < s; ++i) {
+      for (std::uint32_t j = 0; j < s; ++j) {
+        builder.add_edge(leaf(grp, i), spine(grp, j));
+      }
+    }
+  }
+  // Global links between spines, palmtree arrangement.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t t = 0; t < s * rho; ++t) {
+      const std::uint32_t dst_grp = (grp + t + 1) % g;
+      if (dst_grp < grp) continue;
+      const std::uint32_t back = s * rho - t - 1;
+      builder.add_edge(spine(grp, t / rho), spine(dst_grp, back / rho));
+    }
+  }
+  Topology topo;
+  topo.name = "Megafly(s=" + std::to_string(s) + ",rho=" + std::to_string(rho) +
+              ",p=" + std::to_string(prm.p) + ")";
+  topo.g = builder.build();
+  topo.conc.assign(n, 0);
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t i = 0; i < s; ++i) topo.conc[leaf(grp, i)] = prm.p;
+  }
+  topo.group_of.resize(n);
+  for (Vertex v = 0; v < n; ++v) topo.group_of[v] = v / (2 * s);
+  topo.finalize();
+  return topo;
+}
+
+}  // namespace polarstar::topo::megafly

@@ -1,0 +1,48 @@
+// Megafly / Dragonfly+ (Flajslik et al. 2018, Shpiner et al. 2017).
+//
+// Indirect hierarchical topology: each group is a complete bipartite graph
+// K_{s,s} between s leaf routers (carrying p endpoints each) and s spine
+// routers (carrying rho global links each). The maximal configuration has
+// g = s*rho + 1 groups with exactly one global link between each group pair
+// (same palmtree arrangement as Dragonfly, played over spine routers).
+//
+// The paper's Table 3 instance: rho=8, a=16 (i.e. s=8), p=8 ->
+// 65 groups, 1040 routers, 4160 endpoints.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace megafly {
+
+struct Params {
+  std::uint32_t s = 0;    // leaf (= spine) routers per group
+  std::uint32_t rho = 0;  // global links per spine router
+  std::uint32_t p = 0;    // endpoints per leaf router
+};
+
+inline std::uint32_t num_groups(const Params& prm) {
+  return prm.s * prm.rho + 1;
+}
+inline std::uint64_t order(const Params& prm) {
+  return 2ull * prm.s * num_groups(prm);
+}
+inline std::uint64_t num_endpoints(const Params& prm) {
+  return static_cast<std::uint64_t>(prm.s) * prm.p * num_groups(prm);
+}
+
+/// Largest Megafly *endpoint-carrying* order for a given router radix
+/// (the scalability metric used for indirect networks in Fig 12's
+/// normalisation): radix = s + rho on spines, s = p + s on leaves.
+std::uint64_t max_order_for_radix(std::uint32_t radix);
+
+/// Router ids group-major: group grp occupies [grp*2s, (grp+1)*2s);
+/// leaves first, then spines.
+Topology build(const Params& prm);
+
+}  // namespace megafly
+
+}  // namespace polarstar::topo

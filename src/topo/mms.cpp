@@ -1,0 +1,74 @@
+#include "topo/mms.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gf/gf.h"
+
+namespace polarstar::topo::mms {
+
+using gf::Field;
+using graph::Vertex;
+
+bool feasible(std::uint32_t q) {
+  return gf::is_prime_power(q) && (q % 4 == 1 || q % 4 == 3);
+}
+
+std::uint32_t degree(std::uint32_t q) {
+  const int delta = q % 4 == 1 ? 1 : -1;
+  return static_cast<std::uint32_t>((3 * static_cast<int>(q) - delta) / 2);
+}
+
+graph::Graph build(std::uint32_t q) {
+  if (!feasible(q)) {
+    throw std::invalid_argument(
+        "MMS(q) requires a prime power q = 1 or 3 (mod 4)");
+  }
+  Field F(q);
+  const Field::Elem xi = F.primitive_element();
+
+  // Generator sets per Hafner's realisation.
+  std::vector<bool> in_x(q, false), in_xp(q, false);
+  if (q % 4 == 1) {
+    for (Field::Elem a = 1; a < q; ++a) {
+      (F.is_square(a) ? in_x : in_xp)[a] = true;
+    }
+  } else {
+    const std::uint32_t w = (q + 1) / 4;
+    std::vector<Field::Elem> x_set;
+    for (std::uint32_t j = 0; j < w; ++j) x_set.push_back(F.pow(xi, 2 * j + 1));
+    for (std::uint32_t j = w; j < 2 * w; ++j) x_set.push_back(F.pow(xi, 2 * j));
+    for (Field::Elem e : x_set) {
+      in_x[e] = true;
+      in_xp[F.mul(xi, e)] = true;
+    }
+  }
+
+  const Vertex n = static_cast<Vertex>(order(q));
+  graph::GraphBuilder builder(n);
+  // Intra-half edges.
+  for (std::uint32_t x = 0; x < q; ++x) {
+    for (std::uint32_t y = 0; y < q; ++y) {
+      for (std::uint32_t y2 = y + 1; y2 < q; ++y2) {
+        if (in_x[F.sub(y2, y)]) {
+          builder.add_edge(row_vertex(q, x, y), row_vertex(q, x, y2));
+        }
+        if (in_xp[F.sub(y2, y)]) {
+          builder.add_edge(col_vertex(q, x, y), col_vertex(q, x, y2));
+        }
+      }
+    }
+  }
+  // Cross edges: (0, x, y) ~ (1, m, c) iff y = m*x + c.
+  for (std::uint32_t x = 0; x < q; ++x) {
+    for (std::uint32_t m = 0; m < q; ++m) {
+      for (std::uint32_t c = 0; c < q; ++c) {
+        const Field::Elem y = F.add(F.mul(m, x), c);
+        builder.add_edge(row_vertex(q, x, y), col_vertex(q, m, c));
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace polarstar::topo::mms

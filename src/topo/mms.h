@@ -1,0 +1,56 @@
+// McKay-Miller-Siran (MMS) graphs -- the Slim Fly topology family and the
+// structure graph of Bundlefly.
+//
+// For a prime power q = 4w + delta, delta in {-1, +1}, MMS(q) has 2q^2
+// vertices in two halves:
+//   (0, x, y): "rows",    adjacent iff x equal and y - y' in X
+//   (1, m, c): "columns", adjacent iff m equal and c - c' in X'
+//   cross:     (0, x, y) ~ (1, m, c) iff y = m*x + c
+// with generator sets X, X' built from a primitive element xi (Hafner's
+// realisation):
+//   delta = +1: X = nonzero squares, X' = non-squares
+//   delta = -1: X = {xi^(2j+1) : 0 <= j < w} + {xi^(2j) : w <= j < 2w},
+//               X' = xi * X
+// Degree is (3q - delta)/2; diameter is 2. The construction is verified by
+// the test suite (diameter, regularity, order).
+//
+// delta = 0 (q = 4w) exists in the literature but is not needed by any
+// experiment in the paper; order formulas still cover it for design-space
+// plots.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+namespace mms {
+
+/// True iff our constructive MMS(q) exists: q a prime power, q % 4 in {1,3}.
+bool feasible(std::uint32_t q);
+
+inline std::uint64_t order(std::uint32_t q) {
+  return 2ull * q * q;
+}
+
+/// Degree (3q - delta)/2 where delta = +1 if q = 1 mod 4 else -1.
+std::uint32_t degree(std::uint32_t q);
+
+/// Builds MMS(q). Throws if infeasible.
+graph::Graph build(std::uint32_t q);
+
+/// Vertex numbering helpers: half 0 is (0,x,y) at index x*q + y,
+/// half 1 is (1,m,c) at index q^2 + m*q + c.
+inline graph::Vertex row_vertex(std::uint32_t q, std::uint32_t x,
+                                std::uint32_t y) {
+  return x * q + y;
+}
+inline graph::Vertex col_vertex(std::uint32_t q, std::uint32_t m,
+                                std::uint32_t c) {
+  return q * q + m * q + c;
+}
+
+}  // namespace mms
+
+}  // namespace polarstar::topo

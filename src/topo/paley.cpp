@@ -1,0 +1,42 @@
+#include "topo/paley.h"
+
+#include <stdexcept>
+
+#include "gf/gf.h"
+
+namespace polarstar::topo::paley {
+
+using gf::Field;
+using graph::Vertex;
+
+bool feasible(std::uint32_t q) {
+  return q % 4 == 1 && gf::is_prime_power(q);
+}
+
+std::uint32_t q_for_degree(std::uint32_t d_prime) {
+  std::uint32_t q = 2 * d_prime + 1;
+  return feasible(q) ? q : 0;
+}
+
+Supernode build(std::uint32_t q) {
+  if (!feasible(q)) {
+    throw std::invalid_argument("Paley(q) requires a prime power q = 1 mod 4");
+  }
+  Field F(q);
+  graph::GraphBuilder builder(q);
+  for (Vertex x = 0; x < q; ++x) {
+    for (Vertex y = x + 1; y < q; ++y) {
+      if (F.is_square(F.sub(y, x))) builder.add_edge(x, y);
+    }
+  }
+  Supernode sn;
+  sn.g = builder.build();
+  sn.f.resize(q);
+  const Field::Elem mu = F.non_square();
+  for (Vertex x = 0; x < q; ++x) sn.f[x] = F.mul(mu, x);
+  sn.f_is_involution = false;
+  sn.name = "Paley" + std::to_string(q);
+  return sn;
+}
+
+}  // namespace polarstar::topo::paley

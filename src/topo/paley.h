@@ -1,0 +1,36 @@
+// Paley graph supernodes (Section 6.2, Table 2).
+//
+// Paley(q) for a prime power q = 1 (mod 4): vertices are GF(q), x ~ y iff
+// x - y is a nonzero square. Degree d' = (q-1)/2, order q = 2d'+1.
+//
+// Paley graphs satisfy Property R1 with f(x) = mu * x for a fixed non-square
+// mu: f maps the edge set onto the non-square pairs (the complement), so
+// E union f(E) is complete, and f^2 (multiplication by the square mu^2) is
+// an automorphism.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/supernode.h"
+
+namespace polarstar::topo {
+
+namespace paley {
+
+/// True iff Paley(q) exists: q a prime power congruent to 1 mod 4.
+bool feasible(std::uint32_t q);
+
+/// Order is q itself; degree is (q-1)/2.
+inline std::uint64_t order(std::uint32_t q) { return q; }
+inline std::uint32_t degree(std::uint32_t q) { return (q - 1) / 2; }
+
+/// Largest feasible q for a given degree d' (order 2d'+1), if any.
+/// Returns 0 when 2d'+1 is not a valid Paley order.
+std::uint32_t q_for_degree(std::uint32_t d_prime);
+
+/// Builds Paley(q) with the R1 bijection f(x) = mu*x. Throws if infeasible.
+Supernode build(std::uint32_t q);
+
+}  // namespace paley
+
+}  // namespace polarstar::topo

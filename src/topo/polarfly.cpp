@@ -1,0 +1,68 @@
+#include "topo/polarfly.h"
+
+namespace polarstar::topo {
+
+using gf::Field;
+using graph::Vertex;
+
+namespace polarfly {
+
+Topology build(const Params& prm) {
+  auto er = ErGraph::build(prm.q);
+  Topology t;
+  t.name = "PolarFly(q=" + std::to_string(prm.q) +
+           ",p=" + std::to_string(prm.p) + ")";
+  t.group_of = er.cluster_layout();
+  t.g = std::move(er.g);
+  t.conc.assign(t.g.num_vertices(), prm.p);
+  t.finalize();
+  return t;
+}
+
+}  // namespace polarfly
+
+PolarFlyRouting::PolarFlyRouting(std::uint32_t q)
+    : er_(std::make_shared<ErGraph>(ErGraph::build(q))) {}
+
+namespace {
+
+std::array<Field::Elem, 3> cross(const Field& F,
+                                 const std::array<Field::Elem, 3>& u,
+                                 const std::array<Field::Elem, 3>& v) {
+  return {F.sub(F.mul(u[1], v[2]), F.mul(u[2], v[1])),
+          F.sub(F.mul(u[2], v[0]), F.mul(u[0], v[2])),
+          F.sub(F.mul(u[0], v[1]), F.mul(u[1], v[0]))};
+}
+
+}  // namespace
+
+std::uint32_t PolarFlyRouting::distance(Vertex src, Vertex dst) const {
+  if (src == dst) return 0;
+  const auto& F = er_->field();
+  if (F.dot3(er_->points[src].data(), er_->points[dst].data()) == 0) return 1;
+  return 2;
+}
+
+void PolarFlyRouting::next_hops(Vertex cur, Vertex dst,
+                                std::vector<Vertex>& out) const {
+  const std::uint32_t d = distance(cur, dst);
+  if (d == 0) return;
+  if (d == 1) {
+    out.push_back(dst);
+    return;
+  }
+  // The unique common neighbor of two distinct points of PG(2, q) is their
+  // cross product (intersection of the two polar lines).
+  const auto& F = er_->field();
+  const auto w = cross(F, er_->points[cur], er_->points[dst]);
+  const Vertex mid = er_->vertex_of(w);
+  // mid == cur or mid == dst would imply adjacency, handled above.
+  out.push_back(mid);
+}
+
+std::size_t PolarFlyRouting::storage_entries() const {
+  // Field exp/log tables plus the local point coordinates.
+  return 3ull * er_->field().q() + 3;
+}
+
+}  // namespace polarstar::topo

@@ -1,0 +1,54 @@
+// PolarFly (Lakhotia et al. 2022): the ER_q polarity graph used directly as
+// a diameter-2 network -- the predecessor PolarStar extends, and the source
+// of its structure graph. Included as a first-class topology with its own
+// table-free routing: for any two points u, v of PG(2,q), the common
+// neighbor is the cross product w = u x v (Section 6.1.2 of the PolarStar
+// paper), so minimal paths are computed algebraically with no routing
+// tables at all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "topo/er.h"
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace polarfly {
+
+struct Params {
+  std::uint32_t q = 0;  // prime power
+  std::uint32_t p = 0;  // endpoints per router
+};
+
+inline std::uint64_t order(std::uint32_t q) { return ErGraph::order(q); }
+
+/// Builds the PolarFly topology; group_of is the ER cluster layout.
+Topology build(const Params& prm);
+
+}  // namespace polarfly
+
+/// Algebraic minimal routing on ER_q / PolarFly: distance and next hops
+/// from projective geometry (cross products), no per-destination state.
+class PolarFlyRouting {
+ public:
+  explicit PolarFlyRouting(std::uint32_t q);
+
+  /// 0, 1, or 2.
+  std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const;
+
+  /// All minimal next hops from cur toward dst.
+  void next_hops(graph::Vertex cur, graph::Vertex dst,
+                 std::vector<graph::Vertex>& out) const;
+
+  /// Storage entries: the field tables only (O(q)).
+  std::size_t storage_entries() const;
+
+  const ErGraph& er() const { return *er_; }
+
+ private:
+  std::shared_ptr<ErGraph> er_;
+};
+
+}  // namespace polarstar::topo

@@ -1,0 +1,110 @@
+#include "topo/properties.h"
+
+namespace polarstar::topo {
+
+using graph::Graph;
+using graph::Vertex;
+
+bool has_property_r(const Graph& g, const std::vector<bool>& loops,
+                    std::uint32_t diam) {
+  if (diam != 2) return false;  // only the diameter-2 case is supported
+  const Vertex n = g.num_vertices();
+  auto adj_or_loop = [&](Vertex a, Vertex b) {
+    if (a == b) return !loops.empty() && loops[a];
+    return g.has_edge(a, b);
+  };
+  for (Vertex x = 0; x < n; ++x) {
+    for (Vertex y = 0; y < n; ++y) {
+      // Need a walk x - w - y of length exactly 2, loops allowed.
+      bool found = false;
+      for (Vertex w : g.neighbors(x)) {
+        if (adj_or_loop(w, y)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found && !loops.empty() && loops[x] && adj_or_loop(x, y)) {
+        found = true;  // loop at x, then hop x - y (or a second loop use)
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+bool is_fixed_point_free_involution(std::span<const Vertex> f) {
+  for (Vertex v = 0; v < f.size(); ++v) {
+    if (f[v] == v || f[v] >= f.size() || f[f[v]] != v) return false;
+  }
+  return true;
+}
+
+bool has_property_r_star(const Graph& g, std::span<const Vertex> f) {
+  const Vertex n = g.num_vertices();
+  if (f.size() != n) return false;
+  for (Vertex v = 0; v < n; ++v) {
+    if (f[v] >= n || f[f[v]] != v) return false;  // must be an involution
+  }
+  for (Vertex x = 0; x < n; ++x) {
+    for (Vertex y = 0; y < n; ++y) {
+      if (x == y || y == f[x]) continue;
+      if (g.has_edge(x, y)) continue;
+      if (g.has_edge(f[x], f[y])) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_automorphism(const Graph& g, std::span<const Vertex> perm) {
+  const Vertex n = g.num_vertices();
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (perm[v] >= n || seen[perm[v]]) return false;
+    seen[perm[v]] = true;
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (!g.has_edge(perm[u], perm[v])) return false;
+    }
+  }
+  return true;
+}
+
+bool has_property_r1(const Graph& g, std::span<const Vertex> f) {
+  const Vertex n = g.num_vertices();
+  if (f.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (Vertex v = 0; v < n; ++v) {
+    if (f[v] >= n || seen[f[v]]) return false;  // must be a bijection
+    seen[f[v]] = true;
+  }
+  // f^2 must be an automorphism.
+  std::vector<Vertex> f2(n);
+  for (Vertex v = 0; v < n; ++v) f2[v] = f[f[v]];
+  if (!is_automorphism(g, f2)) return false;
+  // E union f(E) must cover the complete graph.
+  for (Vertex x = 0; x < n; ++x) {
+    for (Vertex y = x + 1; y < n; ++y) {
+      if (g.has_edge(x, y)) continue;
+      // Is {x, y} the f-image of some edge, i.e. {f^{-1}(x), f^{-1}(y)} in E?
+      // Equivalent: exists edge (a, b) with {f(a), f(b)} == {x, y}.
+      bool covered = false;
+      for (Vertex a = 0; a < n && !covered; ++a) {
+        if (f[a] != x && f[a] != y) continue;
+        Vertex other = f[a] == x ? y : x;
+        for (Vertex b : g.neighbors(a)) {
+          if (f[b] == other) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace polarstar::topo

@@ -1,0 +1,45 @@
+// Machine-checkable versions of the factor-graph properties from the paper:
+//
+//  - Property R   (structure graph): every vertex pair is joined by a walk of
+//                 length exactly D (the diameter), where self-loops may be
+//                 used as steps.
+//  - Property R*  (supernode): an involution f such that every pair (x', y')
+//                 satisfies x'=y', y'=f(x'), (x',y') in E', or
+//                 (f(x'), f(y')) in E'.
+//  - Property R1  (supernode): a bijection f with f^2 an automorphism and
+//                 E' union f(E') the complete graph.
+//
+// These checkers are O(n^2 d) or better and are used by the test suite to
+// certify every constructed factor graph, and by the star-product code to
+// validate inputs in debug builds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+/// Property R for a graph of diameter `diam`, with `loops[v]` marking
+/// vertices that carry a self-loop (ER quadric vertices).
+/// Only implemented for diam == 2 (the case PolarStar uses).
+bool has_property_r(const graph::Graph& g, const std::vector<bool>& loops,
+                    std::uint32_t diam);
+
+/// Property R* under the involution f (f[f[x]] must equal x).
+bool has_property_r_star(const graph::Graph& g,
+                         std::span<const graph::Vertex> f);
+
+/// Property R1 under the bijection f.
+bool has_property_r1(const graph::Graph& g, std::span<const graph::Vertex> f);
+
+/// True iff f is an involution without fixed points.
+bool is_fixed_point_free_involution(std::span<const graph::Vertex> f);
+
+/// True iff mapping vertices through perm preserves adjacency exactly.
+bool is_automorphism(const graph::Graph& g,
+                     std::span<const graph::Vertex> perm);
+
+}  // namespace polarstar::topo

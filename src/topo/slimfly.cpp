@@ -1,0 +1,23 @@
+#include "topo/slimfly.h"
+
+namespace polarstar::topo::slimfly {
+
+using graph::Vertex;
+
+Topology build(const Params& prm) {
+  Topology t;
+  t.name = "SlimFly(q=" + std::to_string(prm.q) +
+           ",p=" + std::to_string(prm.p) + ")";
+  t.g = mms::build(prm.q);
+  t.conc.assign(t.g.num_vertices(), prm.p);
+  // Groups: one per (half, first coordinate): the q-router "subgraph
+  // columns" that deploy as racks.
+  t.group_of.resize(t.g.num_vertices());
+  for (Vertex v = 0; v < t.g.num_vertices(); ++v) {
+    t.group_of[v] = v / prm.q;
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace polarstar::topo::slimfly

@@ -1,0 +1,29 @@
+// Slim Fly (Besta & Hoefler 2014): the MMS graph used directly as a
+// diameter-2 network. Provided for completeness alongside PolarFly -- the
+// two diameter-2 designs whose scalability limits motivate PolarStar
+// (Section 1.2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "topo/mms.h"
+#include "topo/topology.h"
+
+namespace polarstar::topo {
+
+namespace slimfly {
+
+struct Params {
+  std::uint32_t q = 0;  // prime power, q = 1 or 3 (mod 4)
+  std::uint32_t p = 0;  // endpoints per router
+};
+
+inline std::uint64_t order(std::uint32_t q) { return mms::order(q); }
+
+/// Builds the Slim Fly topology; group_of marks the two MMS halves
+/// subdivided by the x / m coordinate (the natural rack grouping).
+Topology build(const Params& prm);
+
+}  // namespace slimfly
+
+}  // namespace polarstar::topo

@@ -1,0 +1,34 @@
+// Common representation for star-product supernode factor graphs: a graph
+// G' together with the bijection f used to join neighboring supernode copies
+// (Definition 1 in the paper, specialised to a single f for all arcs).
+//
+// For Property R* supernodes (Inductive-Quad, BDF, complete) f is an
+// involution; for Property R1 supernodes (Paley) f is a general bijection
+// whose square is an automorphism.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+struct Supernode {
+  graph::Graph g;
+  std::vector<graph::Vertex> f;  // the pairing bijection
+  bool f_is_involution = true;
+  std::string name;
+
+  graph::Vertex order() const { return g.num_vertices(); }
+  std::uint32_t degree() const { return g.max_degree(); }
+
+  /// f^{-1}; equals f itself when f is an involution.
+  std::vector<graph::Vertex> f_inverse() const {
+    std::vector<graph::Vertex> inv(f.size());
+    for (graph::Vertex v = 0; v < f.size(); ++v) inv[f[v]] = v;
+    return inv;
+  }
+};
+
+}  // namespace polarstar::topo

@@ -1,0 +1,55 @@
+// Common descriptor consumed by the simulator, the analyses and the benches:
+// a router graph, per-router endpoint counts (concentration; zero for the
+// switch-only routers of indirect topologies), and an optional hierarchical
+// group id used by group-local traffic patterns (bit shuffle locality,
+// adversarial supernode pairing).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::topo {
+
+struct Topology {
+  std::string name;
+  graph::Graph g;                       // router-to-router links
+  std::vector<std::uint32_t> conc;      // endpoints attached to each router
+  std::vector<std::uint32_t> group_of;  // group/supernode id; empty if flat
+
+  /// Endpoint ids are contiguous per router (and therefore per group when
+  /// routers are numbered group-major), matching the paper's setup.
+  std::vector<std::uint64_t> endpoint_offset;  // size n+1 after finalize()
+
+  void finalize() {
+    endpoint_offset.assign(g.num_vertices() + 1, 0);
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+      endpoint_offset[v + 1] = endpoint_offset[v] + conc[v];
+    }
+  }
+
+  std::uint64_t num_endpoints() const { return endpoint_offset.back(); }
+  std::uint32_t num_routers() const { return g.num_vertices(); }
+  std::uint32_t network_radix() const { return g.max_degree(); }
+
+  graph::Vertex router_of_endpoint(std::uint64_t e) const {
+    auto it = std::upper_bound(endpoint_offset.begin(), endpoint_offset.end(), e);
+    return static_cast<graph::Vertex>(it - endpoint_offset.begin() - 1);
+  }
+
+  std::uint64_t first_endpoint(graph::Vertex r) const {
+    return endpoint_offset[r];
+  }
+
+  /// Uniform concentration helper.
+  void set_uniform_concentration(std::uint32_t p) {
+    conc.assign(g.num_vertices(), p);
+    finalize();
+  }
+};
+
+}  // namespace polarstar::topo

@@ -1,0 +1,199 @@
+// Analysis module tests: Moore-efficiency series (Fig 1/4 machinery),
+// topology zoo builders, bisection reports (Fig 12/13), and fault-tolerance
+// scenarios (Fig 14).
+#include <gtest/gtest.h>
+
+#include "analysis/bisection.h"
+#include "analysis/fault_tolerance.h"
+#include "analysis/moore.h"
+#include "analysis/topology_zoo.h"
+#include "graph/algorithms.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+
+namespace analysis = polarstar::analysis;
+namespace g = polarstar::graph;
+
+TEST(MooreSeries, Diameter3FamiliesOrdered) {
+  auto series = analysis::diameter3_scale_series(16, 48);
+  ASSERT_EQ(series.size(), 6u);
+  const auto& ps = series[0];
+  const auto& sm = series[5];
+  EXPECT_EQ(ps.family, "PolarStar");
+  EXPECT_EQ(sm.family, "StarMax");
+  for (std::size_t i = 0; i < ps.points.size(); ++i) {
+    // StarMax bounds PolarStar; efficiencies live in (0, 1).
+    EXPECT_GE(sm.points[i].order, ps.points[i].order);
+    EXPECT_GT(ps.points[i].moore_efficiency, 0.0);
+    EXPECT_LT(ps.points[i].moore_efficiency, 1.0);
+  }
+}
+
+TEST(MooreSeries, HeadlineGeometricMeans) {
+  auto series = analysis::diameter3_scale_series(8, 128);
+  const auto& ps = series[0];
+  EXPECT_NEAR(analysis::geometric_mean_ratio(ps, series[1]), 1.3, 0.25);
+  EXPECT_NEAR(analysis::geometric_mean_ratio(ps, series[2]), 1.9, 0.4);
+  EXPECT_NEAR(analysis::geometric_mean_ratio(ps, series[3]), 6.7, 1.5);
+}
+
+TEST(MooreSeries, KautzAsymptoticEfficiencyBelow13Percent) {
+  auto series = analysis::diameter3_scale_series(60, 64);
+  const auto& kz = series[4];
+  for (const auto& pt : kz.points) {
+    // Asymptotically (d^3+d^2)/(8d^3) -> 12.5%; slightly above at finite
+    // radix, always below the paper's 13%-ish ceiling plus slack.
+    if (pt.order > 0) {
+      EXPECT_LT(pt.moore_efficiency, 0.135);
+    }
+  }
+}
+
+TEST(MooreSeries, Diameter2Families) {
+  auto series = analysis::diameter2_scale_series(6, 40);
+  ASSERT_EQ(series.size(), 3u);
+  // ER asymptotically dominates; check a degree where all three exist:
+  // degree 9: ER_8 (73), MMS... and check ER efficiency approaches 1.
+  const auto& er = series[0];
+  double best_eff = 0;
+  for (const auto& pt : er.points) best_eff = std::max(best_eff, pt.moore_efficiency);
+  EXPECT_GT(best_eff, 0.9);
+}
+
+TEST(MooreSeries, SpectralflySmallPoints) {
+  auto sf = analysis::spectralfly_scale_series(4, 8, 3000);
+  // X^{5,13} (order 2184, degree 6) has diameter <= 3? It is included only
+  // if so; the series must at least contain some point with radix in range
+  // and every listed point must satisfy the constraints we asked for.
+  for (const auto& pt : sf.points) {
+    EXPECT_GE(pt.radix, 4u);
+    EXPECT_LE(pt.radix, 8u);
+    EXPECT_LE(pt.order, 3000u);
+    EXPECT_GT(pt.moore_efficiency, 0.0);
+  }
+}
+
+TEST(Zoo, LargestBuildersRespectRadixAndCap) {
+  using analysis::Family;
+  for (auto fam : {Family::kPolarStarIq, Family::kPolarStarPaley,
+                   Family::kBundlefly, Family::kDragonfly, Family::kHyperX3D,
+                   Family::kMegafly}) {
+    auto t = analysis::build_largest(fam, 15, 2000);
+    ASSERT_TRUE(t.has_value()) << analysis::to_string(fam);
+    EXPECT_LE(t->num_routers(), 2000u) << analysis::to_string(fam);
+    EXPECT_EQ(t->network_radix(), 15u) << analysis::to_string(fam);
+  }
+}
+
+TEST(Zoo, JellyfishMatchesPolarStarScale) {
+  auto ps = analysis::build_largest(analysis::Family::kPolarStarIq, 12, 3000);
+  auto jf = analysis::build_largest(analysis::Family::kJellyfish, 12, 3000);
+  ASSERT_TRUE(ps && jf);
+  EXPECT_NEAR(static_cast<double>(jf->num_routers()),
+              static_cast<double>(ps->num_routers()), 1.5);
+  EXPECT_TRUE(jf->g.is_regular());
+}
+
+TEST(Zoo, Table3RowsMatchPaper) {
+  struct Row {
+    const char* name;
+    std::uint32_t routers, radix;
+  };
+  // PS-Pal: paper prints 993 but the star product gives 949 (see
+  // EXPERIMENTS.md).
+  const Row rows[] = {{"PS-IQ", 1064, 15}, {"PS-Pal", 949, 15},
+                      {"BF", 882, 15},     {"HX", 648, 23},
+                      {"DF", 876, 17},     {"SF", 1092, 24},
+                      {"MF", 1040, 16},    {"FT", 972, 36}};
+  for (const auto& row : rows) {
+    auto t = analysis::build_table3(row.name);
+    EXPECT_EQ(t.num_routers(), row.routers) << row.name;
+    if (std::string(row.name) == "FT") {
+      // Middle routers have the full 2p = 36 inter-router links.
+      EXPECT_EQ(t.network_radix(), 36u);
+    } else {
+      EXPECT_EQ(t.network_radix(), row.radix) << row.name;
+    }
+  }
+  EXPECT_THROW(analysis::build_table3("nope"), std::invalid_argument);
+}
+
+TEST(Bisection, DirectVsIndirectNormalization) {
+  auto df = analysis::build_table3("DF");
+  auto rep = analysis::bisection_report(df);
+  EXPECT_EQ(rep.normalizing_links, df.g.num_edges());
+  EXPECT_GT(rep.fraction, 0.0);
+  EXPECT_LT(rep.fraction, 0.5);
+
+  auto ft = polarstar::topo::fattree::build({6});
+  auto rep_ft = analysis::bisection_report(ft);
+  // Every fat-tree link touching a leaf counts: p^2 * p = 216 of 432 links.
+  EXPECT_EQ(rep_ft.normalizing_links, 216u);
+  EXPECT_GT(rep_ft.fraction, 0.0);
+}
+
+TEST(Bisection, FatTreeFullBisectionShape) {
+  // A folded Clos has full bisection: the fraction normalized to
+  // leaf-incident links should be large (~0.5), higher than Dragonfly's.
+  auto ft = analysis::bisection_report(polarstar::topo::fattree::build({6}));
+  auto df = analysis::bisection_report(
+      polarstar::topo::dragonfly::build({6, 3, 3}));
+  EXPECT_GT(ft.fraction, df.fraction);
+}
+
+TEST(Bisection, LabelCutBoundsPartitionEstimate) {
+  // For d' = 3 (mod 4) IQ supernodes, cutting along an f-closed half of the
+  // labels crosses no inter-supernode link; the partitioner must find a cut
+  // at least that good, and both sit well below a naive random cut (~50%).
+  auto ps = polarstar::core::PolarStar::build(
+      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  const double label_bound = analysis::polarstar_label_cut_bound(ps);
+  ASSERT_GT(label_bound, 0.0);
+  // IQ3's best balanced f-closed split cuts 8 of its 12 edges; no global
+  // links are cut. Verify the closed form.
+  const double expect = 8.0 * ps.num_supernodes() /
+                        static_cast<double>(ps.graph().num_edges());
+  EXPECT_NEAR(label_bound, expect, 1e-12);
+  auto rep = analysis::bisection_report(ps.topology());
+  EXPECT_LE(rep.fraction, label_bound + 1e-9);
+}
+
+TEST(Bisection, LabelCutInapplicableCases) {
+  // Paley's f is not an involution; d' = 4 has an odd pair count.
+  auto pal = polarstar::core::PolarStar::build(
+      {5, 2, polarstar::core::SupernodeKind::kPaley, 0});
+  EXPECT_EQ(analysis::polarstar_label_cut_bound(pal), 0.0);
+  auto iq4 = polarstar::core::PolarStar::build(
+      {4, 4, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  EXPECT_EQ(analysis::polarstar_label_cut_bound(iq4), 0.0);
+}
+
+TEST(FaultTolerance, RatiosAndMedianCurve) {
+  auto ps = analysis::build_largest(analysis::Family::kPolarStarIq, 10, 500);
+  ASSERT_TRUE(ps);
+  auto rep = analysis::fault_tolerance(*ps, {0.0, 0.1, 0.3}, 11, 5);
+  ASSERT_EQ(rep.disconnection_ratios.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(rep.disconnection_ratios.begin(),
+                             rep.disconnection_ratios.end()));
+  // Diameter-3 networks stay connected well past 30% failures typically.
+  EXPECT_GT(rep.disconnection_ratios[5], 0.2);
+  ASSERT_EQ(rep.median_curve.size(), 3u);
+  EXPECT_TRUE(rep.median_curve[0].connected);
+  EXPECT_EQ(rep.median_curve[0].diameter, 3u);
+  // Diameter and APL are non-decreasing in the failure fraction.
+  for (std::size_t i = 1; i < rep.median_curve.size(); ++i) {
+    if (!rep.median_curve[i].connected) continue;
+    EXPECT_GE(rep.median_curve[i].diameter, rep.median_curve[i - 1].diameter);
+    EXPECT_GE(rep.median_curve[i].avg_path_length,
+              rep.median_curve[i - 1].avg_path_length - 1e-9);
+  }
+}
+
+TEST(FaultTolerance, Deterministic) {
+  auto df = polarstar::topo::dragonfly::build({4, 2, 1});
+  auto a = analysis::fault_tolerance(df, {0.2}, 5, 42);
+  auto b = analysis::fault_tolerance(df, {0.2}, 5, 42);
+  EXPECT_EQ(a.disconnection_ratios, b.disconnection_ratios);
+  EXPECT_EQ(a.median_curve[0].avg_path_length,
+            b.median_curve[0].avg_path_length);
+}

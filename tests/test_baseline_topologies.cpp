@@ -1,0 +1,211 @@
+// Baseline topology certification against their published parameters and
+// the paper's Table 3 configurations: Dragonfly, 3-D HyperX, Fat-tree,
+// Megafly, Bundlefly, Spectralfly (LPS), Jellyfish.
+#include <gtest/gtest.h>
+
+#include "core/bundlefly.h"
+#include "graph/algorithms.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hyperx.h"
+#include "topo/jellyfish.h"
+#include "topo/lps.h"
+#include "topo/megafly.h"
+
+namespace core = polarstar::core;
+namespace topo = polarstar::topo;
+namespace g = polarstar::graph;
+
+TEST(Dragonfly, Table3Config) {
+  // a=12, h=6, p=6: 73 groups, 876 routers, radix 17, 5256 endpoints.
+  auto t = topo::dragonfly::build({12, 6, 6});
+  EXPECT_EQ(t.num_routers(), 876u);
+  EXPECT_EQ(t.network_radix(), 17u);
+  EXPECT_EQ(t.g.min_degree(), 17u);
+  EXPECT_EQ(t.num_endpoints(), 5256u);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 3u);
+}
+
+TEST(Dragonfly, OneGlobalLinkPerGroupPair) {
+  auto t = topo::dragonfly::build({6, 3, 0});
+  const std::uint32_t groups = topo::dragonfly::num_groups({6, 3, 0});
+  std::vector<std::vector<std::uint32_t>> count(groups,
+                                                std::vector<std::uint32_t>(groups, 0));
+  for (auto [u, v] : t.g.edge_list()) {
+    if (t.group_of[u] != t.group_of[v]) {
+      count[t.group_of[u]][t.group_of[v]]++;
+    }
+  }
+  for (std::uint32_t i = 0; i < groups; ++i) {
+    for (std::uint32_t j = i + 1; j < groups; ++j) {
+      EXPECT_EQ(count[i][j] + count[j][i], 1u) << i << "," << j;
+    }
+  }
+}
+
+TEST(Dragonfly, SmallConfigsDiameter) {
+  for (std::uint32_t h : {2u, 3u}) {
+    auto t = topo::dragonfly::build({2 * h, h, h});
+    auto stats = g::path_stats(t.g);
+    EXPECT_TRUE(stats.connected);
+    EXPECT_LE(stats.diameter, 3u);
+  }
+}
+
+TEST(HyperX, Table3Config) {
+  // 9x9x8, p=8: 648 routers, radix 23.
+  auto t = topo::hyperx::build({{9, 9, 8}, 8});
+  EXPECT_EQ(t.num_routers(), 648u);
+  EXPECT_EQ(t.network_radix(), 23u);
+  EXPECT_EQ(t.num_endpoints(), 5184u);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 3u);
+}
+
+TEST(HyperX, CoordinatesAndDiameterEqualDims) {
+  topo::hyperx::Params prm{{3, 4, 5}, 0};
+  auto t = topo::hyperx::build(prm);
+  EXPECT_EQ(t.num_routers(), 60u);
+  EXPECT_EQ(g::path_stats(t.g).diameter, 3u);
+  // Adjacency differs in exactly one coordinate.
+  for (g::Vertex v = 0; v < t.num_routers(); ++v) {
+    auto cv = topo::hyperx::coordinates(prm, v);
+    for (g::Vertex w : t.g.neighbors(v)) {
+      auto cw = topo::hyperx::coordinates(prm, w);
+      int diff = 0;
+      for (std::size_t d = 0; d < 3; ++d) diff += cv[d] != cw[d];
+      EXPECT_EQ(diff, 1);
+    }
+  }
+}
+
+TEST(FatTree, StructureAndDiameter) {
+  // p=4: 48 routers, 64 endpoints; leaf-leaf diameter 4.
+  auto t = topo::fattree::build({4});
+  EXPECT_EQ(t.num_routers(), 48u);
+  EXPECT_EQ(t.num_endpoints(), 64u);
+  // Leaves and middles have degree 2p or p; tops have degree p.
+  for (g::Vertex v = 0; v < t.num_routers(); ++v) {
+    const auto lvl = topo::fattree::level({4}, v);
+    if (lvl == 0) {
+      EXPECT_EQ(t.g.degree(v), 4u);  // + 4 endpoints = radix 8
+      EXPECT_EQ(t.conc[v], 4u);
+    } else if (lvl == 1) {
+      EXPECT_EQ(t.g.degree(v), 8u);
+      EXPECT_EQ(t.conc[v], 0u);
+    } else {
+      EXPECT_EQ(t.g.degree(v), 4u);
+      EXPECT_EQ(t.conc[v], 0u);
+    }
+  }
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 4u);
+}
+
+TEST(FatTree, Table3Scale) {
+  // p=18: 972 routers, 5832 endpoints.
+  topo::fattree::Params prm{18};
+  EXPECT_EQ(topo::fattree::order(prm), 972u);
+  EXPECT_EQ(topo::fattree::num_endpoints(prm), 5832u);
+}
+
+TEST(Megafly, Table3Config) {
+  // rho=8, a=16 (s=8), p=8: 65 groups, 1040 routers, radix 16, 4160 EPs.
+  auto t = topo::megafly::build({8, 8, 8});
+  EXPECT_EQ(t.num_routers(), 1040u);
+  EXPECT_EQ(t.network_radix(), 16u);
+  EXPECT_EQ(t.num_endpoints(), 4160u);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  // Spine-to-spine pairs without a shared global link can take 5 hops
+  // (spine-leaf-spine-global-spine... ); only endpoint routers matter.
+  EXPECT_LE(stats.diameter, 5u);
+  // Diameter between endpoint-carrying routers must be 3.
+  std::uint32_t worst = 0;
+  for (g::Vertex v = 0; v < t.num_routers(); ++v) {
+    if (t.conc[v] == 0) continue;
+    auto d = g::bfs_distances(t.g, v);
+    for (g::Vertex w = 0; w < t.num_routers(); ++w) {
+      if (t.conc[w] != 0) worst = std::max(worst, d[w]);
+    }
+  }
+  EXPECT_EQ(worst, 3u);
+}
+
+TEST(Megafly, OneGlobalLinkPerGroupPair) {
+  auto t = topo::megafly::build({4, 3, 2});
+  const std::uint32_t groups = topo::megafly::num_groups({4, 3, 2});
+  std::vector<std::vector<std::uint32_t>> count(groups,
+                                                std::vector<std::uint32_t>(groups, 0));
+  for (auto [u, v] : t.g.edge_list()) {
+    if (t.group_of[u] != t.group_of[v]) count[t.group_of[u]][t.group_of[v]]++;
+  }
+  for (std::uint32_t i = 0; i < groups; ++i) {
+    for (std::uint32_t j = i + 1; j < groups; ++j) {
+      EXPECT_EQ(count[i][j] + count[j][i], 1u);
+    }
+  }
+}
+
+TEST(Bundlefly, Table3Config) {
+  // MMS(7) * Paley(9): 882 routers, radix 15, diameter 3.
+  core::bundlefly::Params prm{7, 9, 5};
+  ASSERT_TRUE(core::bundlefly::feasible(prm));
+  EXPECT_EQ(core::bundlefly::order(prm), 882u);
+  auto t = core::bundlefly::build(prm);
+  EXPECT_EQ(t.num_routers(), 882u);
+  EXPECT_EQ(t.network_radix(), 15u);
+  EXPECT_EQ(t.num_endpoints(), 4410u);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_LE(stats.diameter, 3u);
+}
+
+TEST(Bundlefly, SmallInstanceDiameter3) {
+  auto t = core::bundlefly::build({5, 5, 0});
+  EXPECT_EQ(t.num_routers(), 250u);
+  EXPECT_LE(g::path_stats(t.g).diameter, 3u);
+}
+
+TEST(Spectralfly, SmallLpsInstances) {
+  // X^{5,13}: p=5 QR mod 13? squares mod 13: {1,3,4,9,10,12}; 5 is not ->
+  // PGL case, order 13*168 = 2184, degree 6.
+  auto t = topo::lps::build({5, 13, 0});
+  EXPECT_EQ(t.num_routers(), topo::lps::order(5, 13));
+  EXPECT_EQ(t.g.max_degree(), 6u);
+  EXPECT_EQ(t.g.min_degree(), 6u);
+  EXPECT_TRUE(g::is_connected(t.g));
+}
+
+TEST(Spectralfly, Table3Config) {
+  // X^{23,13}: 23 = 10 mod 13 is a QR -> PSL, 1092 routers, radix 24.
+  ASSERT_TRUE(topo::lps::is_psl_case(23, 13));
+  EXPECT_EQ(topo::lps::order(23, 13), 1092u);
+  auto t = topo::lps::build({23, 13, 8});
+  EXPECT_EQ(t.num_routers(), 1092u);
+  EXPECT_EQ(t.g.max_degree(), 24u);
+  EXPECT_EQ(t.g.min_degree(), 24u);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_LE(stats.diameter, 3u);
+}
+
+TEST(Jellyfish, RegularConnectedDeterministic) {
+  auto t1 = topo::jellyfish::build({100, 7, 3, 42});
+  auto t2 = topo::jellyfish::build({100, 7, 3, 42});
+  EXPECT_EQ(t1.g.edge_list(), t2.g.edge_list());
+  EXPECT_EQ(t1.g.max_degree(), 7u);
+  EXPECT_EQ(t1.g.min_degree(), 7u);
+  EXPECT_TRUE(g::is_connected(t1.g));
+  auto t3 = topo::jellyfish::build({100, 7, 3, 43});
+  EXPECT_NE(t1.g.edge_list(), t3.g.edge_list());
+}
+
+TEST(Jellyfish, RejectsInfeasible) {
+  EXPECT_THROW(topo::jellyfish::build({5, 5, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(topo::jellyfish::build({5, 3, 0, 1}), std::invalid_argument);
+}

@@ -1,0 +1,121 @@
+// Analytical channel-load / throughput bounds, and CDG deadlock analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/channel_load.h"
+#include "analysis/deadlock.h"
+#include "core/polarstar.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hyperx.h"
+
+namespace analysis = polarstar::analysis;
+namespace routing = polarstar::routing;
+namespace topo = polarstar::topo;
+namespace sim = polarstar::sim;
+namespace g = polarstar::graph;
+
+namespace {
+
+topo::Topology ring(std::uint32_t n, std::uint32_t p) {
+  std::vector<g::Edge> edges;
+  for (g::Vertex v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  topo::Topology t;
+  t.name = "ring";
+  t.g = g::Graph::from_edges(n, edges);
+  t.conc.assign(n, p);
+  t.finalize();
+  return t;
+}
+
+}  // namespace
+
+TEST(ChannelLoad, RingNeighborTrafficLoadsOneLinkEach) {
+  auto t = ring(6, 1);
+  routing::TableRouting r(t.g);
+  // endpoint e -> e+1: every clockwise link carries exactly one unit.
+  auto rep = analysis::channel_load(
+      t, r, [](std::uint64_t e) { return (e + 1) % 6; });
+  EXPECT_DOUBLE_EQ(rep.max_load, 1.0);
+  EXPECT_DOUBLE_EQ(rep.throughput_bound, 1.0);
+  // Half the directed links (the clockwise ones) carry load.
+  std::size_t loaded = 0;
+  for (double l : rep.link_load) loaded += l > 0;
+  EXPECT_EQ(loaded, 6u);
+}
+
+TEST(ChannelLoad, TornadoOnRingSaturatesAtTwoOverN) {
+  // Endpoint tornado e -> e+n/2 on an n-ring: each flow spreads over the
+  // two n/2-hop directions; every link carries n/2 * (1/2) = n/4 units ->
+  // bound 4/n.
+  const std::uint32_t n = 8;
+  auto t = ring(n, 1);
+  routing::TableRouting r(t.g);
+  auto rep = analysis::channel_load(
+      t, r, [&](std::uint64_t e) { return (e + n / 2) % n; });
+  EXPECT_NEAR(rep.max_load, n / 4.0, 1e-9);
+  EXPECT_NEAR(rep.throughput_bound, 4.0 / n, 1e-9);
+}
+
+TEST(ChannelLoad, UniformBoundsSimulatedSaturation) {
+  // The simulator's accepted throughput at overload must not beat the
+  // analytic bound (it typically lands below it: HOL blocking etc.).
+  auto t = topo::dragonfly::build({4, 2, 2});
+  routing::TableRouting r(t.g);
+  auto rep = analysis::uniform_channel_load(t, r);
+  ASSERT_GT(rep.throughput_bound, 0.0);
+
+  sim::Network net(t, r);
+  sim::SimParams prm;
+  prm.warmup_cycles = 500;
+  prm.measure_cycles = 2000;
+  prm.drain_cycles = 2000;
+  prm.min_select = sim::MinSelect::kAdaptive;
+  sim::PatternSource src(t, sim::Pattern::kUniform, 1.0, prm.packet_flits, 3);
+  sim::Simulation s(net, prm, src);
+  auto res = s.run();
+  EXPECT_LE(res.accepted_flit_rate, rep.throughput_bound * 1.05);
+  EXPECT_GE(res.accepted_flit_rate, rep.throughput_bound * 0.4);
+}
+
+TEST(ChannelLoad, PolarStarUniformNearFullThroughput) {
+  // Fig 9's ">75% of full injection" claim has an analytic counterpart:
+  // the max uniform channel load of PolarStar at p = radix/3 stays near 1.
+  auto ps = polarstar::core::PolarStar::build(
+      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 3});
+  routing::PolarStarAnalyticRouting r(ps);
+  auto rep = analysis::uniform_channel_load(ps.topology(), r);
+  EXPECT_GT(rep.throughput_bound, 0.75);
+}
+
+TEST(Deadlock, Diameter3MinimalWith4VcsIsAcyclic) {
+  auto ps = polarstar::core::PolarStar::build(
+      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  routing::PolarStarAnalyticRouting r(ps);
+  auto rep = analysis::check_deadlock_freedom(ps.topology(), r, 4);
+  EXPECT_TRUE(rep.acyclic);
+  EXPECT_GT(rep.cdg_edges, 0u);
+}
+
+TEST(Deadlock, TooFewVcsReintroducesCycles) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  routing::TableRouting r(t.g);
+  EXPECT_TRUE(analysis::check_deadlock_freedom(t, r, 4).acyclic);
+  EXPECT_FALSE(analysis::check_deadlock_freedom(t, r, 2).acyclic);
+}
+
+TEST(Deadlock, FatTreeUpDownIsSafeWithOneVc) {
+  auto t = topo::fattree::build({4});
+  routing::TableRouting r(t.g);
+  auto rep = analysis::check_deadlock_freedom(t, r, 1);
+  EXPECT_TRUE(rep.acyclic);
+}
+
+TEST(Deadlock, HyperXDimensionOrderFreeWithEnoughVcs) {
+  auto t = topo::hyperx::build({{3, 3, 3}, 2});
+  routing::TableRouting r(t.g);
+  EXPECT_TRUE(analysis::check_deadlock_freedom(t, r, 4).acyclic);
+  EXPECT_FALSE(analysis::check_deadlock_freedom(t, r, 1).acyclic);
+}

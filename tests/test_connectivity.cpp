@@ -1,0 +1,69 @@
+// Exact edge-connectivity tests: known values, Menger consistency, and the
+// structural claims for PolarStar (lambda = min degree, as expected of a
+// well-connected topology) feeding the EDST ceiling and resilience story.
+#include <gtest/gtest.h>
+
+#include "analysis/connectivity.h"
+#include "analysis/spanning_trees.h"
+#include "core/polarstar.h"
+#include "topo/dragonfly.h"
+#include "topo/er.h"
+
+namespace analysis = polarstar::analysis;
+namespace g = polarstar::graph;
+
+namespace {
+
+g::Graph cycle(g::Vertex n) {
+  std::vector<g::Edge> e;
+  for (g::Vertex v = 0; v < n; ++v) e.push_back({v, (v + 1) % n});
+  return g::Graph::from_edges(n, e);
+}
+
+}  // namespace
+
+TEST(Connectivity, KnownValues) {
+  EXPECT_EQ(analysis::edge_connectivity(cycle(8)), 2u);
+  // Complete graph K6: lambda = 5.
+  std::vector<g::Edge> e;
+  for (g::Vertex u = 0; u < 6; ++u) {
+    for (g::Vertex v = u + 1; v < 6; ++v) e.push_back({u, v});
+  }
+  EXPECT_EQ(analysis::edge_connectivity(g::Graph::from_edges(6, e)), 5u);
+  // A bridge graph: two triangles joined by one edge -> lambda = 1.
+  auto bridge = g::Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  EXPECT_EQ(analysis::edge_connectivity(bridge), 1u);
+  // Disconnected and trivial.
+  EXPECT_EQ(analysis::edge_connectivity(g::Graph::from_edges(4, {{0, 1}})),
+            0u);
+  EXPECT_EQ(analysis::edge_connectivity(g::Graph::from_edges(1, {})), 0u);
+}
+
+TEST(Connectivity, MengerPathsMatchDegreesOnCycle) {
+  auto c = cycle(10);
+  EXPECT_EQ(analysis::edge_disjoint_paths(c, 0, 5), 2u);
+  EXPECT_EQ(analysis::edge_disjoint_paths(c, 0, 1), 2u);
+}
+
+TEST(Connectivity, ErGraphIsMaximallyConnected) {
+  auto er = polarstar::topo::ErGraph::build(5);
+  // lambda is bounded by the min degree (the quadric vertices, degree q).
+  EXPECT_EQ(analysis::edge_connectivity(er.g), 5u);
+}
+
+TEST(Connectivity, PolarStarLambdaEqualsMinDegree) {
+  auto ps = polarstar::core::PolarStar::build(
+      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  const auto lambda = analysis::edge_connectivity(ps.graph());
+  EXPECT_EQ(lambda, ps.graph().min_degree());
+  // Nash-Williams: at least floor(lambda/2) edge-disjoint spanning trees
+  // exist; our greedy packing must land within that ballpark (>= half).
+  auto packing = analysis::pack_spanning_trees(ps.graph());
+  EXPECT_GE(packing.trees.size(), lambda / 4u);
+}
+
+TEST(Connectivity, DragonflyLambdaEqualsMinDegree) {
+  auto df = polarstar::topo::dragonfly::build({4, 2, 0});
+  EXPECT_EQ(analysis::edge_connectivity(df.g), df.g.min_degree());
+}

@@ -1,0 +1,110 @@
+// PolarFly and Slim Fly as standalone diameter-2 networks, and PolarFly's
+// algebraic (cross-product) routing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+#include "topo/polarfly.h"
+#include "topo/slimfly.h"
+
+namespace topo = polarstar::topo;
+namespace g = polarstar::graph;
+namespace sim = polarstar::sim;
+namespace routing = polarstar::routing;
+
+class PolarFlyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PolarFlyTest, TopologyShape) {
+  const std::uint32_t q = GetParam();
+  auto t = topo::polarfly::build({q, 2});
+  EXPECT_EQ(t.num_routers(), topo::polarfly::order(q));
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 2u);
+}
+
+TEST_P(PolarFlyTest, AlgebraicRoutingMatchesBfs) {
+  const std::uint32_t q = GetParam();
+  topo::PolarFlyRouting route(q);
+  const auto& graph = route.er().g;
+  std::vector<g::Vertex> hops;
+  for (g::Vertex s = 0; s < graph.num_vertices(); ++s) {
+    auto bfs = g::bfs_distances(graph, s);
+    for (g::Vertex d = 0; d < graph.num_vertices(); ++d) {
+      ASSERT_EQ(route.distance(s, d), bfs[d]) << s << "->" << d;
+      if (s == d) continue;
+      hops.clear();
+      route.next_hops(s, d, hops);
+      ASSERT_EQ(hops.size(), 1u);
+      EXPECT_EQ(bfs[hops[0]] + 1, bfs[d] + (hops[0] == d ? 1 : 0));
+      if (bfs[d] == 2) {
+        EXPECT_TRUE(graph.has_edge(s, hops[0]));
+        EXPECT_TRUE(graph.has_edge(hops[0], d));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, PolarFlyTest,
+                         ::testing::Values(3, 4, 5, 7, 8, 9, 11));
+
+TEST(PolarFly, StorageIsTiny) {
+  topo::PolarFlyRouting route(11);
+  EXPECT_LT(route.storage_entries(), 100u);
+}
+
+TEST(PolarFly, SimulatesUnderUniformTraffic) {
+  auto t = topo::polarfly::build({7, 2});
+
+  // Adapt the algebraic router to the MinimalRouting interface.
+  class Adapter final : public routing::MinimalRouting {
+   public:
+    explicit Adapter(std::uint32_t q) : impl_(q) {}
+    std::uint32_t distance(g::Vertex s, g::Vertex d) const override {
+      return impl_.distance(s, d);
+    }
+    void next_hops(g::Vertex c, g::Vertex d,
+                   std::vector<g::Vertex>& out) const override {
+      impl_.next_hops(c, d, out);
+    }
+    std::size_t storage_entries() const override {
+      return impl_.storage_entries();
+    }
+    std::string name() const override { return "polarfly-algebraic"; }
+
+   private:
+    topo::PolarFlyRouting impl_;
+  } route(7);
+
+  sim::Network net(t, route);
+  sim::SimParams prm;
+  prm.warmup_cycles = 300;
+  prm.measure_cycles = 800;
+  sim::PatternSource src(t, sim::Pattern::kUniform, 0.3, prm.packet_flits, 9);
+  sim::Simulation s(net, prm, src);
+  auto res = s.run();
+  EXPECT_TRUE(res.stable);
+  EXPECT_LE(res.avg_hops, 2.01);
+}
+
+class SlimFlyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlimFlyTest, TopologyShape) {
+  const std::uint32_t q = GetParam();
+  auto t = topo::slimfly::build({q, 2});
+  EXPECT_EQ(t.num_routers(), 2 * q * q);
+  auto stats = g::path_stats(t.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 2u);
+  EXPECT_TRUE(t.g.is_regular());
+  // 2q groups of q routers each.
+  EXPECT_EQ(*std::max_element(t.group_of.begin(), t.group_of.end()),
+            2 * q - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, SlimFlyTest,
+                         ::testing::Values(5, 7, 9, 11, 13));

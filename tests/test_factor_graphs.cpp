@@ -1,0 +1,233 @@
+// Factor-graph certification: for every construction used by PolarStar and
+// its baselines, verify order, degree, diameter and the paper's properties
+// (R for structure graphs, R*/R1 for supernodes).
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "topo/bdf.h"
+#include "topo/complete.h"
+#include "topo/er.h"
+#include "topo/inductive_quad.h"
+#include "topo/kautz.h"
+#include "topo/mms.h"
+#include "topo/paley.h"
+#include "topo/properties.h"
+
+namespace topo = polarstar::topo;
+namespace g = polarstar::graph;
+
+// ---------------------------------------------------------------- ER_q ----
+
+class ErTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ErTest, OrderDegreeDiameter) {
+  const std::uint32_t q = GetParam();
+  auto er = topo::ErGraph::build(q);
+  EXPECT_EQ(er.g.num_vertices(), topo::ErGraph::order(q));
+  // Non-quadric vertices have degree q+1, quadric have q (+ implicit loop).
+  std::uint32_t quadrics = 0;
+  for (g::Vertex v = 0; v < er.g.num_vertices(); ++v) {
+    if (er.quadric[v]) {
+      ++quadrics;
+      EXPECT_EQ(er.g.degree(v), q);
+    } else {
+      EXPECT_EQ(er.g.degree(v), q + 1);
+    }
+  }
+  EXPECT_EQ(quadrics, q + 1);  // the conic has q+1 points
+  auto stats = g::path_stats(er.g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 2u);
+}
+
+TEST_P(ErTest, PropertyR) {
+  auto er = topo::ErGraph::build(GetParam());
+  std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+  EXPECT_TRUE(topo::has_property_r(er.g, loops, 2));
+}
+
+TEST_P(ErTest, AdjacencyIsOrthogonality) {
+  auto er = topo::ErGraph::build(GetParam());
+  const auto& F = er.field();
+  for (g::Vertex u = 0; u < er.g.num_vertices(); ++u) {
+    for (g::Vertex v : er.g.neighbors(u)) {
+      EXPECT_EQ(F.dot3(er.points[u].data(), er.points[v].data()), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, ErTest,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13));
+
+TEST(ErTest, ClusterLayoutCoversAllVertices) {
+  auto er = topo::ErGraph::build(7);
+  auto clusters = er.cluster_layout();
+  EXPECT_EQ(clusters.size(), er.g.num_vertices());
+  // Quadric cluster is 0; others in [1, q+1].
+  for (g::Vertex v = 0; v < er.g.num_vertices(); ++v) {
+    if (er.quadric[v]) {
+      EXPECT_EQ(clusters[v], 0u);
+    } else {
+      EXPECT_GE(clusters[v], 1u);
+      EXPECT_LE(clusters[v], 8u);
+    }
+  }
+}
+
+TEST(ErTest, InfeasibleThrows) {
+  EXPECT_THROW(topo::ErGraph::build(6), std::invalid_argument);
+}
+
+// ------------------------------------------------------- Inductive-Quad ----
+
+class IqTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(IqTest, OrderDegreeAndPropertyRStar) {
+  const std::uint32_t d = GetParam();
+  auto sn = topo::iq::build(d);
+  EXPECT_EQ(sn.order(), topo::iq::order(d));
+  EXPECT_EQ(sn.g.max_degree(), d);
+  EXPECT_EQ(sn.g.min_degree(), d);
+  EXPECT_TRUE(topo::is_fixed_point_free_involution(sn.f));
+  EXPECT_TRUE(topo::has_property_r_star(sn.g, sn.f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, IqTest,
+                         ::testing::Values(0, 3, 4, 7, 8, 11, 12, 15, 16, 19,
+                                           20, 23));
+
+TEST(IqTest, Feasibility) {
+  EXPECT_TRUE(topo::iq::feasible(0));
+  EXPECT_TRUE(topo::iq::feasible(3));
+  EXPECT_TRUE(topo::iq::feasible(4));
+  EXPECT_FALSE(topo::iq::feasible(1));
+  EXPECT_FALSE(topo::iq::feasible(2));
+  EXPECT_FALSE(topo::iq::feasible(5));
+  EXPECT_FALSE(topo::iq::feasible(6));
+  EXPECT_THROW(topo::iq::build(5), std::invalid_argument);
+}
+
+TEST(IqTest, AttainsRStarOrderBound) {
+  // Proposition 2: an R* graph of degree d' has at most 2d'+2 vertices.
+  for (std::uint32_t d : {3u, 4u, 7u, 8u}) {
+    auto sn = topo::iq::build(d);
+    EXPECT_EQ(sn.order(), 2 * d + 2);
+  }
+}
+
+// ---------------------------------------------------------------- Paley ----
+
+class PaleyTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PaleyTest, OrderDegreeAndPropertyR1) {
+  const std::uint32_t q = GetParam();
+  auto sn = topo::paley::build(q);
+  EXPECT_EQ(sn.order(), q);
+  EXPECT_EQ(sn.g.max_degree(), (q - 1) / 2);
+  EXPECT_EQ(sn.g.min_degree(), (q - 1) / 2);
+  EXPECT_FALSE(sn.f_is_involution);
+  EXPECT_TRUE(topo::has_property_r1(sn.g, sn.f));
+}
+
+TEST_P(PaleyTest, SelfComplementaryUnderF) {
+  // f maps edges onto the complement: no edge may map to an edge.
+  auto sn = topo::paley::build(GetParam());
+  for (auto [u, v] : sn.g.edge_list()) {
+    EXPECT_FALSE(sn.g.has_edge(sn.f[u], sn.f[v]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, PaleyTest,
+                         ::testing::Values(5, 9, 13, 17, 25, 29));
+
+TEST(PaleyTest, Feasibility) {
+  EXPECT_FALSE(topo::paley::feasible(7));   // 3 mod 4
+  EXPECT_FALSE(topo::paley::feasible(21));  // not a prime power
+  EXPECT_EQ(topo::paley::q_for_degree(2), 5u);
+  EXPECT_EQ(topo::paley::q_for_degree(4), 9u);
+  EXPECT_EQ(topo::paley::q_for_degree(3), 0u);  // odd degree infeasible
+}
+
+// ------------------------------------------------------------------ BDF ----
+
+class BdfTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BdfTest, OrderDegreeAndPropertyRStar) {
+  const std::uint32_t d = GetParam();
+  auto sn = topo::bdf::build(d);
+  EXPECT_EQ(sn.order(), 2 * d);
+  EXPECT_EQ(sn.g.max_degree(), d);
+  EXPECT_EQ(sn.g.min_degree(), d);
+  EXPECT_TRUE(topo::has_property_r_star(sn.g, sn.f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BdfTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 16));
+
+// ------------------------------------------------------------- Complete ----
+
+TEST(CompleteTest, PropertyRStarWithIdentity) {
+  for (std::uint32_t d : {1u, 3u, 6u, 10u}) {
+    auto sn = topo::complete::build(d);
+    EXPECT_EQ(sn.order(), d + 1);
+    EXPECT_EQ(sn.g.max_degree(), d);
+    EXPECT_TRUE(topo::has_property_r_star(sn.g, sn.f));
+  }
+}
+
+// ------------------------------------------------------------------ MMS ----
+
+class MmsTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MmsTest, OrderDegreeDiameter) {
+  const std::uint32_t q = GetParam();
+  auto g = topo::mms::build(q);
+  EXPECT_EQ(g.num_vertices(), topo::mms::order(q));
+  EXPECT_EQ(g.max_degree(), topo::mms::degree(q));
+  EXPECT_EQ(g.min_degree(), topo::mms::degree(q));
+  auto stats = g::path_stats(g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_EQ(stats.diameter, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimePowers, MmsTest,
+                         ::testing::Values(5, 7, 9, 11, 13, 17, 19));
+
+TEST(MmsTest, LacksPropertyR) {
+  // MMS graphs do NOT satisfy Property R: some vertex pairs have no walk
+  // of length exactly 2. This is why Theorem 4 (R + R* supernode, order
+  // 2d'+2) applies to ER structure graphs but not to MMS -- Bundlefly is
+  // confined to R1 supernodes of order 2d'+1, and PolarStar's scale edge
+  // over it is structural, not incidental.
+  for (std::uint32_t q : {5u, 7u, 9u}) {
+    auto g = topo::mms::build(q);
+    std::vector<bool> loops(g.num_vertices(), false);
+    EXPECT_FALSE(topo::has_property_r(g, loops, 2)) << "q=" << q;
+  }
+}
+
+TEST(MmsTest, Feasibility) {
+  EXPECT_FALSE(topo::mms::feasible(4));  // q = 0 mod 4 unsupported
+  EXPECT_FALSE(topo::mms::feasible(15));
+  EXPECT_TRUE(topo::mms::feasible(7));
+}
+
+// ---------------------------------------------------------------- Kautz ----
+
+TEST(KautzTest, OrderFormulaAndGraph) {
+  EXPECT_EQ(topo::kautz::order(2, 3), 12u);
+  EXPECT_EQ(topo::kautz::order(3, 3), 36u);
+  auto g = topo::kautz::build_undirected(3, 3);
+  EXPECT_EQ(g.num_vertices(), 36u);
+  auto stats = g::path_stats(g);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_LE(stats.diameter, 3u);  // undirected only shortens paths
+  // Undirected degree at most 2d.
+  EXPECT_LE(g.max_degree(), 6u);
+}
+
+TEST(KautzTest, BidirectionalOrderForRadix) {
+  EXPECT_EQ(topo::kautz::max_order_bidirectional(6, 3), 36u);
+  EXPECT_EQ(topo::kautz::max_order_bidirectional(7, 3), 0u);  // odd radix
+}

@@ -1,0 +1,121 @@
+// Randomized cross-validation ("fuzz") tests:
+//  - TableRouting against raw BFS on random graphs,
+//  - the multilevel partitioner against exhaustive minimum bisection on
+//    small graphs,
+//  - the spectral lower bound against the exhaustive optimum,
+//  - flow-model conservation invariants on random permutations.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/spectral.h"
+#include "graph/algorithms.h"
+#include "partition/partitioner.h"
+#include "routing/routing.h"
+#include "sim/flow_model.h"
+#include "topo/jellyfish.h"
+
+namespace g = polarstar::graph;
+namespace routing = polarstar::routing;
+namespace analysis = polarstar::analysis;
+namespace partition = polarstar::partition;
+namespace sim = polarstar::sim;
+
+namespace {
+
+g::Graph random_connected_graph(g::Vertex n, double edge_prob,
+                                std::mt19937_64& rng) {
+  std::vector<g::Edge> edges;
+  std::uniform_real_distribution<double> coin(0, 1);
+  // Random spanning tree first (guaranteed connectivity).
+  for (g::Vertex v = 1; v < n; ++v) {
+    edges.push_back({static_cast<g::Vertex>(rng() % v), v});
+  }
+  for (g::Vertex u = 0; u < n; ++u) {
+    for (g::Vertex v = u + 1; v < n; ++v) {
+      if (coin(rng) < edge_prob) edges.push_back({u, v});
+    }
+  }
+  return g::Graph::from_edges(n, edges);
+}
+
+// Exhaustive minimum balanced bisection for even n <= 16.
+std::uint64_t brute_force_bisection(const g::Graph& graph) {
+  const g::Vertex n = graph.num_vertices();
+  const auto edges = graph.edge_list();
+  std::uint64_t best = ~0ull;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    if (static_cast<g::Vertex>(__builtin_popcount(mask)) != n / 2) continue;
+    std::uint64_t cut = 0;
+    for (auto [u, v] : edges) {
+      cut += ((mask >> u) ^ (mask >> v)) & 1u;
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+}  // namespace
+
+TEST(Fuzz, TableRoutingMatchesBfsOnRandomGraphs) {
+  std::mt19937_64 rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto graph = random_connected_graph(40, 0.08, rng);
+    routing::TableRouting r(graph);
+    std::vector<g::Vertex> hops;
+    for (g::Vertex s = 0; s < graph.num_vertices(); s += 5) {
+      auto d = g::bfs_distances(graph, s);
+      for (g::Vertex t = 0; t < graph.num_vertices(); ++t) {
+        ASSERT_EQ(r.distance(s, t), d[t]);
+        if (s == t) continue;
+        hops.clear();
+        r.next_hops(s, t, hops);
+        ASSERT_FALSE(hops.empty());
+        // Every minimal next hop is one closer to t (distance already
+        // validated against BFS above).
+        for (g::Vertex w : hops) ASSERT_EQ(r.distance(w, t) + 1, d[t]);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, PartitionerFindsExactMinimaOnSmallGraphs) {
+  std::mt19937_64 rng(7);
+  int exact = 0, total = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto graph = random_connected_graph(12, 0.25, rng);
+    const auto optimal = brute_force_bisection(graph);
+    partition::BisectionOptions opts;
+    opts.num_trials = 8;
+    const auto found = partition::bisect(graph, {}, opts).cut_edges;
+    ASSERT_GE(found, optimal);  // never below the true minimum
+    exact += found == optimal;
+    ++total;
+  }
+  // Multilevel FM should nail the optimum on almost all 12-vertex graphs.
+  EXPECT_GE(exact, total - 3);
+}
+
+TEST(Fuzz, SpectralBoundBelowExhaustiveMinimum) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto graph = random_connected_graph(12, 0.3, rng);
+    const auto optimal = brute_force_bisection(graph);
+    const auto bound = analysis::spectral_bisection_lower_bound(graph);
+    EXPECT_LE(bound, optimal) << "trial " << trial;
+  }
+}
+
+TEST(Fuzz, FlowModelRatesRespectCapacities) {
+  auto t = polarstar::topo::jellyfish::build({60, 5, 2, 3});
+  routing::TableRouting r(t.g);
+  std::mt19937_64 rng(5);
+  std::vector<std::uint64_t> perm(t.num_endpoints());
+  for (std::uint64_t e = 0; e < perm.size(); ++e) perm[e] = e;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  auto res =
+      sim::max_min_rates(t, r, [&](std::uint64_t e) { return perm[e]; });
+  EXPECT_GT(res.min_rate, 0.0);
+  EXPECT_LE(res.avg_rate, 1.0 + 1e-9);
+  EXPECT_LE(res.aggregate_per_endpoint, 1.0 + 1e-9);
+}

@@ -1,0 +1,144 @@
+// Field-axiom and arithmetic tests for GF(p^k), parameterized over every
+// prime power the library's topologies use.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gf/gf.h"
+
+namespace gf = polarstar::gf;
+using Field = gf::Field;
+
+TEST(PrimePower, Recognition) {
+  EXPECT_TRUE(gf::is_prime_power(2));
+  EXPECT_TRUE(gf::is_prime_power(3));
+  EXPECT_TRUE(gf::is_prime_power(4));
+  EXPECT_TRUE(gf::is_prime_power(8));
+  EXPECT_TRUE(gf::is_prime_power(9));
+  EXPECT_TRUE(gf::is_prime_power(27));
+  EXPECT_TRUE(gf::is_prime_power(125));
+  EXPECT_FALSE(gf::is_prime_power(1));
+  EXPECT_FALSE(gf::is_prime_power(6));
+  EXPECT_FALSE(gf::is_prime_power(12));
+  EXPECT_FALSE(gf::is_prime_power(100));
+
+  auto f = gf::factor_prime_power(243);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->first, 3u);
+  EXPECT_EQ(f->second, 5u);
+}
+
+TEST(PrimePower, InvalidFieldThrows) {
+  EXPECT_THROW(Field(6), std::invalid_argument);
+  EXPECT_THROW(Field(1), std::invalid_argument);
+  EXPECT_THROW(Field(0), std::invalid_argument);
+}
+
+class FieldAxioms : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FieldAxioms, AdditionGroup) {
+  Field F(GetParam());
+  const std::uint32_t q = F.q();
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(F.add(a, 0), a);
+    EXPECT_EQ(F.add(a, F.neg(a)), 0u);
+    for (std::uint32_t b = 0; b < q; ++b) {
+      EXPECT_EQ(F.add(a, b), F.add(b, a));
+      EXPECT_EQ(F.sub(F.add(a, b), b), a);
+    }
+  }
+}
+
+TEST_P(FieldAxioms, MultiplicationGroup) {
+  Field F(GetParam());
+  const std::uint32_t q = F.q();
+  for (std::uint32_t a = 0; a < q; ++a) {
+    EXPECT_EQ(F.mul(a, 1), a);
+    EXPECT_EQ(F.mul(a, 0), 0u);
+    if (a != 0) {
+      EXPECT_EQ(F.mul(a, F.inv(a)), 1u);
+    }
+  }
+  // Associativity and distributivity on a subgrid (full grid is cubic).
+  const std::uint32_t step = std::max(1u, q / 7);
+  for (std::uint32_t a = 0; a < q; a += step) {
+    for (std::uint32_t b = 0; b < q; b += step) {
+      for (std::uint32_t c = 0; c < q; c += step) {
+        EXPECT_EQ(F.mul(F.mul(a, b), c), F.mul(a, F.mul(b, c)));
+        EXPECT_EQ(F.mul(a, F.add(b, c)), F.add(F.mul(a, b), F.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(FieldAxioms, PrimitiveElementGeneratesEverything) {
+  Field F(GetParam());
+  const std::uint32_t q = F.q();
+  std::set<std::uint32_t> seen;
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < q - 1; ++i) {
+    seen.insert(x);
+    x = F.mul(x, F.primitive_element());
+  }
+  EXPECT_EQ(seen.size(), q - 1);
+  EXPECT_EQ(x, 1u);  // order exactly q-1
+}
+
+TEST_P(FieldAxioms, SquaresAndSqrt) {
+  Field F(GetParam());
+  const std::uint32_t q = F.q();
+  std::uint32_t squares = 0;
+  for (std::uint32_t a = 1; a < q; ++a) {
+    if (F.is_square(a)) {
+      ++squares;
+      auto r = F.sqrt(a);
+      ASSERT_TRUE(r.has_value());
+      EXPECT_EQ(F.mul(*r, *r), a);
+    }
+  }
+  if (F.characteristic() == 2) {
+    EXPECT_EQ(squares, q - 1);  // squaring is a bijection in char 2
+  } else {
+    EXPECT_EQ(squares, (q - 1) / 2);
+  }
+}
+
+TEST_P(FieldAxioms, PowMatchesRepeatedMultiplication) {
+  Field F(GetParam());
+  const std::uint32_t q = F.q();
+  for (std::uint32_t a = 0; a < q; a += std::max(1u, q / 11)) {
+    std::uint32_t acc = 1;
+    for (std::uint32_t e = 0; e < 8; ++e) {
+      EXPECT_EQ(F.pow(a, e), acc) << "a=" << a << " e=" << e;
+      acc = F.mul(acc, a);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, FieldAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17,
+                                           19, 23, 25, 27, 29, 31, 32, 37, 41,
+                                           49, 53, 64, 81, 101, 121, 125, 127,
+                                           128));
+
+TEST(FieldEdge, NonSquareIsNotASquare) {
+  for (std::uint32_t q : {5u, 9u, 13u, 25u, 49u}) {
+    Field F(q);
+    EXPECT_FALSE(F.is_square(F.non_square())) << "q=" << q;
+  }
+}
+
+TEST(FieldEdge, InvZeroThrows) {
+  Field F(7);
+  EXPECT_THROW(F.inv(0), std::domain_error);
+  EXPECT_THROW(F.log(0), std::domain_error);
+}
+
+TEST(FieldEdge, Dot3Orthogonality) {
+  Field F(3);
+  Field::Elem u[3] = {1, 0, 0};
+  Field::Elem v[3] = {0, 1, 2};
+  EXPECT_EQ(F.dot3(u, v), 0u);
+  Field::Elem w[3] = {1, 1, 1};
+  EXPECT_EQ(F.dot3(w, w), 0u);  // 3 = 0 mod 3: quadric point
+}

@@ -1,0 +1,167 @@
+// Graph substrate tests: CSR construction, BFS, diameter/APL, components,
+// distance matrices and minimal next-hop tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace g = polarstar::graph;
+using g::Graph;
+using g::Vertex;
+
+namespace {
+
+Graph path_graph(Vertex n) {
+  std::vector<g::Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle_graph(Vertex n) {
+  std::vector<g::Edge> edges;
+  for (Vertex v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete_graph(Vertex n) {
+  std::vector<g::Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back({u, v});
+  }
+  return Graph::from_edges(n, edges);
+}
+
+}  // namespace
+
+TEST(Graph, BuildDedupesAndDropsLoops) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {2, 2}, {1, 2}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, OutOfRangeThrows) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g = Graph::from_edges(5, {{3, 1}, {3, 4}, {3, 0}, {3, 2}});
+  auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  Graph g = cycle_graph(7);
+  auto edges = g.edge_list();
+  Graph h = Graph::from_edges(7, edges);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (auto [u, v] : edges) EXPECT_TRUE(h.has_edge(u, v));
+}
+
+TEST(Graph, RemoveEdges) {
+  Graph g = complete_graph(5);
+  Graph h = g.remove_edges({{0, 1}, {3, 2}});
+  EXPECT_EQ(h.num_edges(), g.num_edges() - 2);
+  EXPECT_FALSE(h.has_edge(0, 1));
+  EXPECT_FALSE(h.has_edge(2, 3));
+  EXPECT_TRUE(h.has_edge(0, 2));
+}
+
+TEST(Algorithms, BfsOnPath) {
+  Graph g = path_graph(6);
+  auto d = g::bfs_distances(g, 0);
+  for (Vertex v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  auto d = g::bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], g::kUnreachable);
+}
+
+TEST(Algorithms, Components) {
+  Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}});
+  auto [comp, count] = g::connected_components(g);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[5], comp[3]);
+  EXPECT_FALSE(g::is_connected(g));
+  EXPECT_TRUE(g::is_connected(path_graph(4)));
+}
+
+TEST(Algorithms, PathStatsCycle) {
+  // C8: diameter 4; APL = (2*(1+2+3)+4)/7 = 16/7.
+  auto stats = g::path_stats(cycle_graph(8));
+  EXPECT_EQ(stats.diameter, 4u);
+  EXPECT_TRUE(stats.connected);
+  EXPECT_NEAR(stats.avg_path_length, 16.0 / 7.0, 1e-12);
+  // Histogram: 8 ordered pairs at each of distances 1,2,3; 4 at distance 4.
+  ASSERT_EQ(stats.distance_histogram.size(), 5u);
+  EXPECT_EQ(stats.distance_histogram[1], 16u);
+  EXPECT_EQ(stats.distance_histogram[4], 8u);
+}
+
+TEST(Algorithms, PathStatsDeterministicAcrossThreadCounts) {
+  std::mt19937 rng(7);
+  std::vector<g::Edge> edges;
+  const Vertex n = 200;
+  for (int i = 0; i < 900; ++i) {
+    edges.push_back({static_cast<Vertex>(rng() % n),
+                     static_cast<Vertex>(rng() % n)});
+  }
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  Graph g = Graph::from_edges(n, edges);
+  auto s1 = g::path_stats(g, 1);
+  auto s8 = g::path_stats(g, 8);
+  EXPECT_EQ(s1.diameter, s8.diameter);
+  EXPECT_DOUBLE_EQ(s1.avg_path_length, s8.avg_path_length);
+  EXPECT_EQ(s1.distance_histogram, s8.distance_histogram);
+}
+
+TEST(Algorithms, DistanceMatrixMatchesBfs) {
+  Graph g = cycle_graph(11);
+  g::DistanceMatrix dm(g);
+  for (Vertex s = 0; s < 11; ++s) {
+    auto d = g::bfs_distances(g, s);
+    for (Vertex t = 0; t < 11; ++t) EXPECT_EQ(dm.at(s, t), d[t]);
+  }
+}
+
+TEST(Algorithms, MinimalNextHops) {
+  Graph g = cycle_graph(6);
+  g::DistanceMatrix dm(g);
+  g::MinimalNextHops nh(g, dm);
+  // 0 -> 2: unique minimal next hop is 1.
+  auto h = nh.next_hops(0, 2);
+  ASSERT_EQ(h.size(), 1u);
+  EXPECT_EQ(h[0], 1u);
+  // 0 -> 3 (antipodal): both neighbors are minimal.
+  auto h2 = nh.next_hops(0, 3);
+  EXPECT_EQ(h2.size(), 2u);
+  // Every next hop strictly decreases distance.
+  for (Vertex s = 0; s < 6; ++s) {
+    for (Vertex t = 0; t < 6; ++t) {
+      for (Vertex w : nh.next_hops(s, t)) {
+        EXPECT_EQ(dm.at(w, t) + 1, dm.at(s, t));
+      }
+    }
+  }
+  EXPECT_GT(nh.storage_entries(), 0u);
+}
+
+TEST(Algorithms, ParallelForCoversAll) {
+  std::vector<std::atomic<int>> hits(100);
+  g::parallel_for(100, 4, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}

@@ -1,0 +1,46 @@
+// Section 8 layout/bundling tests.
+#include <gtest/gtest.h>
+
+#include "analysis/layout.h"
+#include "core/design_space.h"
+#include "core/polarstar.h"
+
+namespace analysis = polarstar::analysis;
+namespace core = polarstar::core;
+
+TEST(Layout, BundleArithmetic) {
+  auto ps = core::PolarStar::build(
+      {7, 4, core::SupernodeKind::kInductiveQuad, 0});
+  auto rep = analysis::layout_report(ps);
+  EXPECT_EQ(rep.supernodes, 57u);          // q^2+q+1
+  EXPECT_EQ(rep.links_per_bundle, 10u);    // 2d'+2
+  // Global links = ER edges x supernode order; reduction = links/bundle.
+  EXPECT_EQ(rep.global_links, rep.bundles * rep.links_per_bundle);
+  EXPECT_DOUBLE_EQ(rep.cable_reduction, 10.0);
+  // ER_q has (q^2+q+1)(q+1)/2 edges minus half a link per quadric loop
+  // accounting; just bound it.
+  EXPECT_GT(rep.bundles, 150u);
+  EXPECT_LT(rep.bundles, 250u);
+}
+
+TEST(Layout, CableReductionNearTwoThirdsRadix) {
+  // For maximal configs the reduction factor approaches 2d*/3 (the paper's
+  // claim): links_per_bundle = 2d'+2 = 2(d*-q-1)+2 ~ 2d*/3 at q ~ 2d*/3.
+  for (std::uint32_t radix : {15u, 27u, 48u}) {
+    auto best = polarstar::core::best_polarstar(radix);
+    auto ps = core::PolarStar::build(best.cfg);
+    auto rep = analysis::layout_report(ps);
+    const double claim = 2.0 * radix / 3.0;
+    EXPECT_NEAR(rep.cable_reduction, claim, 0.45 * claim)
+        << "radix " << radix;
+  }
+}
+
+TEST(Layout, ClusterStructure) {
+  auto ps = core::PolarStar::build(
+      {7, 3, core::SupernodeKind::kInductiveQuad, 0});
+  auto rep = analysis::layout_report(ps);
+  // q non-quadric clusters plus the quadric cluster: q+1 total (Section 8).
+  EXPECT_EQ(rep.clusters, 8u);
+  EXPECT_GT(rep.avg_bundles_between_clusters, 0.0);
+}

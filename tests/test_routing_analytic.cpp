@@ -1,0 +1,81 @@
+// Certification of the analytic (table-free) PolarStar routing of §9.2:
+// the case-analysis distance must equal BFS distance for every router pair,
+// and emitted next hops must be exactly the minimal ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/polarstar.h"
+#include "core/polarstar_routing.h"
+#include "graph/algorithms.h"
+
+namespace core = polarstar::core;
+namespace g = polarstar::graph;
+using core::PolarStar;
+using core::PolarStarRouting;
+using core::SupernodeKind;
+
+struct PsParam {
+  std::uint32_t q, d_prime;
+  SupernodeKind kind;
+};
+
+class AnalyticRoutingTest : public ::testing::TestWithParam<PsParam> {};
+
+TEST_P(AnalyticRoutingTest, DistanceMatchesBfsEverywhere) {
+  const auto [q, dp, kind] = GetParam();
+  auto ps = PolarStar::build({q, dp, kind, 0});
+  PolarStarRouting routing(ps);
+  const auto& graph = ps.graph();
+  for (g::Vertex s = 0; s < graph.num_vertices(); ++s) {
+    auto bfs = g::bfs_distances(graph, s);
+    for (g::Vertex t = 0; t < graph.num_vertices(); ++t) {
+      ASSERT_EQ(routing.distance(s, t), bfs[t])
+          << "pair (" << s << ", " << t << ") q=" << q << " d'=" << dp;
+    }
+  }
+}
+
+TEST_P(AnalyticRoutingTest, NextHopsAreExactlyMinimal) {
+  const auto [q, dp, kind] = GetParam();
+  auto ps = PolarStar::build({q, dp, kind, 0});
+  PolarStarRouting routing(ps);
+  const auto& graph = ps.graph();
+  g::DistanceMatrix dm(graph);
+  std::vector<g::Vertex> hops;
+  for (g::Vertex s = 0; s < graph.num_vertices(); ++s) {
+    for (g::Vertex t = 0; t < graph.num_vertices(); ++t) {
+      if (s == t) continue;
+      hops.clear();
+      routing.next_hops(s, t, hops);
+      ASSERT_FALSE(hops.empty()) << s << "->" << t;
+      std::vector<g::Vertex> expected;
+      for (g::Vertex w : graph.neighbors(s)) {
+        if (dm.at(w, t) + 1 == dm.at(s, t)) expected.push_back(w);
+      }
+      std::sort(hops.begin(), hops.end());
+      ASSERT_EQ(hops, expected) << s << "->" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AnalyticRoutingTest,
+    ::testing::Values(PsParam{3, 3, SupernodeKind::kInductiveQuad},
+                      PsParam{4, 3, SupernodeKind::kInductiveQuad},
+                      PsParam{5, 4, SupernodeKind::kInductiveQuad},
+                      PsParam{4, 7, SupernodeKind::kInductiveQuad},
+                      PsParam{3, 2, SupernodeKind::kPaley},
+                      PsParam{4, 4, SupernodeKind::kPaley},
+                      PsParam{5, 2, SupernodeKind::kPaley},
+                      PsParam{5, 6, SupernodeKind::kPaley}));
+
+TEST(AnalyticRoutingStorage, FarSmallerThanFullTables) {
+  auto ps = PolarStar::build({7, 4, SupernodeKind::kInductiveQuad, 0});
+  PolarStarRouting analytic(ps);
+  g::DistanceMatrix dm(ps.graph());
+  g::MinimalNextHops table(ps.graph(), dm);
+  // The §9.5 claim: analytic routing state is orders of magnitude below
+  // all-minpath tables.
+  EXPECT_LT(analytic.storage_entries() * 50, table.storage_entries());
+}

@@ -1,0 +1,83 @@
+// Edge-disjoint spanning tree packing tests (the paper's cited extension).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/spanning_trees.h"
+#include "core/polarstar.h"
+#include "graph/algorithms.h"
+
+namespace analysis = polarstar::analysis;
+namespace g = polarstar::graph;
+
+namespace {
+
+void verify_packing(const g::Graph& graph,
+                    const analysis::TreePacking& packing) {
+  std::set<g::Edge> used;
+  std::size_t total = 0;
+  for (const auto& tree : packing.trees) {
+    ASSERT_EQ(tree.size(), graph.num_vertices() - 1);
+    // Edge-disjointness across trees, and every edge must exist.
+    for (auto e : tree) {
+      EXPECT_TRUE(graph.has_edge(e.first, e.second));
+      EXPECT_TRUE(used.insert({std::min(e.first, e.second),
+                               std::max(e.first, e.second)}).second);
+    }
+    // Spanning and acyclic: n-1 edges + connected = tree.
+    auto t = g::Graph::from_edges(graph.num_vertices(),
+                                  std::vector<g::Edge>(tree.begin(), tree.end()));
+    EXPECT_TRUE(g::is_connected(t));
+    total += tree.size();
+  }
+  EXPECT_EQ(total + packing.leftover_edges, graph.num_edges());
+}
+
+}  // namespace
+
+TEST(SpanningTrees, CompleteGraphPacksManyTrees) {
+  // K_8 packs exactly 4 edge-disjoint spanning trees (n/2 for even n).
+  std::vector<g::Edge> e;
+  for (g::Vertex u = 0; u < 8; ++u) {
+    for (g::Vertex v = u + 1; v < 8; ++v) e.push_back({u, v});
+  }
+  auto graph = g::Graph::from_edges(8, e);
+  auto packing = analysis::pack_spanning_trees(graph);
+  verify_packing(graph, packing);
+  EXPECT_GE(packing.trees.size(), 3u);  // greedy may miss the 4th
+  EXPECT_LE(packing.trees.size(), 4u);
+}
+
+TEST(SpanningTrees, TreeGraphPacksExactlyOne) {
+  auto graph = g::Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto packing = analysis::pack_spanning_trees(graph);
+  verify_packing(graph, packing);
+  EXPECT_EQ(packing.trees.size(), 1u);
+  EXPECT_EQ(packing.leftover_edges, 0u);
+}
+
+TEST(SpanningTrees, PolarStarPacksAFairShareOfItsRadix)
+{
+  // Tree-packing number >= floor(edge connectivity / 2); for a radix-9
+  // PolarStar that is ~4. Greedy should land at least 3.
+  auto ps = polarstar::core::PolarStar::build(
+      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  auto packing = analysis::pack_spanning_trees(ps.graph());
+  verify_packing(ps.graph(), packing);
+  EXPECT_GE(packing.trees.size(), 3u);
+}
+
+TEST(SpanningTrees, Deterministic) {
+  auto ps = polarstar::core::PolarStar::build(
+      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  auto a = analysis::pack_spanning_trees(ps.graph(), 9);
+  auto b = analysis::pack_spanning_trees(ps.graph(), 9);
+  EXPECT_EQ(a.trees, b.trees);
+}
+
+TEST(SpanningTrees, EmptyAndTrivial) {
+  EXPECT_TRUE(analysis::pack_spanning_trees(g::Graph::from_edges(0, {}))
+                  .trees.empty());
+  EXPECT_TRUE(analysis::pack_spanning_trees(g::Graph::from_edges(1, {}))
+                  .trees.empty());
+}

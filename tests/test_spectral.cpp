@@ -1,0 +1,94 @@
+// Spectral analysis tests: algebraic connectivity on graphs with known
+// lambda_2, and the bisection lower bound bracketing the partitioner's
+// upper bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/bisection.h"
+#include "analysis/spectral.h"
+#include "core/polarstar.h"
+#include "partition/partitioner.h"
+
+namespace analysis = polarstar::analysis;
+namespace g = polarstar::graph;
+
+namespace {
+
+g::Graph cycle(g::Vertex n) {
+  std::vector<g::Edge> e;
+  for (g::Vertex v = 0; v < n; ++v) e.push_back({v, (v + 1) % n});
+  return g::Graph::from_edges(n, e);
+}
+
+g::Graph complete(g::Vertex n) {
+  std::vector<g::Edge> e;
+  for (g::Vertex u = 0; u < n; ++u) {
+    for (g::Vertex v = u + 1; v < n; ++v) e.push_back({u, v});
+  }
+  return g::Graph::from_edges(n, e);
+}
+
+g::Graph hypercube(unsigned dims) {
+  std::vector<g::Edge> e;
+  const g::Vertex n = 1u << dims;
+  for (g::Vertex v = 0; v < n; ++v) {
+    for (unsigned b = 0; b < dims; ++b) {
+      if ((v ^ (1u << b)) > v) e.push_back({v, v ^ (1u << b)});
+    }
+  }
+  return g::Graph::from_edges(n, e);
+}
+
+}  // namespace
+
+TEST(Spectral, KnownEigenvalues) {
+  // C_n: lambda_2 = 2 - 2cos(2 pi / n).
+  for (g::Vertex n : {8u, 16u, 30u}) {
+    const double expect = 2.0 - 2.0 * std::cos(2.0 * std::numbers::pi / n);
+    EXPECT_NEAR(analysis::algebraic_connectivity(cycle(n), 3000), expect,
+                0.02 * expect + 1e-3)
+        << "C" << n;
+  }
+  // K_n: lambda_2 = n.
+  EXPECT_NEAR(analysis::algebraic_connectivity(complete(10)), 10.0, 0.05);
+  // Hypercube Q_d: lambda_2 = 2.
+  EXPECT_NEAR(analysis::algebraic_connectivity(hypercube(4), 3000), 2.0, 0.05);
+}
+
+TEST(Spectral, DisconnectedIsZero) {
+  auto g2 = g::Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(analysis::algebraic_connectivity(g2), 0.0);
+}
+
+TEST(Spectral, CompleteGraphBisectionBoundIsTight) {
+  // K_n's minimum bisection is exactly (n/2)^2 = lambda_2 * n / 4.
+  auto kn = complete(12);
+  const auto bound = analysis::spectral_bisection_lower_bound(kn);
+  auto cut = polarstar::partition::bisect(kn).cut_edges;
+  EXPECT_EQ(cut, 36u);
+  EXPECT_LE(bound, cut);
+  EXPECT_GE(bound, 34u);  // within the convergence margin of tight
+}
+
+TEST(Spectral, BoundBracketsPartitionerOnPolarStar) {
+  auto ps = polarstar::core::PolarStar::build(
+      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
+  const auto lower = analysis::spectral_bisection_lower_bound(ps.graph());
+  auto rep = analysis::bisection_report(ps.topology());
+  const double label = analysis::polarstar_label_cut_bound(ps);
+  EXPECT_LE(lower, rep.cut_links);
+  // The structural label cut respects the spectral bound too.
+  EXPECT_LE(static_cast<double>(lower),
+            label * static_cast<double>(ps.graph().num_edges()) + 1e-6);
+  EXPECT_GT(lower, 0u);
+}
+
+TEST(Spectral, ExpanderHasLargeConnectivity) {
+  // LPS/ER-style expanders: lambda_2 >= d - 2 sqrt(d-1) roughly; just check
+  // it is a solid fraction of the degree for ER_7.
+  auto er = polarstar::topo::ErGraph::build(7);
+  const double l2 = analysis::algebraic_connectivity(er.g, 2000);
+  EXPECT_GT(l2, 3.0);  // degree 8, Ramanujan-like gap
+}

@@ -1,0 +1,134 @@
+// Star-product machinery tests: order/degree algebra, the diameter-(D+1)
+// theorems (Theorem 4 for R*, Theorem 5 for R1), and the self-loop edge
+// rule of Fig 5c.
+#include <gtest/gtest.h>
+
+#include "core/star_product.h"
+#include "graph/algorithms.h"
+#include "topo/complete.h"
+#include "topo/er.h"
+#include "topo/inductive_quad.h"
+#include "topo/paley.h"
+
+namespace core = polarstar::core;
+namespace topo = polarstar::topo;
+namespace g = polarstar::graph;
+
+namespace {
+
+topo::Supernode cycle4_supernode() {
+  // C4 with the antipodal involution: satisfies R*.
+  topo::Supernode sn;
+  sn.g = g::Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  sn.f = {2, 3, 0, 1};
+  sn.f_is_involution = true;
+  sn.name = "C4";
+  return sn;
+}
+
+}  // namespace
+
+TEST(StarProduct, OrderIsProductOfOrders) {
+  auto er = topo::ErGraph::build(3);
+  auto sn = cycle4_supernode();
+  std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+  auto sp = core::star_product(er.g, loops, sn);
+  EXPECT_EQ(sp.product.num_vertices(),
+            er.g.num_vertices() * sn.g.num_vertices());
+}
+
+TEST(StarProduct, DegreeIsSumOfDegrees) {
+  auto er = topo::ErGraph::build(3);
+  auto sn = cycle4_supernode();
+  std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+  auto sp = core::star_product(er.g, loops, sn);
+  // With the loop rule every product vertex has degree d + d' = 4 + 2 = 6
+  // (quadric supernodes gain the f-matching in place of the missing edge).
+  EXPECT_EQ(sp.product.max_degree(), 6u);
+  EXPECT_EQ(sp.product.min_degree(), 6u);
+}
+
+TEST(StarProduct, VertexIdRoundTrip) {
+  core::StarProduct sp;
+  sp.n_structure = 13;
+  sp.n_supernode = 4;
+  for (g::Vertex x = 0; x < 13; ++x) {
+    for (g::Vertex xp = 0; xp < 4; ++xp) {
+      auto v = sp.id(x, xp);
+      EXPECT_EQ(sp.structure_of(v), x);
+      EXPECT_EQ(sp.label_of(v), xp);
+    }
+  }
+}
+
+TEST(StarProduct, Theorem4DiameterAtMost3WithRStarSupernode) {
+  // ER_q (diameter 2, property R) * IQ (property R*) has diameter <= 3.
+  for (std::uint32_t q : {3u, 4u, 5u}) {
+    auto er = topo::ErGraph::build(q);
+    auto sn = topo::iq::build(3);
+    std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+    auto sp = core::star_product(er.g, loops, sn);
+    auto stats = g::path_stats(sp.product);
+    EXPECT_TRUE(stats.connected) << "q=" << q;
+    EXPECT_LE(stats.diameter, 3u) << "q=" << q;
+  }
+}
+
+TEST(StarProduct, Theorem5DiameterAtMost3WithR1Supernode) {
+  // ER_q * Paley(q') via property R1 (Fig 5's ER_3 * Paley(5) included).
+  for (std::uint32_t q : {3u, 4u, 5u}) {
+    auto er = topo::ErGraph::build(q);
+    auto sn = topo::paley::build(5);
+    std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+    auto sp = core::star_product(er.g, loops, sn);
+    auto stats = g::path_stats(sp.product);
+    EXPECT_TRUE(stats.connected) << "q=" << q;
+    EXPECT_LE(stats.diameter, 3u) << "q=" << q;
+  }
+}
+
+TEST(StarProduct, WithoutLoopEdgesDiameterCanOnlyGrow) {
+  // Dropping the quadric loop rule must not create shorter paths.
+  auto er = topo::ErGraph::build(3);
+  auto sn = topo::iq::build(3);
+  std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+  auto with = core::star_product(er.g, loops, sn);
+  auto without = core::star_product(er.g, {}, sn);
+  EXPECT_GT(with.product.num_edges(), without.product.num_edges());
+  EXPECT_GE(g::path_stats(without.product).diameter,
+            g::path_stats(with.product).diameter);
+}
+
+TEST(StarProduct, CartesianLikeWithIdentityBijection) {
+  // With the complete-graph supernode and identity f, inter-supernode edges
+  // join same-labelled vertices (a Cartesian product restricted to arcs).
+  auto er = topo::ErGraph::build(2);
+  auto sn = topo::complete::build(2);  // K3, identity involution
+  auto sp = core::star_product(er.g, {}, sn);
+  for (g::Vertex x = 0; x < er.g.num_vertices(); ++x) {
+    for (g::Vertex y : er.g.neighbors(x)) {
+      for (g::Vertex lbl = 0; lbl < 3; ++lbl) {
+        EXPECT_TRUE(sp.product.has_edge(sp.id(x, lbl), sp.id(y, lbl)));
+      }
+    }
+  }
+}
+
+TEST(StarProduct, AlternatingPathStructure) {
+  // Lemma: with an R* supernode every inter-supernode walk alternates
+  // between labels x' and f(x'). Check the edge rule directly.
+  auto er = topo::ErGraph::build(3);
+  auto sn = topo::iq::build(3);
+  std::vector<bool> loops(er.quadric.begin(), er.quadric.end());
+  auto sp = core::star_product(er.g, loops, sn);
+  for (g::Vertex v = 0; v < sp.product.num_vertices(); ++v) {
+    const auto x = sp.structure_of(v), xp = sp.label_of(v);
+    for (g::Vertex w : sp.product.neighbors(v)) {
+      const auto y = sp.structure_of(w), yp = sp.label_of(w);
+      if (x != y) {
+        EXPECT_TRUE(er.g.has_edge(x, y));
+        EXPECT_EQ(yp, sn.f[xp]);  // inter edges always apply f
+      }
+    }
+  }
+}

@@ -1,0 +1,218 @@
+// Traffic pattern tests: destination functions, domain restrictions,
+// injection-rate accounting, and the adversarial group pairing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/polarstar.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+#include "topo/dragonfly.h"
+
+namespace sim = polarstar::sim;
+namespace routing = polarstar::routing;
+namespace topo = polarstar::topo;
+namespace g = polarstar::graph;
+
+namespace {
+
+// A sim shell so destination() (which may need routing distances) works.
+struct Shell {
+  topo::Topology t;
+  std::unique_ptr<routing::MinimalRouting> r;
+  std::unique_ptr<sim::Network> net;
+  std::unique_ptr<sim::Simulation> s;
+  sim::TrafficSource* keep = nullptr;
+
+  explicit Shell(topo::Topology topo_in, sim::TrafficSource& src)
+      : t(std::move(topo_in)) {
+    r = routing::make_table_routing(t.g);
+    net = std::make_unique<sim::Network>(t, *r);
+    s = std::make_unique<sim::Simulation>(*net, sim::SimParams{}, src);
+  }
+};
+
+struct NullSource final : sim::TrafficSource {
+  void tick(sim::Simulation&) override {}
+};
+
+}  // namespace
+
+TEST(Traffic, UniformNeverSelf) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  sim::PatternSource p(t, sim::Pattern::kUniform, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  for (std::uint64_t e = 0; e < t.num_endpoints(); e += 7) {
+    for (int i = 0; i < 50; ++i) {
+      auto d = p.destination(e, *shell.s);
+      EXPECT_NE(d, e);
+      EXPECT_LT(d, t.num_endpoints());
+    }
+  }
+}
+
+TEST(Traffic, PermutationIsFixedAndConsistent) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  sim::PatternSource p(t, sim::Pattern::kPermutation, 0.1, 4, 5);
+  NullSource null;
+  Shell shell(t, null);
+  std::map<g::Vertex, g::Vertex> router_map;
+  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+    auto d1 = p.destination(e, *shell.s);
+    auto d2 = p.destination(e, *shell.s);
+    EXPECT_EQ(d1, d2);  // fixed mapping
+    if (d1 == sim::PatternSource::kNoTraffic) continue;
+    const auto sr = t.router_of_endpoint(e), dr = t.router_of_endpoint(d1);
+    auto [it, fresh] = router_map.emplace(sr, dr);
+    EXPECT_EQ(it->second, dr);  // all slots of a router go to tau(router)
+  }
+  // tau is injective on senders.
+  std::set<g::Vertex> images;
+  for (auto [s, d] : router_map) images.insert(d);
+  EXPECT_EQ(images.size(), router_map.size());
+}
+
+TEST(Traffic, BitPatternsStayInPowerOfTwoDomain) {
+  auto t = topo::dragonfly::build({4, 2, 2});  // 72 endpoints -> domain 64
+  NullSource null;
+  Shell shell(t, null);
+  sim::PatternSource shuffle(t, sim::Pattern::kBitShuffle, 0.1, 4, 1);
+  sim::PatternSource reverse(t, sim::Pattern::kBitReverse, 0.1, 4, 1);
+  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+    auto ds = shuffle.destination(e, *shell.s);
+    auto dr = reverse.destination(e, *shell.s);
+    if (e >= 64) {
+      EXPECT_EQ(ds, sim::PatternSource::kNoTraffic);
+      EXPECT_EQ(dr, sim::PatternSource::kNoTraffic);
+      continue;
+    }
+    if (ds != sim::PatternSource::kNoTraffic) EXPECT_LT(ds, 64u);
+    if (dr != sim::PatternSource::kNoTraffic) EXPECT_LT(dr, 64u);
+  }
+  // Spot-check the definitions: shuffle(1) = 2 in 6 bits; reverse(1) = 32.
+  EXPECT_EQ(shuffle.destination(1, *shell.s), 2u);
+  EXPECT_EQ(reverse.destination(1, *shell.s), 32u);
+  // Rotation wraps the top bit: shuffle(32) = 1.
+  EXPECT_EQ(shuffle.destination(32, *shell.s), 1u);
+}
+
+TEST(Traffic, AdversarialPairsNeighborGroups) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  sim::PatternSource p(t, sim::Pattern::kAdversarial, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+    auto d = p.destination(e, *shell.s);
+    ASSERT_NE(d, sim::PatternSource::kNoTraffic);
+    const auto sg = t.group_of[t.router_of_endpoint(e)];
+    const auto dg = t.group_of[t.router_of_endpoint(d)];
+    EXPECT_EQ(dg, (sg + 1) % 9);  // 9 groups in this config
+  }
+}
+
+TEST(Traffic, AdversarialIsBijectiveBetweenPairedGroups) {
+  auto ps = polarstar::core::PolarStar::build(
+      {3, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  const auto& t = ps.topology();
+  sim::PatternSource p(t, sim::Pattern::kAdversarial, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  // Router-level mapping must be a bijection within the paired group, so
+  // no destination router (or endpoint) gets more than its share.
+  std::map<g::Vertex, g::Vertex> rmap;
+  std::set<std::uint64_t> dst_eps;
+  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+    auto d = p.destination(e, *shell.s);
+    ASSERT_NE(d, sim::PatternSource::kNoTraffic);
+    EXPECT_TRUE(dst_eps.insert(d).second) << "endpoint " << d << " reused";
+    const auto sr = t.router_of_endpoint(e);
+    const auto dr = t.router_of_endpoint(d);
+    auto [it, fresh] = rmap.emplace(sr, dr);
+    EXPECT_EQ(it->second, dr);
+  }
+  std::set<g::Vertex> images;
+  for (auto [s, d] : rmap) images.insert(d);
+  EXPECT_EQ(images.size(), rmap.size());
+}
+
+TEST(Traffic, AdversarialForcesLongPaths) {
+  // The chosen shift maximizes total distance; on PolarStar the average
+  // router-pair distance under the pattern must be close to the diameter.
+  auto ps = polarstar::core::PolarStar::build(
+      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  const auto& t = ps.topology();
+  sim::PatternSource p(t, sim::Pattern::kAdversarial, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  double total = 0;
+  std::uint64_t count = 0;
+  for (std::uint64_t e = 0; e < t.num_endpoints(); e += t.conc[0]) {
+    auto d = p.destination(e, *shell.s);
+    total += shell.net->distance(t.router_of_endpoint(e),
+                                 t.router_of_endpoint(d));
+    ++count;
+  }
+  EXPECT_GT(total / static_cast<double>(count), 2.2);
+}
+
+TEST(Traffic, TornadoPairsAntipodalGroups) {
+  auto t = topo::dragonfly::build({4, 2, 2});  // 9 groups
+  sim::PatternSource p(t, sim::Pattern::kTornado, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+    auto d = p.destination(e, *shell.s);
+    ASSERT_NE(d, sim::PatternSource::kNoTraffic);
+    const auto sg = t.group_of[t.router_of_endpoint(e)];
+    const auto dg = t.group_of[t.router_of_endpoint(d)];
+    EXPECT_EQ(dg, (sg + 4) % 9);
+  }
+}
+
+TEST(Traffic, TornadoUngroupedFallsBackToEndpointShift) {
+  topo::Topology t;
+  std::vector<g::Edge> edges;
+  for (g::Vertex v = 0; v < 8; ++v) edges.push_back({v, (v + 1) % 8});
+  t.g = g::Graph::from_edges(8, edges);
+  t.conc.assign(8, 1);
+  t.finalize();
+  sim::PatternSource p(t, sim::Pattern::kTornado, 0.1, 4, 1);
+  NullSource null;
+  Shell shell(t, null);
+  EXPECT_EQ(p.destination(1, *shell.s), 5u);
+  EXPECT_EQ(p.destination(6, *shell.s), 2u);
+}
+
+TEST(Traffic, HotspotConcentratesSomeTraffic) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  sim::PatternSource p(t, sim::Pattern::kHotspot, 0.1, 4, 7);
+  NullSource null;
+  Shell shell(t, null);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 8000; ++i) {
+    auto d = p.destination(i % t.num_endpoints(), *shell.s);
+    ASSERT_NE(d, sim::PatternSource::kNoTraffic);
+    histogram[d]++;
+  }
+  // The hottest endpoint must receive far more than the uniform share.
+  int hottest = 0;
+  for (auto [ep, c] : histogram) hottest = std::max(hottest, c);
+  EXPECT_GT(hottest, 3 * 8000 / static_cast<int>(t.num_endpoints()));
+}
+
+TEST(Traffic, InjectionRateMatchesBernoulli) {
+  auto t = topo::dragonfly::build({4, 2, 2});
+  auto r = routing::make_table_routing(t.g);
+  sim::Network net(t, *r);
+  sim::SimParams prm;
+  prm.warmup_cycles = 0;
+  prm.measure_cycles = 2000;
+  const double rate = 0.2;
+  sim::PatternSource src(t, sim::Pattern::kUniform, rate, prm.packet_flits, 3);
+  sim::Simulation s(net, prm, src);
+  auto res = s.run();
+  // Offered 0.2 flits/cycle/endpoint; network must accept nearly all.
+  EXPECT_NEAR(res.accepted_flit_rate, rate, 0.03);
+}

@@ -1,0 +1,180 @@
+// polarstar_cli -- generate, export and analyze the library's topologies
+// from the command line.
+//
+//   polarstar_cli generate <spec> [--format edgelist|dot|anynet]
+//   polarstar_cli analyze  <spec>
+//   polarstar_cli design   <radix>
+//
+// <spec> is either a Table 3 row name (PS-IQ PS-Pal BF HX DF SF MF FT) or:
+//   polarstar q=<q> d=<d'> [kind=iq|paley|bdf|complete] [p=<endpoints>]
+//   polarfly  q=<q> [p=..]       slimfly q=<q> [p=..]
+//   dragonfly a=<a> h=<h> [p=..] hyperx  s=<s0>x<s1>x<s2> [p=..]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/bisection.h"
+#include "analysis/spectral.h"
+#include "analysis/topology_zoo.h"
+#include "core/design_space.h"
+#include "core/polarstar.h"
+#include "graph/algorithms.h"
+#include "io/export.h"
+#include "topo/dragonfly.h"
+#include "topo/hyperx.h"
+#include "topo/polarfly.h"
+#include "topo/slimfly.h"
+
+namespace {
+
+using namespace polarstar;
+
+std::map<std::string, std::string> parse_kv(int argc, char** argv, int from) {
+  std::map<std::string, std::string> kv;
+  for (int i = from; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) kv[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return kv;
+}
+
+std::uint32_t get_u32(const std::map<std::string, std::string>& kv,
+                      const std::string& key, std::uint32_t fallback) {
+  auto it = kv.find(key);
+  return it == kv.end() ? fallback
+                        : static_cast<std::uint32_t>(std::stoul(it->second));
+}
+
+std::optional<topo::Topology> build_spec(int argc, char** argv, int from) {
+  const std::string what = argv[from];
+  const char* table3[] = {"PS-IQ", "PS-Pal", "BF", "HX",
+                          "DF",    "SF",     "MF", "FT"};
+  for (const char* name : table3) {
+    if (what == name) return analysis::build_table3(what);
+  }
+  auto kv = parse_kv(argc, argv, from + 1);
+  const std::uint32_t p = get_u32(kv, "p", 0);
+  if (what == "polarstar") {
+    core::SupernodeKind kind = core::SupernodeKind::kInductiveQuad;
+    auto it = kv.find("kind");
+    if (it != kv.end()) {
+      if (it->second == "paley") kind = core::SupernodeKind::kPaley;
+      else if (it->second == "bdf") kind = core::SupernodeKind::kBdf;
+      else if (it->second == "complete") kind = core::SupernodeKind::kComplete;
+    }
+    core::PolarStarConfig cfg{get_u32(kv, "q", 5), get_u32(kv, "d", 3), kind,
+                              p};
+    if (!core::polarstar_feasible(cfg)) {
+      std::cerr << "infeasible polarstar config\n";
+      return std::nullopt;
+    }
+    return core::PolarStar::build(cfg).topology();
+  }
+  if (what == "polarfly") return topo::polarfly::build({get_u32(kv, "q", 7), p});
+  if (what == "slimfly") return topo::slimfly::build({get_u32(kv, "q", 5), p});
+  if (what == "dragonfly") {
+    return topo::dragonfly::build(
+        {get_u32(kv, "a", 8), get_u32(kv, "h", 4), p});
+  }
+  if (what == "hyperx") {
+    std::vector<std::uint32_t> dims;
+    std::stringstream ss(kv.count("s") ? kv["s"] : "4x4x4");
+    std::string part;
+    while (std::getline(ss, part, 'x')) {
+      dims.push_back(static_cast<std::uint32_t>(std::stoul(part)));
+    }
+    return topo::hyperx::build({dims, p});
+  }
+  std::cerr << "unknown topology spec: " << what << "\n";
+  return std::nullopt;
+}
+
+int cmd_generate(int argc, char** argv) {
+  std::string format = "edgelist";
+  for (int i = 2; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--format") format = argv[i + 1];
+  }
+  auto t = build_spec(argc, argv, 2);
+  if (!t) return 1;
+  if (format == "edgelist") {
+    io::write_edge_list(std::cout, t->g, t->name);
+  } else if (format == "dot") {
+    io::write_dot(std::cout, *t);
+  } else if (format == "anynet") {
+    io::write_booksim_anynet(std::cout, *t);
+  } else {
+    std::cerr << "unknown format " << format << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  auto t = build_spec(argc, argv, 2);
+  if (!t) return 1;
+  auto stats = graph::path_stats(t->g);
+  auto bis = analysis::bisection_report(*t);
+  const double l2 = analysis::algebraic_connectivity(t->g);
+  std::printf("topology:      %s\n", t->name.c_str());
+  std::printf("routers:       %u\n", t->num_routers());
+  std::printf("links:         %zu\n", t->g.num_edges());
+  std::printf("radix:         %u\n", t->network_radix());
+  std::printf("endpoints:     %llu\n",
+              static_cast<unsigned long long>(t->num_endpoints()));
+  std::printf("diameter:      %u\n", stats.diameter);
+  std::printf("avg path len:  %.4f\n", stats.avg_path_length);
+  std::printf("bisection:     %llu links (%.1f%% of normalizing links)\n",
+              static_cast<unsigned long long>(bis.cut_links),
+              100.0 * bis.fraction);
+  std::printf("spectral l2:   %.3f (bisection lower bound %llu links)\n", l2,
+              static_cast<unsigned long long>(
+                  analysis::spectral_bisection_lower_bound(t->g)));
+  return 0;
+}
+
+int cmd_design(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: polarstar_cli design <radix>\n";
+    return 1;
+  }
+  const std::uint32_t radix =
+      static_cast<std::uint32_t>(std::stoul(argv[2]));
+  std::printf("%-10s %5s %5s %12s\n", "kind", "q", "d'", "order");
+  for (const auto& pt : core::polarstar_candidates(radix, true)) {
+    std::printf("%-10s %5u %5u %12llu\n", core::to_string(pt.cfg.kind),
+                pt.cfg.q, pt.cfg.d_prime,
+                static_cast<unsigned long long>(pt.order));
+  }
+  auto best = core::best_polarstar(radix);
+  std::printf("best: %s q=%u d'=%u -> %llu routers (StarMax %llu)\n",
+              core::to_string(best.cfg.kind), best.cfg.q, best.cfg.d_prime,
+              static_cast<unsigned long long>(best.order),
+              static_cast<unsigned long long>(core::starmax_bound(radix)));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: polarstar_cli <generate|analyze|design> ...\n";
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+    if (cmd == "design") return cmd_design(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command " << cmd << "\n";
+  return 1;
+}

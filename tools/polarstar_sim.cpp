@@ -1,0 +1,124 @@
+// polarstar_sim -- command-line flit-level simulation runner (the BookSim
+// substitute's front end). Prints one CSV row per load point.
+//
+//   polarstar_sim <topo> [pattern] [mode] [loads...] [key=value...]
+//     topo:    Table 3 row (PS-IQ PS-Pal BF HX DF SF MF FT)
+//     pattern: uniform permutation shuffle reverse adversarial tornado
+//              hotspot                      (default uniform)
+//     mode:    min min-adaptive ugal        (default min)
+//     loads:   numbers in (0,1]             (default 0.1..0.9)
+//     keys:    vcs= buffers= flits= warmup= measure= drain= seed= link=
+//
+// Example:
+//   polarstar_sim PS-IQ uniform ugal 0.2 0.4 0.6 vcs=8 seed=3
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/topology_zoo.h"
+#include "core/polarstar.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/routing.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace polarstar;
+  if (argc < 2) {
+    std::cerr << "usage: polarstar_sim <topo> [pattern] [mode] [loads...] "
+                 "[key=value...]\n";
+    return 1;
+  }
+  const std::string topo_name = argv[1];
+  sim::Pattern pattern = sim::Pattern::kUniform;
+  sim::SimParams prm;
+  prm.warmup_cycles = 1000;
+  prm.measure_cycles = 2000;
+  prm.drain_cycles = 12000;
+  bool adaptive = false;
+  std::vector<double> loads;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = arg.substr(0, eq);
+      const std::uint64_t val = std::stoull(arg.substr(eq + 1));
+      if (key == "vcs") prm.num_vcs = static_cast<std::uint32_t>(val);
+      else if (key == "buffers") prm.vc_buffer_flits = static_cast<std::uint32_t>(val);
+      else if (key == "flits") prm.packet_flits = static_cast<std::uint32_t>(val);
+      else if (key == "warmup") prm.warmup_cycles = val;
+      else if (key == "measure") prm.measure_cycles = val;
+      else if (key == "drain") prm.drain_cycles = val;
+      else if (key == "seed") prm.seed = val;
+      else if (key == "link") prm.link_latency = static_cast<std::uint32_t>(val);
+      else {
+        std::cerr << "unknown key " << key << "\n";
+        return 1;
+      }
+    } else if (arg == "uniform") pattern = sim::Pattern::kUniform;
+    else if (arg == "permutation") pattern = sim::Pattern::kPermutation;
+    else if (arg == "shuffle") pattern = sim::Pattern::kBitShuffle;
+    else if (arg == "reverse") pattern = sim::Pattern::kBitReverse;
+    else if (arg == "adversarial") pattern = sim::Pattern::kAdversarial;
+    else if (arg == "tornado") pattern = sim::Pattern::kTornado;
+    else if (arg == "hotspot") pattern = sim::Pattern::kHotspot;
+    else if (arg == "min") prm.path_mode = sim::PathMode::kMinimal;
+    else if (arg == "min-adaptive") {
+      prm.path_mode = sim::PathMode::kMinimal;
+      adaptive = true;
+    } else if (arg == "ugal") {
+      prm.path_mode = sim::PathMode::kUgal;
+      prm.num_vcs = std::max(prm.num_vcs, 8u);
+    } else {
+      try {
+        loads.push_back(std::stod(arg));
+      } catch (...) {
+        std::cerr << "unrecognized argument " << arg << "\n";
+        return 1;
+      }
+    }
+  }
+  if (loads.empty()) loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  prm.min_select =
+      adaptive ? sim::MinSelect::kAdaptive : sim::MinSelect::kSingleHash;
+
+  topo::Topology topo = analysis::build_table3(topo_name);
+  std::unique_ptr<core::PolarStar> ps;
+  std::unique_ptr<routing::MinimalRouting> route;
+  if (topo_name == "PS-IQ") {
+    ps = std::make_unique<core::PolarStar>(core::PolarStar::build(
+        {11, 3, core::SupernodeKind::kInductiveQuad, 5}));
+    route = routing::make_polarstar_routing(*ps);
+  } else if (topo_name == "PS-Pal") {
+    ps = std::make_unique<core::PolarStar>(
+        core::PolarStar::build({8, 6, core::SupernodeKind::kPaley, 5}));
+    route = routing::make_polarstar_routing(*ps);
+  } else if (topo_name == "DF") {
+    route = std::make_unique<routing::DragonflyRouting>(topo);
+  } else {
+    route = routing::make_table_routing(topo.g);
+  }
+  sim::Network net(topo, *route);
+
+  std::printf("topology,pattern,mode,load,avg_latency,p99_latency,"
+              "accepted,avg_hops,stable\n");
+  for (double load : loads) {
+    sim::PatternSource src(topo, pattern, load, prm.packet_flits, prm.seed);
+    sim::Simulation s(net, prm, src);
+    auto res = s.run();
+    std::printf("%s,%s,%s,%.3f,%.2f,%.0f,%.4f,%.3f,%d\n", topo_name.c_str(),
+                sim::to_string(pattern),
+                prm.path_mode == sim::PathMode::kUgal
+                    ? "ugal"
+                    : (adaptive ? "min-adaptive" : "min"),
+                load, res.avg_packet_latency, res.p99_packet_latency,
+                res.accepted_flit_rate, res.avg_hops, res.stable ? 1 : 0);
+    std::fflush(stdout);
+    if (!res.stable) break;
+  }
+  return 0;
+}
