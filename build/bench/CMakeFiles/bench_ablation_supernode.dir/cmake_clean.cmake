@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_supernode.dir/bench_ablation_supernode.cpp.o"
+  "CMakeFiles/bench_ablation_supernode.dir/bench_ablation_supernode.cpp.o.d"
+  "bench_ablation_supernode"
+  "bench_ablation_supernode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_supernode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

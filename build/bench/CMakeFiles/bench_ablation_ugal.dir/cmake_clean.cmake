@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ugal.dir/bench_ablation_ugal.cpp.o"
+  "CMakeFiles/bench_ablation_ugal.dir/bench_ablation_ugal.cpp.o.d"
+  "bench_ablation_ugal"
+  "bench_ablation_ugal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ugal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_degraded.dir/bench_ext_degraded.cpp.o"
+  "CMakeFiles/bench_ext_degraded.dir/bench_ext_degraded.cpp.o.d"
+  "bench_ext_degraded"
+  "bench_ext_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_path_diversity.dir/bench_ext_path_diversity.cpp.o"
+  "CMakeFiles/bench_ext_path_diversity.dir/bench_ext_path_diversity.cpp.o.d"
+  "bench_ext_path_diversity"
+  "bench_ext_path_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_path_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

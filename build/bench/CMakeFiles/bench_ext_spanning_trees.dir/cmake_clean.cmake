@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spanning_trees.dir/bench_ext_spanning_trees.cpp.o"
+  "CMakeFiles/bench_ext_spanning_trees.dir/bench_ext_spanning_trees.cpp.o.d"
+  "bench_ext_spanning_trees"
+  "bench_ext_spanning_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spanning_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

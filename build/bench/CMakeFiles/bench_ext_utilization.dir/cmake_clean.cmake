@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_utilization.dir/bench_ext_utilization.cpp.o"
+  "CMakeFiles/bench_ext_utilization.dir/bench_ext_utilization.cpp.o.d"
+  "bench_ext_utilization"
+  "bench_ext_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_flow.dir/bench_fig09_flow.cpp.o"
+  "CMakeFiles/bench_fig09_flow.dir/bench_fig09_flow.cpp.o.d"
+  "bench_fig09_flow"
+  "bench_fig09_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_adversarial.dir/bench_fig10_adversarial.cpp.o"
+  "CMakeFiles/bench_fig10_adversarial.dir/bench_fig10_adversarial.cpp.o.d"
+  "bench_fig10_adversarial"
+  "bench_fig10_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

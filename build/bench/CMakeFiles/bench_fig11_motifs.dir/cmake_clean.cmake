@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_motifs.dir/bench_fig11_motifs.cpp.o"
+  "CMakeFiles/bench_fig11_motifs.dir/bench_fig11_motifs.cpp.o.d"
+  "bench_fig11_motifs"
+  "bench_fig11_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

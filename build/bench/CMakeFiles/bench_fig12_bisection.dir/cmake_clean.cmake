@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bisection.dir/bench_fig12_bisection.cpp.o"
+  "CMakeFiles/bench_fig12_bisection.dir/bench_fig12_bisection.cpp.o.d"
+  "bench_fig12_bisection"
+  "bench_fig12_bisection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bisection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_faults.dir/bench_fig14_faults.cpp.o"
+  "CMakeFiles/bench_fig14_faults.dir/bench_fig14_faults.cpp.o.d"
+  "bench_fig14_faults"
+  "bench_fig14_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

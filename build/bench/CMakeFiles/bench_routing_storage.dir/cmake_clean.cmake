@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_storage.dir/bench_routing_storage.cpp.o"
+  "CMakeFiles/bench_routing_storage.dir/bench_routing_storage.cpp.o.d"
+  "bench_routing_storage"
+  "bench_routing_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

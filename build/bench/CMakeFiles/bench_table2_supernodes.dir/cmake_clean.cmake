@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_supernodes.dir/bench_table2_supernodes.cpp.o"
+  "CMakeFiles/bench_table2_supernodes.dir/bench_table2_supernodes.cpp.o.d"
+  "bench_table2_supernodes"
+  "bench_table2_supernodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_supernodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_collectives.dir/collectives.cpp.o"
+  "CMakeFiles/example_collectives.dir/collectives.cpp.o.d"
+  "example_collectives"
+  "example_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fault_explorer.dir/fault_explorer.cpp.o"
+  "CMakeFiles/example_fault_explorer.dir/fault_explorer.cpp.o.d"
+  "example_fault_explorer"
+  "example_fault_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_star_product_tour.dir/star_product_tour.cpp.o"
+  "CMakeFiles/example_star_product_tour.dir/star_product_tour.cpp.o.d"
+  "example_star_product_tour"
+  "example_star_product_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_star_product_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_traffic_lab.dir/traffic_lab.cpp.o"
+  "CMakeFiles/example_traffic_lab.dir/traffic_lab.cpp.o.d"
+  "example_traffic_lab"
+  "example_traffic_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_traffic_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bisection.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/bisection.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/bisection.cpp.o.d"
+  "/root/repo/src/analysis/channel_load.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/channel_load.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/channel_load.cpp.o.d"
+  "/root/repo/src/analysis/connectivity.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/connectivity.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/connectivity.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/deadlock.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/fault_tolerance.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/fault_tolerance.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/fault_tolerance.cpp.o.d"
+  "/root/repo/src/analysis/layout.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/layout.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/layout.cpp.o.d"
+  "/root/repo/src/analysis/moore.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/moore.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/moore.cpp.o.d"
+  "/root/repo/src/analysis/path_diversity.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/path_diversity.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/path_diversity.cpp.o.d"
+  "/root/repo/src/analysis/spanning_trees.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/spanning_trees.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/spanning_trees.cpp.o.d"
+  "/root/repo/src/analysis/spectral.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/spectral.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/spectral.cpp.o.d"
+  "/root/repo/src/analysis/topology_zoo.cpp" "src/CMakeFiles/ps_analysis.dir/analysis/topology_zoo.cpp.o" "gcc" "src/CMakeFiles/ps_analysis.dir/analysis/topology_zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_analysis.dir/analysis/bisection.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/bisection.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/channel_load.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/channel_load.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/connectivity.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/connectivity.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/deadlock.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/deadlock.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/fault_tolerance.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/fault_tolerance.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/layout.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/layout.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/moore.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/moore.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/path_diversity.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/path_diversity.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/spanning_trees.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/spanning_trees.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/spectral.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/spectral.cpp.o.d"
+  "CMakeFiles/ps_analysis.dir/analysis/topology_zoo.cpp.o"
+  "CMakeFiles/ps_analysis.dir/analysis/topology_zoo.cpp.o.d"
+  "libps_analysis.a"
+  "libps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bundlefly.cpp" "src/CMakeFiles/ps_core.dir/core/bundlefly.cpp.o" "gcc" "src/CMakeFiles/ps_core.dir/core/bundlefly.cpp.o.d"
+  "/root/repo/src/core/design_space.cpp" "src/CMakeFiles/ps_core.dir/core/design_space.cpp.o" "gcc" "src/CMakeFiles/ps_core.dir/core/design_space.cpp.o.d"
+  "/root/repo/src/core/polarstar.cpp" "src/CMakeFiles/ps_core.dir/core/polarstar.cpp.o" "gcc" "src/CMakeFiles/ps_core.dir/core/polarstar.cpp.o.d"
+  "/root/repo/src/core/polarstar_routing.cpp" "src/CMakeFiles/ps_core.dir/core/polarstar_routing.cpp.o" "gcc" "src/CMakeFiles/ps_core.dir/core/polarstar_routing.cpp.o.d"
+  "/root/repo/src/core/star_product.cpp" "src/CMakeFiles/ps_core.dir/core/star_product.cpp.o" "gcc" "src/CMakeFiles/ps_core.dir/core/star_product.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

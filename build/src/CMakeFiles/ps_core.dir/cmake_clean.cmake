@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_core.dir/core/bundlefly.cpp.o"
+  "CMakeFiles/ps_core.dir/core/bundlefly.cpp.o.d"
+  "CMakeFiles/ps_core.dir/core/design_space.cpp.o"
+  "CMakeFiles/ps_core.dir/core/design_space.cpp.o.d"
+  "CMakeFiles/ps_core.dir/core/polarstar.cpp.o"
+  "CMakeFiles/ps_core.dir/core/polarstar.cpp.o.d"
+  "CMakeFiles/ps_core.dir/core/polarstar_routing.cpp.o"
+  "CMakeFiles/ps_core.dir/core/polarstar_routing.cpp.o.d"
+  "CMakeFiles/ps_core.dir/core/star_product.cpp.o"
+  "CMakeFiles/ps_core.dir/core/star_product.cpp.o.d"
+  "libps_core.a"
+  "libps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_gf.dir/gf/gf.cpp.o"
+  "CMakeFiles/ps_gf.dir/gf/gf.cpp.o.d"
+  "libps_gf.a"
+  "libps_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/ps_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/ps_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ps_graph.dir/graph/graph.cpp.o.d"
+  "libps_graph.a"
+  "libps_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

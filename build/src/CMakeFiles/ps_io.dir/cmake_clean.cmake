@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_io.dir/io/export.cpp.o"
+  "CMakeFiles/ps_io.dir/io/export.cpp.o.d"
+  "libps_io.a"
+  "libps_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

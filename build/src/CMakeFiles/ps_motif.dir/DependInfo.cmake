@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motif/allreduce.cpp" "src/CMakeFiles/ps_motif.dir/motif/allreduce.cpp.o" "gcc" "src/CMakeFiles/ps_motif.dir/motif/allreduce.cpp.o.d"
+  "/root/repo/src/motif/halo.cpp" "src/CMakeFiles/ps_motif.dir/motif/halo.cpp.o" "gcc" "src/CMakeFiles/ps_motif.dir/motif/halo.cpp.o.d"
+  "/root/repo/src/motif/motif.cpp" "src/CMakeFiles/ps_motif.dir/motif/motif.cpp.o" "gcc" "src/CMakeFiles/ps_motif.dir/motif/motif.cpp.o.d"
+  "/root/repo/src/motif/sweep3d.cpp" "src/CMakeFiles/ps_motif.dir/motif/sweep3d.cpp.o" "gcc" "src/CMakeFiles/ps_motif.dir/motif/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_motif.dir/motif/allreduce.cpp.o"
+  "CMakeFiles/ps_motif.dir/motif/allreduce.cpp.o.d"
+  "CMakeFiles/ps_motif.dir/motif/halo.cpp.o"
+  "CMakeFiles/ps_motif.dir/motif/halo.cpp.o.d"
+  "CMakeFiles/ps_motif.dir/motif/motif.cpp.o"
+  "CMakeFiles/ps_motif.dir/motif/motif.cpp.o.d"
+  "CMakeFiles/ps_motif.dir/motif/sweep3d.cpp.o"
+  "CMakeFiles/ps_motif.dir/motif/sweep3d.cpp.o.d"
+  "libps_motif.a"
+  "libps_motif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_motif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_partition.dir/partition/partitioner.cpp.o"
+  "CMakeFiles/ps_partition.dir/partition/partitioner.cpp.o.d"
+  "libps_partition.a"
+  "libps_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_routing.dir/routing/dragonfly_routing.cpp.o"
+  "CMakeFiles/ps_routing.dir/routing/dragonfly_routing.cpp.o.d"
+  "CMakeFiles/ps_routing.dir/routing/routing.cpp.o"
+  "CMakeFiles/ps_routing.dir/routing/routing.cpp.o.d"
+  "libps_routing.a"
+  "libps_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/flow_model.cpp" "src/CMakeFiles/ps_sim.dir/sim/flow_model.cpp.o" "gcc" "src/CMakeFiles/ps_sim.dir/sim/flow_model.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/ps_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/ps_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/ps_sim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/ps_sim.dir/sim/simulation.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/ps_sim.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/ps_sim.dir/sim/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ps_sim.dir/sim/flow_model.cpp.o"
+  "CMakeFiles/ps_sim.dir/sim/flow_model.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/ps_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/ps_sim.dir/sim/simulation.cpp.o.d"
+  "CMakeFiles/ps_sim.dir/sim/traffic.cpp.o"
+  "CMakeFiles/ps_sim.dir/sim/traffic.cpp.o.d"
+  "libps_sim.a"
+  "libps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

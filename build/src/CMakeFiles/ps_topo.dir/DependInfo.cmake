@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/bdf.cpp" "src/CMakeFiles/ps_topo.dir/topo/bdf.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/bdf.cpp.o.d"
+  "/root/repo/src/topo/complete.cpp" "src/CMakeFiles/ps_topo.dir/topo/complete.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/complete.cpp.o.d"
+  "/root/repo/src/topo/dragonfly.cpp" "src/CMakeFiles/ps_topo.dir/topo/dragonfly.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/dragonfly.cpp.o.d"
+  "/root/repo/src/topo/er.cpp" "src/CMakeFiles/ps_topo.dir/topo/er.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/er.cpp.o.d"
+  "/root/repo/src/topo/fattree.cpp" "src/CMakeFiles/ps_topo.dir/topo/fattree.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/fattree.cpp.o.d"
+  "/root/repo/src/topo/hyperx.cpp" "src/CMakeFiles/ps_topo.dir/topo/hyperx.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/hyperx.cpp.o.d"
+  "/root/repo/src/topo/inductive_quad.cpp" "src/CMakeFiles/ps_topo.dir/topo/inductive_quad.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/inductive_quad.cpp.o.d"
+  "/root/repo/src/topo/jellyfish.cpp" "src/CMakeFiles/ps_topo.dir/topo/jellyfish.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/jellyfish.cpp.o.d"
+  "/root/repo/src/topo/kautz.cpp" "src/CMakeFiles/ps_topo.dir/topo/kautz.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/kautz.cpp.o.d"
+  "/root/repo/src/topo/lps.cpp" "src/CMakeFiles/ps_topo.dir/topo/lps.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/lps.cpp.o.d"
+  "/root/repo/src/topo/megafly.cpp" "src/CMakeFiles/ps_topo.dir/topo/megafly.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/megafly.cpp.o.d"
+  "/root/repo/src/topo/mms.cpp" "src/CMakeFiles/ps_topo.dir/topo/mms.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/mms.cpp.o.d"
+  "/root/repo/src/topo/paley.cpp" "src/CMakeFiles/ps_topo.dir/topo/paley.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/paley.cpp.o.d"
+  "/root/repo/src/topo/polarfly.cpp" "src/CMakeFiles/ps_topo.dir/topo/polarfly.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/polarfly.cpp.o.d"
+  "/root/repo/src/topo/properties.cpp" "src/CMakeFiles/ps_topo.dir/topo/properties.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/properties.cpp.o.d"
+  "/root/repo/src/topo/slimfly.cpp" "src/CMakeFiles/ps_topo.dir/topo/slimfly.cpp.o" "gcc" "src/CMakeFiles/ps_topo.dir/topo/slimfly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_topologies.dir/test_baseline_topologies.cpp.o"
+  "CMakeFiles/test_baseline_topologies.dir/test_baseline_topologies.cpp.o.d"
+  "test_baseline_topologies"
+  "test_baseline_topologies.pdb"
+  "test_baseline_topologies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

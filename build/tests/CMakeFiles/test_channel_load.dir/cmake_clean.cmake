@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_load.dir/test_channel_load.cpp.o"
+  "CMakeFiles/test_channel_load.dir/test_channel_load.cpp.o.d"
+  "test_channel_load"
+  "test_channel_load.pdb"
+  "test_channel_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

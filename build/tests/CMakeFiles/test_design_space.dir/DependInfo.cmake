@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_design_space.cpp" "tests/CMakeFiles/test_design_space.dir/test_design_space.cpp.o" "gcc" "tests/CMakeFiles/test_design_space.dir/test_design_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ps_motif.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ps_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diameter2_topologies.dir/test_diameter2_topologies.cpp.o"
+  "CMakeFiles/test_diameter2_topologies.dir/test_diameter2_topologies.cpp.o.d"
+  "test_diameter2_topologies"
+  "test_diameter2_topologies.pdb"
+  "test_diameter2_topologies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diameter2_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

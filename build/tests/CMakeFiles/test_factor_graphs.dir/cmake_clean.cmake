@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_factor_graphs.dir/test_factor_graphs.cpp.o"
+  "CMakeFiles/test_factor_graphs.dir/test_factor_graphs.cpp.o.d"
+  "test_factor_graphs"
+  "test_factor_graphs.pdb"
+  "test_factor_graphs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_factor_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_diversity.dir/test_path_diversity.cpp.o"
+  "CMakeFiles/test_path_diversity.dir/test_path_diversity.cpp.o.d"
+  "test_path_diversity"
+  "test_path_diversity.pdb"
+  "test_path_diversity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polarstar.dir/test_polarstar.cpp.o"
+  "CMakeFiles/test_polarstar.dir/test_polarstar.cpp.o.d"
+  "test_polarstar"
+  "test_polarstar.pdb"
+  "test_polarstar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polarstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

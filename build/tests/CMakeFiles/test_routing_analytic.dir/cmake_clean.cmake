@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_analytic.dir/test_routing_analytic.cpp.o"
+  "CMakeFiles/test_routing_analytic.dir/test_routing_analytic.cpp.o.d"
+  "test_routing_analytic"
+  "test_routing_analytic.pdb"
+  "test_routing_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spanning_trees.dir/test_spanning_trees.cpp.o"
+  "CMakeFiles/test_spanning_trees.dir/test_spanning_trees.cpp.o.d"
+  "test_spanning_trees"
+  "test_spanning_trees.pdb"
+  "test_spanning_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spanning_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

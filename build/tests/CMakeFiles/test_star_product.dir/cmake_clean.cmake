@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_star_product.dir/test_star_product.cpp.o"
+  "CMakeFiles/test_star_product.dir/test_star_product.cpp.o.d"
+  "test_star_product"
+  "test_star_product.pdb"
+  "test_star_product[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_star_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supernodes.dir/test_supernodes.cpp.o"
+  "CMakeFiles/test_supernodes.dir/test_supernodes.cpp.o.d"
+  "test_supernodes"
+  "test_supernodes.pdb"
+  "test_supernodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supernodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_load[1]_include.cmake")
+include("/root/repo/build/tests/test_connectivity[1]_include.cmake")
+include("/root/repo/build/tests/test_design_space[1]_include.cmake")
+include("/root/repo/build/tests/test_diameter2_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_factor_graphs[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_model[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_gf[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_motif[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_path_diversity[1]_include.cmake")
+include("/root/repo/build/tests/test_polarstar[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_analytic[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_spanning_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_spectral[1]_include.cmake")
+include("/root/repo/build/tests/test_star_product[1]_include.cmake")
+include("/root/repo/build/tests/test_supernodes[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarstar_cli.dir/polarstar_cli.cpp.o"
+  "CMakeFiles/polarstar_cli.dir/polarstar_cli.cpp.o.d"
+  "polarstar_cli"
+  "polarstar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarstar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polarstar_sim.dir/polarstar_sim.cpp.o"
+  "CMakeFiles/polarstar_sim.dir/polarstar_sim.cpp.o.d"
+  "polarstar_sim"
+  "polarstar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polarstar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
