@@ -16,7 +16,7 @@ int main() {
   }
   const std::uint32_t ranks = 128, iters = 3;
   std::printf("Ablation: allreduce algorithm on %s, %u ranks, %u iters\n",
-              ps->topo->name.c_str(), ranks, iters);
+              ps->topology().name.c_str(), ranks, iters);
   std::printf("%-22s %8s %14s\n", "algorithm", "ppm", "cycles");
   for (std::uint32_t ppm : {4u, 16u}) {
     for (auto alg : {motif::AllreduceAlgorithm::kRecursiveDoubling,

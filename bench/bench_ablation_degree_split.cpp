@@ -2,6 +2,7 @@
 // (d') at a fixed network radix -- Section 7.1's optimization knob. Shows
 // order, bisection and uniform saturation across the feasible splits.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/bisection.h"
 #include "bench_common.h"
@@ -10,36 +11,45 @@
 int main() {
   using namespace polarstar;
   const std::uint32_t radix = 12;
+
+  bench::SweepSettings s;
+  s.loads = {0.2, 0.4, 0.6, 0.8, 0.95};
+  s.warmup = 400;
+  s.measure = 1000;
+  s.drain = 5000;
+
+  const auto candidates = core::polarstar_candidates(radix);
+  std::vector<bench::NamedTopo> topos;
+  std::vector<runlab::SweepCase> sweeps;
+  for (const auto& pt : candidates) {
+    auto ps = std::make_shared<const core::PolarStar>(
+        core::PolarStar::build({pt.cfg.q, pt.cfg.d_prime, pt.cfg.kind, 4}));
+    bench::NamedTopo nt;
+    nt.name = "split";
+    nt.net = std::make_shared<sim::Network>(
+        core::shared_topology(ps), routing::make_polarstar_routing(ps));
+    nt.grouped = true;
+    sweeps.push_back(bench::sweep_case(nt, sim::Pattern::kUniform,
+                                       sim::PathMode::kMinimal, s));
+    topos.push_back(std::move(nt));
+  }
+  const auto results = bench::runner().run("ablation-degree-split", sweeps);
+
   std::printf("Ablation: degree split at radix %u (q* from Eq 1 = %.1f)\n",
               radix, core::optimal_q_real(radix));
   std::printf("%-10s %4s %4s %10s %10s %12s\n", "supernode", "q", "d'",
               "routers", "bisect", "sat-uniform");
-  for (const auto& pt : core::polarstar_candidates(radix)) {
-    auto ps = core::PolarStar::build(
-        {pt.cfg.q, pt.cfg.d_prime, pt.cfg.kind, 4});
-    bench::NamedTopo nt;
-    nt.name = "split";
-    nt.ps = std::make_shared<core::PolarStar>(std::move(ps));
-    nt.topo = std::make_shared<topo::Topology>(nt.ps->topology());
-    nt.routing = routing::make_polarstar_routing(*nt.ps);
-    nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
-    nt.grouped = true;
-
-    auto bis = analysis::bisection_report(*nt.topo);
-    bench::SweepSettings s;
-    s.warmup = 400;
-    s.measure = 1000;
-    s.drain = 5000;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& pt = candidates[i];
+    auto bis = analysis::bisection_report(topos[i].topology());
     double sat = 0.0;
-    for (double load : {0.2, 0.4, 0.6, 0.8, 0.95}) {
-      auto res =
-          bench::run_point(nt, sim::Pattern::kUniform, load,
-                           sim::PathMode::kMinimal, s);
-      if (!res.stable) {
-        sat = res.accepted_flit_rate;
+    for (const auto& p : results[i].points) {
+      if (!p.ran) break;
+      if (!p.result.stable) {
+        sat = p.result.accepted_flit_rate;
         break;
       }
-      sat = load;
+      sat = p.load;
     }
     std::printf("%-10s %4u %4u %10llu %9.1f%% %12.2f\n",
                 core::to_string(pt.cfg.kind), pt.cfg.q, pt.cfg.d_prime,

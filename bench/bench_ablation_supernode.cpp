@@ -2,6 +2,7 @@
 // PolarStar with IQ / Paley / BDF / complete supernodes on scale, bisection,
 // and uniform + adversarial saturation throughput.
 #include <cstdio>
+#include <vector>
 
 #include "analysis/bisection.h"
 #include "bench_common.h"
@@ -11,16 +12,23 @@ namespace {
 
 using namespace polarstar;
 
-double saturation(const bench::NamedTopo& nt, sim::Pattern pattern) {
+bench::SweepSettings saturation_settings() {
   bench::SweepSettings s;
+  s.loads = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
   s.warmup = 400;
   s.measure = 1200;
   s.drain = 6000;
+  return s;
+}
+
+/// Saturation throughput from a completed load chain: the accepted rate at
+/// the first unstable point, else the last stable load.
+double saturation(const runlab::CaseResult& chain) {
   double last_stable = 0.0;
-  for (double load : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-    auto res = bench::run_point(nt, pattern, load, sim::PathMode::kMinimal, s);
-    if (!res.stable) return res.accepted_flit_rate;
-    last_stable = load;
+  for (const auto& p : chain.points) {
+    if (!p.ran) break;
+    if (!p.result.stable) return p.result.accepted_flit_rate;
+    last_stable = p.load;
   }
   return last_stable;
 }
@@ -42,24 +50,45 @@ int main() {
       {"BDF (d'=4)", {4, 4, core::SupernodeKind::kBdf, 3}},
       {"Complete (d'=4)", {4, 4, core::SupernodeKind::kComplete, 3}},
   };
+
+  struct Row {
+    const Case* c;
+    std::shared_ptr<const core::PolarStar> ps;
+    bench::NamedTopo nt;
+  };
+  std::vector<Row> rows;
+  std::vector<runlab::SweepCase> sweeps;  // per row: uniform, adversarial
+  const auto s = saturation_settings();
+  for (const auto& c : cases) {
+    if (!core::polarstar_feasible(c.cfg)) continue;
+    Row row;
+    row.c = &c;
+    row.ps = std::make_shared<const core::PolarStar>(
+        core::PolarStar::build(c.cfg));
+    row.nt.name = c.label;
+    row.nt.net = std::make_shared<sim::Network>(
+        core::shared_topology(row.ps),
+        routing::make_table_routing(row.ps->graph()));
+    row.nt.grouped = true;
+    sweeps.push_back(bench::sweep_case(row.nt, sim::Pattern::kUniform,
+                                       sim::PathMode::kMinimal, s));
+    sweeps.push_back(bench::sweep_case(row.nt, sim::Pattern::kAdversarial,
+                                       sim::PathMode::kMinimal, s));
+    rows.push_back(std::move(row));
+  }
+  const auto results = bench::runner().run("ablation-supernode", sweeps);
+
   std::printf("Ablation: supernode kind at radix 9 (p=3)\n");
   std::printf("%-16s %8s %10s %10s %12s %12s\n", "supernode", "routers",
               "bisect", "labelcut", "sat-uniform", "sat-advers");
-  for (const auto& c : cases) {
-    if (!core::polarstar_feasible(c.cfg)) continue;
-    bench::NamedTopo nt;
-    nt.name = c.label;
-    nt.ps = std::make_shared<core::PolarStar>(core::PolarStar::build(c.cfg));
-    nt.topo = std::make_shared<topo::Topology>(nt.ps->topology());
-    nt.routing = routing::make_table_routing(nt.topo->g);
-    nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
-    nt.grouped = true;
-    auto bis = analysis::bisection_report(*nt.topo);
-    const double label = analysis::polarstar_label_cut_bound(*nt.ps);
-    std::printf("%-16s %8u %9.1f%% %9.1f%% %12.2f %12.2f\n", c.label,
-                nt.topo->num_routers(), 100.0 * bis.fraction, 100.0 * label,
-                saturation(nt, sim::Pattern::kUniform),
-                saturation(nt, sim::Pattern::kAdversarial));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& t = row.nt.topology();
+    auto bis = analysis::bisection_report(t);
+    const double label = analysis::polarstar_label_cut_bound(*row.ps);
+    std::printf("%-16s %8u %9.1f%% %9.1f%% %12.2f %12.2f\n", row.c->label,
+                t.num_routers(), 100.0 * bis.fraction, 100.0 * label,
+                saturation(results[2 * i]), saturation(results[2 * i + 1]));
     std::fflush(stdout);
   }
   std::printf("\nIQ maximizes scale at equal radix; complete supernodes "

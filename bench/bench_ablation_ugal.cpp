@@ -2,6 +2,7 @@
 // intermediates). Sweeps 1/2/4/8 candidates on adversarial traffic and
 // reports saturation throughput and mean latency at a moderate load.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -14,9 +15,13 @@ int main() {
     if (nt.name == "PS-IQ") ps = &nt;
     if (nt.name == "DF") df = &nt;
   }
-  std::printf("Ablation: UGAL candidate count, adversarial traffic\n");
-  std::printf("%-8s %10s %16s %16s\n", "topo", "cands", "lat@0.10",
-              "sat tput");
+
+  struct Row {
+    const bench::NamedTopo* nt;
+    std::uint32_t cands;
+  };
+  std::vector<Row> rows;
+  std::vector<runlab::SweepCase> sweeps;  // per row: latency run, sat chain
   for (const auto* nt : {ps, df}) {
     for (std::uint32_t cands : {1u, 2u, 4u, 8u}) {
       sim::SimParams prm;
@@ -28,28 +33,39 @@ int main() {
       prm.ugal_candidates = cands;
       prm.min_select = nt->all_minpaths ? sim::MinSelect::kAdaptive
                                         : sim::MinSelect::kSingleHash;
-      // Latency at low load.
-      sim::PatternSource src(*nt->topo, sim::Pattern::kAdversarial, 0.10,
-                             prm.packet_flits, 17);
-      sim::Simulation s(*nt->net, prm, src);
-      auto low = s.run();
-      // Saturation: raise load until unstable.
-      double sat = 0.0;
-      for (double load : {0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6}) {
-        sim::PatternSource src2(*nt->topo, sim::Pattern::kAdversarial, load,
-                                prm.packet_flits, 17);
-        sim::Simulation s2(*nt->net, prm, src2);
-        auto res = s2.run();
-        if (!res.stable) {
-          sat = res.accepted_flit_rate;
-          break;
-        }
-        sat = load;
-      }
-      std::printf("%-8s %10u %16.1f %16.2f\n", nt->name.c_str(), cands,
-                  low.avg_packet_latency, sat);
-      std::fflush(stdout);
+      runlab::SweepCase low;
+      low.name = nt->name;
+      low.net = nt->net;
+      low.pattern = sim::Pattern::kAdversarial;
+      low.params = prm;
+      low.loads = {0.10};
+      low.pattern_seed = 17;
+      runlab::SweepCase sat = low;
+      sat.loads = {0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6};
+      sweeps.push_back(std::move(low));
+      sweeps.push_back(std::move(sat));
+      rows.push_back({nt, cands});
     }
+  }
+  const auto results = bench::runner().run("ablation-ugal", sweeps);
+
+  std::printf("Ablation: UGAL candidate count, adversarial traffic\n");
+  std::printf("%-8s %10s %16s %16s\n", "topo", "cands", "lat@0.10",
+              "sat tput");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& low = results[2 * i].points[0].result;
+    double sat = 0.0;
+    for (const auto& p : results[2 * i + 1].points) {
+      if (!p.ran) break;
+      if (!p.result.stable) {
+        sat = p.result.accepted_flit_rate;
+        break;
+      }
+      sat = p.load;
+    }
+    std::printf("%-8s %10u %16.1f %16.2f\n", rows[i].nt->name.c_str(),
+                rows[i].cands, low.avg_packet_latency, sat);
+    std::fflush(stdout);
   }
   return 0;
 }

@@ -3,8 +3,10 @@
 // Every bench binary regenerates one table or figure of the paper as an
 // aligned text table. By default the simulation benches run a reduced-scale
 // suite (same topology families, smaller parameters) so the whole bench
-// directory completes in minutes on one core; set POLARSTAR_FULL=1 to use
-// the exact Table 3 configurations.
+// directory completes in minutes; set POLARSTAR_FULL=1 to use the exact
+// Table 3 configurations. Sweeps execute on the shared runlab runner, so
+// POLARSTAR_THREADS controls parallelism and POLARSTAR_JSON captures every
+// simulated point -- the printed tables are byte-identical either way.
 #pragma once
 
 #include <cstdio>
@@ -18,6 +20,7 @@
 #include "core/polarstar.h"
 #include "routing/dragonfly_routing.h"
 #include "routing/routing.h"
+#include "runlab/runner.h"
 #include "sim/simulation.h"
 #include "sim/traffic.h"
 #include "topo/dragonfly.h"
@@ -35,29 +38,35 @@ inline bool full_scale() {
   return v != nullptr && v[0] == '1';
 }
 
-/// A topology plus its routing scheme, ready to simulate.
+/// The per-binary experiment runner. One instance per process so every
+/// sweep shares the pool and all points land in one POLARSTAR_JSON file.
+inline runlab::ExperimentRunner& runner() {
+  static runlab::ExperimentRunner r;
+  return r;
+}
+
+/// A topology plus its routing scheme, ready to simulate. The Network
+/// co-owns both, so this struct is just a name and two flags around it.
 struct NamedTopo {
   std::string name;
-  std::shared_ptr<topo::Topology> topo;
-  std::shared_ptr<core::PolarStar> ps;  // alive while analytic routing used
-  std::shared_ptr<routing::MinimalRouting> routing;
-  std::shared_ptr<sim::Network> net;  // built once; reused across points
+  std::shared_ptr<const sim::Network> net;
   /// True = all minpaths used adaptively (the SF/BF/HX scheme, and FT's
   /// randomized up-route); false = one deterministic minpath per flow
   /// (PS/DF/MF).
   bool all_minpaths = false;
   /// Hierarchical topologies support the adversarial pattern.
   bool grouped = false;
+
+  const topo::Topology& topology() const { return net->topology(); }
 };
 
 inline NamedTopo make_polarstar(const std::string& name,
                                 core::PolarStarConfig cfg) {
   NamedTopo nt;
   nt.name = name;
-  nt.ps = std::make_shared<core::PolarStar>(core::PolarStar::build(cfg));
-  nt.topo = std::make_shared<topo::Topology>(nt.ps->topology());
-  nt.routing = routing::make_polarstar_routing(*nt.ps);
-  nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
+  auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(cfg));
+  nt.net = std::make_shared<sim::Network>(core::shared_topology(ps),
+                                          routing::make_polarstar_routing(ps));
   // PolarStar's minimal next hops come from the table-free analytic case
   // analysis (§9.2); the router adaptively picks among them, which needs
   // no stored tables -- unlike SF/BF, whose multipath requires them.
@@ -70,15 +79,16 @@ inline NamedTopo make_table(const std::string& name, topo::Topology t,
                             bool all_minpaths, bool grouped) {
   NamedTopo nt;
   nt.name = name;
-  nt.topo = std::make_shared<topo::Topology>(std::move(t));
+  auto topo = std::make_shared<const topo::Topology>(std::move(t));
+  std::shared_ptr<const routing::MinimalRouting> routing;
   if (name == "DF") {
     // BookSim's built-in Dragonfly routing is hierarchical (one gateway
     // per group pair), not graph-minimal.
-    nt.routing = std::make_shared<routing::DragonflyRouting>(*nt.topo);
+    routing = std::make_shared<routing::DragonflyRouting>(topo);
   } else {
-    nt.routing = routing::make_table_routing(nt.topo->g);
+    routing = routing::make_table_routing(topo->g);
   }
-  nt.net = std::make_shared<sim::Network>(*nt.topo, *nt.routing);
+  nt.net = std::make_shared<sim::Network>(std::move(topo), std::move(routing));
   nt.all_minpaths = all_minpaths;
   nt.grouped = grouped;
   return nt;
@@ -132,9 +142,11 @@ struct SweepSettings {
   std::uint64_t seed = 11;
 };
 
-inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
-                                double load, sim::PathMode mode,
-                                const SweepSettings& s) {
+/// SimParams for one suite column of a sweep (the historical run_point
+/// knobs: 8 VCs for UGAL, adaptive minpath pick iff the scheme has all
+/// minpaths available).
+inline sim::SimParams sweep_params(const NamedTopo& nt, sim::PathMode mode,
+                                   const SweepSettings& s) {
   sim::SimParams prm;
   prm.warmup_cycles = s.warmup;
   prm.measure_cycles = s.measure;
@@ -144,33 +156,67 @@ inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
   prm.min_select = nt.all_minpaths ? sim::MinSelect::kAdaptive
                                    : sim::MinSelect::kSingleHash;
   prm.seed = s.seed;
-  sim::PatternSource src(*nt.topo, pattern, load, prm.packet_flits, s.seed);
-  sim::Simulation simulation(*nt.net, prm, src);
-  return simulation.run();
+  return prm;
 }
 
-/// Latency-vs-load sweep printed as one row per load; stops the row after
-/// the first unstable (saturated) point, like the paper's plots.
+inline runlab::SweepCase sweep_case(const NamedTopo& nt, sim::Pattern pattern,
+                                    sim::PathMode mode,
+                                    const SweepSettings& s) {
+  runlab::SweepCase c;
+  c.name = nt.name;
+  c.net = nt.net;
+  c.pattern = pattern;
+  c.params = sweep_params(nt, mode, s);
+  c.loads = s.loads;
+  c.skip = pattern == sim::Pattern::kAdversarial && !nt.grouped;
+  return c;
+}
+
+/// One (topology, pattern, load) point with the sweep knobs -- the serial
+/// primitive behind print_sweep, kept for one-off measurements.
+inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
+                                double load, sim::PathMode mode,
+                                const SweepSettings& s) {
+  return runlab::run_point(*nt.net, pattern, load, sweep_params(nt, mode, s));
+}
+
+/// Latency-vs-load sweep printed as one row per load; stops a column after
+/// the first unstable (saturated) point, like the paper's plots. All
+/// columns simulate concurrently on the shared runner; the table is
+/// byte-identical to the old serial output.
 inline void print_sweep(const std::vector<NamedTopo>& suite,
                         sim::Pattern pattern, sim::PathMode mode,
-                        const SweepSettings& s) {
+                        const SweepSettings& s,
+                        const std::string& label = std::string()) {
+  std::vector<runlab::SweepCase> cases;
+  cases.reserve(suite.size());
+  for (const auto& nt : suite) {
+    cases.push_back(sweep_case(nt, pattern, mode, s));
+  }
+  const std::string sweep_label =
+      !label.empty()
+          ? label
+          : std::string(sim::to_string(pattern)) + "-" +
+                (mode == sim::PathMode::kUgal ? "ugal" : "min");
+  const auto results = runner().run(sweep_label, cases);
+
   std::printf("%-8s", "load");
   for (const auto& nt : suite) std::printf(" %10s", nt.name.c_str());
   std::printf("\n");
   std::vector<bool> saturated(suite.size(), false);
-  for (double load : s.loads) {
-    std::printf("%-8.2f", load);
+  for (std::size_t j = 0; j < s.loads.size(); ++j) {
+    std::printf("%-8.2f", s.loads[j]);
     for (std::size_t i = 0; i < suite.size(); ++i) {
       if (saturated[i]) {
         std::printf(" %10s", "-");
         continue;
       }
-      if (pattern == sim::Pattern::kAdversarial && !suite[i].grouped) {
+      if (cases[i].skip) {
         std::printf(" %10s", "n/a");
         saturated[i] = true;
         continue;
       }
-      auto res = run_point(suite[i], pattern, load, mode, s);
+      const auto& res = results[i].points[j].result;
       if (res.stable) {
         std::printf(" %10.1f", res.avg_packet_latency);
       } else {

@@ -4,8 +4,8 @@
 // curves. Reports uniform-traffic latency at a moderate load and the
 // saturation throughput as links fail.
 #include <cstdio>
-
 #include <random>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -29,50 +29,76 @@ topo::Topology degrade(const topo::Topology& t, double fraction,
 int main() {
   using namespace polarstar;
   auto base = bench::simulation_suite();
-  std::printf("Degraded operation: uniform traffic after link failures\n");
-  std::printf("%-8s %8s %12s %12s %10s\n", "topo", "failed", "lat@0.15",
-              "sat tput", "diam");
+
+  struct Row {
+    std::string name;
+    double frac;
+    bool connected;
+    std::uint32_t diam = 0;
+    // Index into the sweep list (latency case; +1 = saturation chain);
+    // unused when disconnected.
+    std::size_t sweep = 0;
+  };
+  std::vector<Row> rows;
+  std::vector<runlab::SweepCase> sweeps;
   for (const auto& nt : base) {
     if (nt.name != "PS-IQ" && nt.name != "DF") continue;
     for (double frac : {0.0, 0.05, 0.10, 0.20}) {
-      auto degraded = degrade(*nt.topo, frac, 77);
-      if (!graph::is_connected(degraded.g)) {
-        std::printf("%-8s %7.0f%% %12s\n", nt.name.c_str(), 100 * frac,
-                    "disconnected");
+      auto degraded = std::make_shared<const topo::Topology>(
+          degrade(nt.topology(), frac, 77));
+      Row row{nt.name, frac, graph::is_connected(degraded->g)};
+      if (!row.connected) {
+        rows.push_back(row);
         continue;
       }
-      auto routing = routing::make_table_routing(degraded.g);
-      sim::Network net(degraded, *routing);
-      const std::uint32_t diam = [&] {
-        return graph::path_stats(degraded.g).diameter;
-      }();
-      auto run_at = [&](double load) {
-        sim::SimParams prm;
-        prm.warmup_cycles = 400;
-        prm.measure_cycles = 1200;
-        prm.drain_cycles = 6000;
-        // Degraded paths exceed the healthy diameter: give VC headroom.
-        prm.num_vcs = diam + 2;
-        prm.min_select = sim::MinSelect::kAdaptive;
-        sim::PatternSource src(degraded, sim::Pattern::kUniform, load,
-                               prm.packet_flits, 13);
-        sim::Simulation s(net, prm, src);
-        return s.run();
-      };
-      auto low = run_at(0.15);
-      double sat = 0.0;
-      for (double load : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
-        auto res = run_at(load);
-        if (!res.stable) {
-          sat = res.accepted_flit_rate;
-          break;
-        }
-        sat = load;
-      }
-      std::printf("%-8s %7.0f%% %12.1f %12.2f %10u\n", nt.name.c_str(),
-                  100 * frac, low.avg_packet_latency, sat, diam);
-      std::fflush(stdout);
+      row.diam = graph::path_stats(degraded->g).diameter;
+      auto net = std::make_shared<sim::Network>(
+          degraded, routing::make_table_routing(degraded->g));
+      sim::SimParams prm;
+      prm.warmup_cycles = 400;
+      prm.measure_cycles = 1200;
+      prm.drain_cycles = 6000;
+      // Degraded paths exceed the healthy diameter: give VC headroom.
+      prm.num_vcs = row.diam + 2;
+      prm.min_select = sim::MinSelect::kAdaptive;
+      runlab::SweepCase low;
+      low.name = nt.name;
+      low.net = net;
+      low.params = prm;
+      low.loads = {0.15};
+      low.pattern_seed = 13;
+      runlab::SweepCase sat = low;
+      sat.loads = {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+      row.sweep = sweeps.size();
+      sweeps.push_back(std::move(low));
+      sweeps.push_back(std::move(sat));
+      rows.push_back(row);
     }
+  }
+  const auto results = bench::runner().run("ext-degraded", sweeps);
+
+  std::printf("Degraded operation: uniform traffic after link failures\n");
+  std::printf("%-8s %8s %12s %12s %10s\n", "topo", "failed", "lat@0.15",
+              "sat tput", "diam");
+  for (const auto& row : rows) {
+    if (!row.connected) {
+      std::printf("%-8s %7.0f%% %12s\n", row.name.c_str(), 100 * row.frac,
+                  "disconnected");
+      continue;
+    }
+    const auto& low = results[row.sweep].points[0].result;
+    double sat = 0.0;
+    for (const auto& p : results[row.sweep + 1].points) {
+      if (!p.ran) break;
+      if (!p.result.stable) {
+        sat = p.result.accepted_flit_rate;
+        break;
+      }
+      sat = p.load;
+    }
+    std::printf("%-8s %7.0f%% %12.1f %12.2f %10u\n", row.name.c_str(),
+                100 * row.frac, low.avg_packet_latency, sat, row.diam);
+    std::fflush(stdout);
   }
   std::printf("\nThroughput degrades roughly with the failed fraction; "
               "latency grows with the stretched diameter.\n");

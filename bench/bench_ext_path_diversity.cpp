@@ -13,7 +13,7 @@ int main() {
               bench::full_scale() ? "Table-3" : "reduced");
   std::printf("%-8s %10s %10s %12s\n", "topo", "avg", "max", "single-path");
   for (const auto& nt : suite) {
-    auto rep = analysis::path_diversity(*nt.topo, *nt.routing,
+    auto rep = analysis::path_diversity(nt.topology(), nt.net->routing(),
                                         bench::full_scale() ? 200 : 0);
     std::printf("%-8s %10.2f %10llu %11.1f%%\n", nt.name.c_str(),
                 rep.avg_paths, static_cast<unsigned long long>(rep.max_paths),

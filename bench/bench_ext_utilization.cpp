@@ -25,19 +25,20 @@ int main() {
     prm.record_link_utilization = true;
     prm.min_select = nt.all_minpaths ? sim::MinSelect::kAdaptive
                                      : sim::MinSelect::kSingleHash;
-    sim::PatternSource src(*nt.topo, sim::Pattern::kAdversarial, 0.08,
+    const auto& t = nt.topology();
+    sim::PatternSource src(t, sim::Pattern::kAdversarial, 0.08,
                            prm.packet_flits, 23);
     sim::Simulation s(*nt.net, prm, src);
     auto res = s.run();
     double loc_sum = 0, loc_max = 0, glob_sum = 0, glob_max = 0;
     std::size_t loc_n = 0, glob_n = 0;
-    for (graph::Vertex r = 0; r < nt.topo->num_routers(); ++r) {
+    for (graph::Vertex r = 0; r < t.num_routers(); ++r) {
       for (std::uint32_t p = 0; p < nt.net->num_link_ports(r); ++p) {
         const double u =
             static_cast<double>(res.link_flits[nt.net->link_index(r, p)]) /
             static_cast<double>(prm.measure_cycles);
-        const bool global = nt.topo->group_of[r] !=
-                            nt.topo->group_of[nt.net->neighbor_at(r, p)];
+        const bool global =
+            t.group_of[r] != t.group_of[nt.net->neighbor_at(r, p)];
         if (global) {
           glob_sum += u;
           glob_max = std::max(glob_max, u);

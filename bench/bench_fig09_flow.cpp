@@ -46,7 +46,7 @@ int main() {
 
   for (auto& nt : suite) {
     std::printf("%-8s", nt.name.c_str());
-    auto uni = analysis::uniform_channel_load(*nt.topo, *nt.routing);
+    auto uni = analysis::uniform_channel_load(nt.topology(), nt.net->routing());
     std::printf(" %9.2f", uni.throughput_bound);
     for (auto p : patterns) {
       if (p == sim::Pattern::kAdversarial && !nt.grouped) {
@@ -59,12 +59,12 @@ int main() {
         void tick(sim::Simulation&) override {}
       } null;
       sim::Simulation probe(*nt.net, prm, null);
-      sim::PatternSource pattern(*nt.topo, p, 1.0, 4, 11);
-      std::vector<std::uint64_t> dst(nt.topo->num_endpoints());
+      sim::PatternSource pattern(nt.topology(), p, 1.0, 4, 11);
+      std::vector<std::uint64_t> dst(nt.topology().num_endpoints());
       for (std::uint64_t e = 0; e < dst.size(); ++e) {
         dst[e] = pattern.destination(e, probe);
       }
-      auto res = sim::max_min_rates(*nt.topo, *nt.routing,
+      auto res = sim::max_min_rates(nt.topology(), nt.net->routing(),
                                     [&](std::uint64_t e) { return dst[e]; });
       std::printf(" %12.3f", res.aggregate_per_endpoint);
       std::fflush(stdout);

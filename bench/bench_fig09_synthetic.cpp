@@ -23,30 +23,31 @@ int main() {
   std::printf("Figure 9: topologies at %s scale\n",
               bench::full_scale() ? "Table-3" : "reduced");
   for (const auto& nt : suite) {
+    const auto& t = nt.topology();
     std::printf("  %-7s %s: %u routers, %llu endpoints, %s routing\n",
-                nt.name.c_str(), nt.topo->name.c_str(), nt.topo->num_routers(),
-                static_cast<unsigned long long>(nt.topo->num_endpoints()),
+                nt.name.c_str(), t.name.c_str(), t.num_routers(),
+                static_cast<unsigned long long>(t.num_endpoints()),
                 nt.all_minpaths ? "all-minpath" : "single-minpath");
   }
 
   std::printf("\n(a/b) uniform, MIN routing -- avg latency (cycles)\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kUniform,
-                     polarstar::sim::PathMode::kMinimal, s);
+                     polarstar::sim::PathMode::kMinimal, s, "fig09a-uniform-min");
 
   std::printf("\n(c) uniform, UGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kUniform,
-                     polarstar::sim::PathMode::kUgal, s);
+                     polarstar::sim::PathMode::kUgal, s, "fig09c-uniform-ugal");
 
   std::printf("\n(d) random permutation, UGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kPermutation,
-                     polarstar::sim::PathMode::kUgal, s);
+                     polarstar::sim::PathMode::kUgal, s, "fig09d-perm-ugal");
 
   std::printf("\n(e) bit reverse, UGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kBitReverse,
-                     polarstar::sim::PathMode::kUgal, s);
+                     polarstar::sim::PathMode::kUgal, s, "fig09e-bitrev-ugal");
 
   std::printf("\n(f) bit shuffle, UGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kBitShuffle,
-                     polarstar::sim::PathMode::kUgal, s);
+                     polarstar::sim::PathMode::kUgal, s, "fig09f-bitshuf-ugal");
   return 0;
 }

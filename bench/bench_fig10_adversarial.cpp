@@ -23,10 +23,10 @@ int main() {
   std::printf("Figure 10: adversarial group-paired traffic\n");
   std::printf("\nMIN routing -- avg latency (cycles; S = saturation tput)\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kAdversarial,
-                     polarstar::sim::PathMode::kMinimal, s);
+                     polarstar::sim::PathMode::kMinimal, s, "fig10-adv-min");
   std::printf("\nUGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kAdversarial,
-                     polarstar::sim::PathMode::kUgal, s);
+                     polarstar::sim::PathMode::kUgal, s, "fig10-adv-ugal");
   std::printf("\nExpected shape: DF/MF saturate first (single inter-group "
               "link); BF and PS-* sustain more via link bundles; PS-IQ "
               "highest among the star products.\n");

@@ -47,7 +47,7 @@ int main() {
   // Communicator: largest power of two that fits every topology.
   std::uint64_t min_eps = ~0ull;
   for (const auto& nt : suite) {
-    min_eps = std::min(min_eps, nt.topo->num_endpoints());
+    min_eps = std::min(min_eps, nt.topology().num_endpoints());
   }
   const std::uint32_t ranks =
       motif::pow2_floor(static_cast<std::uint32_t>(min_eps));

@@ -85,16 +85,16 @@ static void BM_Bisection(benchmark::State& state) {
 BENCHMARK(BM_Bisection)->Arg(5)->Arg(7);
 
 static void BM_SimulatorCycles(benchmark::State& state) {
-  auto ps = core::PolarStar::build(
-      {5, 4, core::SupernodeKind::kInductiveQuad, 3});
-  auto route = routing::make_polarstar_routing(ps);
-  sim::Network net(ps.topology(), *route);
+  auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(
+      {5, 4, core::SupernodeKind::kInductiveQuad, 3}));
+  sim::Network net(core::shared_topology(ps),
+                   routing::make_polarstar_routing(ps));
   for (auto _ : state) {
     sim::SimParams prm;
     prm.warmup_cycles = 0;
     prm.measure_cycles = 300;
     prm.drain_cycles = 0;
-    sim::PatternSource src(ps.topology(), sim::Pattern::kUniform, 0.3, 4, 1);
+    sim::PatternSource src(ps->topology(), sim::Pattern::kUniform, 0.3, 4, 1);
     sim::Simulation s(net, prm, src);
     auto res = s.run();
     benchmark::DoNotOptimize(res.packets_delivered);

@@ -24,14 +24,15 @@ int main() {
   std::printf("%-26s %9s %14s %14s %9s\n", "config", "routers",
               "analytic(tot)", "tables(tot)", "ratio");
   for (const auto& c : cases) {
-    auto ps = core::PolarStar::build(c.cfg);
+    auto ps = std::make_shared<const core::PolarStar>(
+        core::PolarStar::build(c.cfg));
     routing::PolarStarAnalyticRouting analytic(ps);
-    graph::DistanceMatrix dm(ps.graph());
-    graph::MinimalNextHops table(ps.graph(), dm);
+    graph::DistanceMatrix dm(ps->graph());
+    graph::MinimalNextHops table(ps->graph(), dm);
     const double ratio = static_cast<double>(table.storage_entries()) /
                          static_cast<double>(analytic.storage_entries());
     std::printf("%-26s %9u %14zu %14zu %8.0fx\n", c.name,
-                ps.graph().num_vertices(), analytic.storage_entries(),
+                ps->graph().num_vertices(), analytic.storage_entries(),
                 table.storage_entries(), ratio);
   }
   std::printf("\nAnalytic state = supernode adjacency + f/f^-1 + one ER "

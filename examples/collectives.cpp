@@ -6,6 +6,8 @@
 //     ranks defaults to 256 (must be <= endpoints of the small configs).
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <utility>
 
 #include "core/polarstar.h"
 #include "motif/allreduce.h"
@@ -18,9 +20,10 @@ namespace {
 
 using namespace polarstar;
 
-std::uint64_t run(const topo::Topology& t, const routing::MinimalRouting& r,
+std::uint64_t run(std::shared_ptr<const topo::Topology> t,
+                  std::shared_ptr<const routing::MinimalRouting> r,
                   motif::StepProgram prog, sim::PathMode mode) {
-  sim::Network net(t, r);
+  sim::Network net(std::move(t), std::move(r));
   sim::SimParams prm;
   prm.path_mode = mode;
   prm.num_vcs = mode == sim::PathMode::kUgal ? 8 : 4;
@@ -36,18 +39,19 @@ int main(int argc, char** argv) {
   const std::uint32_t ppm = argc > 2 ? std::atoi(argv[2]) : 4;
 
   // PolarStar(q=5, d'=4): 310 routers x 3 = 930 endpoints.
-  auto ps = core::PolarStar::build(
-      {5, 4, core::SupernodeKind::kInductiveQuad, 3});
+  auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(
+      {5, 4, core::SupernodeKind::kInductiveQuad, 3}));
   auto ps_route = routing::make_polarstar_routing(ps);
   // Dragonfly(a=7, h=3, p=3): 154 routers x 3 = 462 endpoints.
-  auto df = topo::dragonfly::build({7, 3, 3});
-  auto df_route = routing::make_table_routing(df.g);
+  auto df = std::make_shared<const topo::Topology>(
+      topo::dragonfly::build({7, 3, 3}));
+  auto df_route = routing::make_table_routing(df->g);
 
   const std::uint32_t ranks = motif::pow2_floor(
       std::min<std::uint32_t>(want_ranks,
                               static_cast<std::uint32_t>(std::min(
-                                  ps.topology().num_endpoints(),
-                                  df.num_endpoints()))));
+                                  ps->topology().num_endpoints(),
+                                  df->num_endpoints()))));
   std::printf("allreduce (recursive doubling), %u ranks, %u packets/msg:\n",
               ranks, ppm);
   auto ar = [&] {
@@ -55,16 +59,16 @@ int main(int argc, char** argv) {
                                  motif::AllreduceAlgorithm::kRecursiveDoubling);
   };
   std::printf("  PolarStar  MIN  %8llu cycles\n",
-              (unsigned long long)run(ps.topology(), *ps_route, ar(),
+              (unsigned long long)run(polarstar::core::shared_topology(ps), ps_route, ar(),
                                       sim::PathMode::kMinimal));
   std::printf("  PolarStar  UGAL %8llu cycles\n",
-              (unsigned long long)run(ps.topology(), *ps_route, ar(),
+              (unsigned long long)run(polarstar::core::shared_topology(ps), ps_route, ar(),
                                       sim::PathMode::kUgal));
   std::printf("  Dragonfly  MIN  %8llu cycles\n",
-              (unsigned long long)run(df, *df_route, ar(),
+              (unsigned long long)run(df, df_route, ar(),
                                       sim::PathMode::kMinimal));
   std::printf("  Dragonfly  UGAL %8llu cycles\n",
-              (unsigned long long)run(df, *df_route, ar(),
+              (unsigned long long)run(df, df_route, ar(),
                                       sim::PathMode::kUgal));
 
   // Sweep3D on a square-ish grid of the same ranks.
@@ -75,10 +79,10 @@ int main(int argc, char** argv) {
               px, py, ppm);
   auto sw = [&] { return motif::make_sweep3d(px, py, ppm, 10); };
   std::printf("  PolarStar  MIN  %8llu cycles\n",
-              (unsigned long long)run(ps.topology(), *ps_route, sw(),
+              (unsigned long long)run(polarstar::core::shared_topology(ps), ps_route, sw(),
                                       sim::PathMode::kMinimal));
   std::printf("  Dragonfly  MIN  %8llu cycles\n",
-              (unsigned long long)run(df, *df_route, sw(),
+              (unsigned long long)run(df, df_route, sw(),
                                       sim::PathMode::kMinimal));
   return 0;
 }

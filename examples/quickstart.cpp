@@ -6,6 +6,7 @@
 // Defaults to PolarStar(q=5, d'=4, IQ): 310 routers of radix 10.
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "core/design_space.h"
 #include "core/polarstar.h"
@@ -28,25 +29,25 @@ int main(int argc, char** argv) {
   }
 
   // 1. Construct the topology.
-  auto ps = core::PolarStar::build(cfg);
-  auto stats = graph::path_stats(ps.graph());
-  std::cout << "== " << ps.topology().name << " ==\n"
-            << "routers:        " << ps.graph().num_vertices() << "\n"
-            << "links:          " << ps.graph().num_edges() << "\n"
+  auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(cfg));
+  auto stats = graph::path_stats(ps->graph());
+  std::cout << "== " << ps->topology().name << " ==\n"
+            << "routers:        " << ps->graph().num_vertices() << "\n"
+            << "links:          " << ps->graph().num_edges() << "\n"
             << "network radix:  " << cfg.network_radix() << "\n"
-            << "endpoints:      " << ps.topology().num_endpoints() << "\n"
+            << "endpoints:      " << ps->topology().num_endpoints() << "\n"
             << "diameter:       " << stats.diameter << "\n"
             << "avg path len:   " << stats.avg_path_length << "\n"
             << "moore-3 bound:  " << core::moore_bound_3(cfg.network_radix())
             << "  (efficiency "
-            << static_cast<double>(ps.graph().num_vertices()) /
+            << static_cast<double>(ps->graph().num_vertices()) /
                    core::moore_bound_3(cfg.network_radix())
             << ")\n\n";
 
   // 2. Table-free minimal routing (Section 9.2 of the paper).
-  core::PolarStarRouting route(ps);
-  const graph::Vertex src = ps.router(0, 0);
-  const graph::Vertex dst = ps.router(ps.num_supernodes() - 1, 1);
+  core::PolarStarRouting route(*ps);
+  const graph::Vertex src = ps->router(0, 0);
+  const graph::Vertex dst = ps->router(ps->num_supernodes() - 1, 1);
   std::cout << "analytic route " << src << " -> " << dst << ": ";
   graph::Vertex cur = src;
   while (cur != dst) {
@@ -59,12 +60,11 @@ int main(int argc, char** argv) {
             << route.storage_entries() << " entries\n\n";
 
   // 3. Simulate uniform traffic at 30% load, minimal routing.
-  auto minimal = routing::make_polarstar_routing(ps);
-  sim::Network net(ps.topology(), *minimal);
+  sim::Network net(core::shared_topology(ps), routing::make_polarstar_routing(ps));
   sim::SimParams prm;
   prm.warmup_cycles = 500;
   prm.measure_cycles = 1500;
-  sim::PatternSource traffic(ps.topology(), sim::Pattern::kUniform, 0.3,
+  sim::PatternSource traffic(ps->topology(), sim::Pattern::kUniform, 0.3,
                              prm.packet_flits, /*seed=*/42);
   sim::Simulation simulation(net, prm, traffic);
   auto res = simulation.run();

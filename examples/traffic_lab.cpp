@@ -44,26 +44,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto topo = analysis::build_table3(topo_name);
-  std::cout << "topology: " << topo.name << " (" << topo.num_routers()
-            << " routers, " << topo.num_endpoints() << " endpoints)\n";
+  auto topo = std::make_shared<const topo::Topology>(
+      analysis::build_table3(topo_name));
+  std::cout << "topology: " << topo->name << " (" << topo->num_routers()
+            << " routers, " << topo->num_endpoints() << " endpoints)\n";
 
   // PolarStar rows use the paper's analytic routing; everything else uses
   // all-minpath tables.
-  std::unique_ptr<core::PolarStar> ps;
-  std::unique_ptr<routing::MinimalRouting> route;
+  std::shared_ptr<const routing::MinimalRouting> route;
   if (topo_name == "PS-IQ") {
-    ps = std::make_unique<core::PolarStar>(core::PolarStar::build(
+    auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(
         {11, 3, core::SupernodeKind::kInductiveQuad, 5}));
-    route = routing::make_polarstar_routing(*ps);
+    route = routing::make_polarstar_routing(ps);
   } else if (topo_name == "PS-Pal") {
-    ps = std::make_unique<core::PolarStar>(
+    auto ps = std::make_shared<const core::PolarStar>(
         core::PolarStar::build({8, 6, core::SupernodeKind::kPaley, 5}));
-    route = routing::make_polarstar_routing(*ps);
+    route = routing::make_polarstar_routing(ps);
   } else if (topo_name == "DF") {
-    route = std::make_unique<routing::DragonflyRouting>(topo);
+    route = std::make_shared<routing::DragonflyRouting>(topo);
   } else {
-    route = routing::make_table_routing(topo.g);
+    route = routing::make_table_routing(topo->g);
   }
   std::cout << "routing state: " << route->storage_entries() << " entries ("
             << route->name() << ")\n";
@@ -76,8 +76,8 @@ int main(int argc, char** argv) {
     prm.path_mode = sim::PathMode::kUgal;
     prm.num_vcs = 8;
   }
-  sim::Network net(topo, *route);
-  sim::PatternSource traffic(topo, pattern, load, prm.packet_flits, 7);
+  sim::Network net(topo, route);
+  sim::PatternSource traffic(*topo, pattern, load, prm.packet_flits, 7);
   sim::Simulation s(net, prm, traffic);
   auto res = s.run();
 

@@ -76,4 +76,12 @@ class PolarStar {
   topo::Topology topo_;
 };
 
+/// Aliasing pointer to ps->topology() that shares ownership of the whole
+/// PolarStar -- hand this to sim::Network without copying the topology.
+inline std::shared_ptr<const topo::Topology> shared_topology(
+    std::shared_ptr<const PolarStar> ps) {
+  const topo::Topology* t = &ps->topology();
+  return std::shared_ptr<const topo::Topology>(std::move(ps), t);
+}
+
 }  // namespace polarstar::core

@@ -1,23 +1,27 @@
 #include "routing/dragonfly_routing.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace polarstar::routing {
 
 using graph::Vertex;
 
-DragonflyRouting::DragonflyRouting(const topo::Topology& topo)
-    : topo_(&topo) {
-  if (topo.group_of.empty()) {
+DragonflyRouting::DragonflyRouting(std::shared_ptr<const topo::Topology> topo)
+    : topo_(std::move(topo)) {
+  if (!topo_) {
+    throw std::invalid_argument("DragonflyRouting: topology must be set");
+  }
+  if (topo_->group_of.empty()) {
     throw std::invalid_argument("DragonflyRouting: topology has no groups");
   }
-  for (Vertex v = 0; v < topo.num_routers(); ++v) {
-    num_groups_ = std::max(num_groups_, topo.group_of[v] + 1);
+  for (Vertex v = 0; v < topo_->num_routers(); ++v) {
+    num_groups_ = std::max(num_groups_, topo_->group_of[v] + 1);
   }
   gateway_.assign(static_cast<std::size_t>(num_groups_) * num_groups_,
                   graph::kUnreachable);
-  for (auto [u, v] : topo.g.edge_list()) {
-    const auto gu = topo.group_of[u], gv = topo.group_of[v];
+  for (auto [u, v] : topo_->g.edge_list()) {
+    const auto gu = topo_->group_of[u], gv = topo_->group_of[v];
     if (gu == gv) continue;
     auto& slot_uv = gateway_[static_cast<std::size_t>(gu) * num_groups_ + gv];
     auto& slot_vu = gateway_[static_cast<std::size_t>(gv) * num_groups_ + gu];

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "routing/routing.h"
@@ -18,8 +19,9 @@ namespace polarstar::routing {
 class DragonflyRouting final : public MinimalRouting {
  public:
   /// The topology must be a dragonfly::build result (complete groups,
-  /// exactly one global link per group pair). Throws otherwise.
-  explicit DragonflyRouting(const topo::Topology& topo);
+  /// exactly one global link per group pair). Throws otherwise. The
+  /// router co-owns the topology (it consults group_of on every query).
+  explicit DragonflyRouting(std::shared_ptr<const topo::Topology> topo);
 
   std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override;
   void next_hops(graph::Vertex cur, graph::Vertex dst,
@@ -28,7 +30,7 @@ class DragonflyRouting final : public MinimalRouting {
   std::string name() const override { return "dragonfly-hierarchical"; }
 
  private:
-  const topo::Topology* topo_;
+  std::shared_ptr<const topo::Topology> topo_;
   std::uint32_t num_groups_ = 0;
   /// gateway_[g * num_groups_ + h] = router in group g owning the link to
   /// group h (undefined for g == h).

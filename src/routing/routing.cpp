@@ -2,13 +2,14 @@
 
 namespace polarstar::routing {
 
-std::unique_ptr<MinimalRouting> make_table_routing(const graph::Graph& g) {
-  return std::make_unique<TableRouting>(g);
+std::shared_ptr<const MinimalRouting> make_table_routing(
+    const graph::Graph& g) {
+  return std::make_shared<TableRouting>(g);
 }
 
-std::unique_ptr<MinimalRouting> make_polarstar_routing(
-    const core::PolarStar& ps) {
-  return std::make_unique<PolarStarAnalyticRouting>(ps);
+std::shared_ptr<const MinimalRouting> make_polarstar_routing(
+    std::shared_ptr<const core::PolarStar> ps) {
+  return std::make_shared<PolarStarAnalyticRouting>(std::move(ps));
 }
 
 }  // namespace polarstar::routing

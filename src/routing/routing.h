@@ -4,13 +4,20 @@
 // graph. Implementations:
 //   - TableRouting: all minimal next hops stored per (src, dst) pair -- the
 //     scheme the paper says Spectralfly and Bundlefly need (large tables),
-//     and the generic fallback for every baseline.
+//     and the generic fallback for every baseline. On a folded Clos its
+//     minimal path set coincides with fat-tree up/down routing, so FT rows
+//     use it directly.
 //   - PolarStarAnalyticRouting: wraps core::PolarStarRouting (table-free).
-//   - UpDownRouting (fat-tree): identical path sets to TableRouting on a
-//     folded Clos, provided for the storage comparison.
+//   - DragonflyRouting (routing/dragonfly_routing.h): BookSim's
+//     hierarchical local-global-local scheme.
 //
 // Non-minimal (Valiant / UGAL) path selection is built on top of any
 // MinimalRouting by routing/ugal.h.
+//
+// Thread-safety contract: every MinimalRouting implementation must be
+// immutable after construction -- distance()/next_hops() are const,
+// mutation-free, and safe to call from many threads at once (the parallel
+// ExperimentRunner shares one routing across all concurrent Simulations).
 #pragma once
 
 #include <cstdint>
@@ -67,12 +74,13 @@ class TableRouting final : public MinimalRouting {
   graph::MinimalNextHops hops_;
 };
 
-/// Table-free PolarStar routing (§9.2). The PolarStar object must outlive
-/// this router.
+/// Table-free PolarStar routing (§9.2). Co-owns the PolarStar whose factor
+/// graphs the case analysis consults, so the router can outlive every
+/// builder-side object.
 class PolarStarAnalyticRouting final : public MinimalRouting {
  public:
-  explicit PolarStarAnalyticRouting(const core::PolarStar& ps)
-      : impl_(ps) {}
+  explicit PolarStarAnalyticRouting(std::shared_ptr<const core::PolarStar> ps)
+      : ps_(std::move(ps)), impl_(*ps_) {}
 
   std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override {
     return impl_.distance(src, dst);
@@ -86,13 +94,20 @@ class PolarStarAnalyticRouting final : public MinimalRouting {
   }
   std::string name() const override { return "polarstar-analytic"; }
 
+  const std::shared_ptr<const core::PolarStar>& polarstar() const {
+    return ps_;
+  }
+
  private:
+  std::shared_ptr<const core::PolarStar> ps_;  // init before impl_
   core::PolarStarRouting impl_;
 };
 
-/// Factory helpers.
-std::unique_ptr<MinimalRouting> make_table_routing(const graph::Graph& g);
-std::unique_ptr<MinimalRouting> make_polarstar_routing(
-    const core::PolarStar& ps);
+/// Factory helpers. Routing objects are shared_ptr-owned so a sim::Network
+/// (and anything else) can co-own them; TableRouting copies everything it
+/// needs out of `g` and retains no reference to it.
+std::shared_ptr<const MinimalRouting> make_table_routing(const graph::Graph& g);
+std::shared_ptr<const MinimalRouting> make_polarstar_routing(
+    std::shared_ptr<const core::PolarStar> ps);
 
 }  // namespace polarstar::routing

@@ -1,0 +1,138 @@
+#include "runlab/runner.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+
+namespace polarstar::runlab {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Runs one case's whole load chain; writes only into `out` (one distinct
+// CaseResult per task, so no synchronisation is needed).
+void run_chain(const SweepCase& c, CaseResult& out) {
+  const auto chain_start = std::chrono::steady_clock::now();
+  out.points.resize(c.loads.size());
+  bool saturated = false;
+  for (std::size_t j = 0; j < c.loads.size(); ++j) {
+    auto& p = out.points[j];
+    p.load = c.loads[j];
+    if (c.skip || (saturated && c.stop_after_saturation)) continue;
+    const auto point_start = std::chrono::steady_clock::now();
+    p.result = run_point(*c.net, c.pattern, c.loads[j], c.params,
+                         c.pattern_seed);
+    p.wall_seconds = seconds_since(point_start);
+    p.ran = true;
+    if (!p.result.stable) saturated = true;
+  }
+  out.wall_seconds = seconds_since(chain_start);
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+}
+
+const char* mode_string(const sim::SimParams& prm) {
+  if (prm.path_mode == sim::PathMode::kUgal) return "ugal";
+  return prm.min_select == sim::MinSelect::kAdaptive ? "min-adaptive" : "min";
+}
+
+}  // namespace
+
+sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
+                         double load, const sim::SimParams& params,
+                         std::uint64_t pattern_seed) {
+  const std::uint64_t seed =
+      pattern_seed == SweepCase::kSameSeed ? params.seed : pattern_seed;
+  sim::PatternSource src(net.topology(), pattern, load, params.packet_flits,
+                         seed);
+  sim::Simulation simulation(net, params, src);
+  return simulation.run();
+}
+
+ExperimentRunner::ExperimentRunner(unsigned num_threads)
+    : pool_(num_threads) {
+  if (const char* v = std::getenv("POLARSTAR_JSON")) json_path_ = v;
+}
+
+ExperimentRunner::~ExperimentRunner() { flush_json(); }
+
+std::vector<CaseResult> ExperimentRunner::run(
+    const std::string& label, const std::vector<SweepCase>& cases) {
+  for (const auto& c : cases) {
+    if (!c.net) {
+      throw std::invalid_argument("ExperimentRunner: case '" + c.name +
+                                  "' has no network");
+    }
+  }
+  std::vector<CaseResult> results(cases.size());
+  std::vector<std::exception_ptr> errors(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    pool_.submit([&cases, &results, &errors, i] {
+      try {
+        run_chain(cases[i], results[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  // Record after the barrier, on the caller's thread, so JSON order is the
+  // spec order no matter how the chains were scheduled.
+  if (!json_path_.empty()) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      for (const auto& p : results[i].points) {
+        if (!p.ran) continue;
+        records_.push_back({label, cases[i].name, cases[i].pattern,
+                            mode_string(cases[i].params), p.load, p.result,
+                            p.wall_seconds});
+      }
+    }
+  }
+  return results;
+}
+
+void ExperimentRunner::flush_json() {
+  if (json_path_.empty()) return;
+  std::ofstream os(json_path_, std::ios::trunc);
+  if (!os) return;  // unwritable path: drop telemetry, never fail the run
+  os << "[\n";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[i];
+    const auto& res = r.result;
+    os << "  {\"sweep\": \"";
+    json_escape(os, r.sweep);
+    os << "\", \"case\": \"";
+    json_escape(os, r.name);
+    os << "\", \"pattern\": \"" << sim::to_string(r.pattern)
+       << "\", \"mode\": \"" << r.mode
+       << "\", \"load\": " << r.load << ", \"stable\": "
+       << (res.stable ? "true" : "false")
+       << ", \"deadlock\": " << (res.deadlock ? "true" : "false")
+       << ", \"avg_latency\": " << res.avg_packet_latency
+       << ", \"p99_latency\": " << res.p99_packet_latency
+       << ", \"avg_hops\": " << res.avg_hops
+       << ", \"accepted_flit_rate\": " << res.accepted_flit_rate
+       << ", \"cycles\": " << res.cycles
+       << ", \"measured_packets\": " << res.measured_packets
+       << ", \"wall_seconds\": " << r.wall_seconds << "}"
+       << (i + 1 < records_.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace polarstar::runlab

@@ -1,0 +1,113 @@
+// Parallel experiment runner for latency-vs-load sweeps.
+//
+// A sweep is a list of SweepCases, each pairing a shared-ownership
+// sim::Network with a traffic pattern, simulation parameters and an
+// ascending load chain. The unit of scheduling is the whole chain, not the
+// point: points within a chain are sequential because the paper-style
+// early exit ("stop after the first saturated load") makes later points
+// depend on earlier outcomes, while distinct chains never share mutable
+// state and run concurrently on the pool.
+//
+// Results come back in case order regardless of which worker finished
+// first, and every point is simulated with the parameters given in the
+// spec, so a run with POLARSTAR_THREADS=8 is bit-identical to a serial one.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runlab/thread_pool.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+
+namespace polarstar::runlab {
+
+/// One sweep column: a network plus everything needed to run its load
+/// chain. The case co-owns the Network (and through it the topology and
+/// routing), so a spec stays valid after its builders go out of scope.
+struct SweepCase {
+  std::string name;
+  std::shared_ptr<const sim::Network> net;
+  sim::Pattern pattern = sim::Pattern::kUniform;
+  /// Load-independent knobs (seed, VC count, path mode, windows...).
+  sim::SimParams params;
+  /// Offered loads, ascending (flits per endpoint per cycle).
+  std::vector<double> loads;
+  /// Seed for the traffic pattern's rng; kSameSeed = params.seed (the
+  /// common case -- a few benches historically seed the two separately).
+  static constexpr std::uint64_t kSameSeed = ~0ull;
+  std::uint64_t pattern_seed = kSameSeed;
+  /// Stop the chain after the first unstable point (paper-plot semantics).
+  bool stop_after_saturation = true;
+  /// Record the whole chain as never-run (e.g. adversarial traffic on an
+  /// ungrouped topology).
+  bool skip = false;
+};
+
+struct PointResult {
+  double load = 0.0;
+  /// False when the point was skipped (case skip, or past saturation).
+  bool ran = false;
+  sim::SimResult result;  // valid iff ran
+  double wall_seconds = 0.0;
+};
+
+struct CaseResult {
+  /// One entry per SweepCase::loads entry, in load order.
+  std::vector<PointResult> points;
+  double wall_seconds = 0.0;  // whole chain
+};
+
+/// Simulates one (network, pattern, load) point: the serial primitive the
+/// runner schedules. The pattern source seeds from pattern_seed
+/// (SweepCase::kSameSeed = use params.seed); equal arguments give
+/// bit-identical results.
+sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
+                         double load, const sim::SimParams& params,
+                         std::uint64_t pattern_seed = SweepCase::kSameSeed);
+
+class ExperimentRunner {
+ public:
+  /// 0 = POLARSTAR_THREADS, falling back to hardware_concurrency.
+  explicit ExperimentRunner(unsigned num_threads = 0);
+  /// Flushes pending JSON (see set_json_path) before tearing the pool down.
+  ~ExperimentRunner();
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  /// Runs every case's load chain (one pool task each) and blocks until
+  /// all finish. `label` names the sweep in emitted JSON. If a simulation
+  /// throws, the first exception (in case order) is rethrown here.
+  std::vector<CaseResult> run(const std::string& label,
+                              const std::vector<SweepCase>& cases);
+
+  unsigned num_threads() const { return pool_.size(); }
+
+  /// Where results are written as JSON. Initialised from POLARSTAR_JSON at
+  /// construction; empty disables emission. Override before run() in tests.
+  void set_json_path(std::string path) { json_path_ = std::move(path); }
+  const std::string& json_path() const { return json_path_; }
+
+  /// Writes every point recorded so far (all run() calls on this runner)
+  /// as one JSON array. Called automatically by the destructor; explicit
+  /// calls rewrite the file in place. No-op when the path is empty.
+  void flush_json();
+
+ private:
+  struct Record {
+    std::string sweep, name;
+    sim::Pattern pattern;
+    std::string mode;  // "min", "min-adaptive" or "ugal"
+    double load;
+    sim::SimResult result;
+    double wall_seconds;
+  };
+
+  ThreadPool pool_;
+  std::string json_path_;
+  std::vector<Record> records_;
+};
+
+}  // namespace polarstar::runlab

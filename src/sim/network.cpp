@@ -2,23 +2,28 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace polarstar::sim {
 
 using graph::Vertex;
 
-Network::Network(const topo::Topology& topo,
-                 const routing::MinimalRouting& routing)
-    : topo_(&topo), routing_(&routing), n_(topo.g.num_vertices()) {
+Network::Network(std::shared_ptr<const topo::Topology> topo,
+                 std::shared_ptr<const routing::MinimalRouting> routing)
+    : topo_(std::move(topo)), routing_(std::move(routing)) {
+  if (!topo_ || !routing_) {
+    throw std::invalid_argument("Network: topology and routing must be set");
+  }
+  n_ = topo_->g.num_vertices();
   port_base_.assign(n_ + 1, 0);
   for (Vertex r = 0; r < n_; ++r) {
-    port_base_[r + 1] = port_base_[r] + topo.g.degree(r);
+    port_base_[r + 1] = port_base_[r] + topo_->g.degree(r);
   }
   total_link_ports_ = port_base_[n_];
 
   reverse_port_.resize(total_link_ports_);
   for (Vertex r = 0; r < n_; ++r) {
-    auto nb = topo.g.neighbors(r);
+    auto nb = topo_->g.neighbors(r);
     for (std::uint32_t p = 0; p < nb.size(); ++p) {
       reverse_port_[port_base_[r] + p] =
           static_cast<std::uint16_t>(port_toward(nb[p], r));
@@ -34,7 +39,7 @@ Network::Network(const topo::Topology& topo,
       const auto begin = static_cast<std::uint32_t>(route_ports_.size());
       if (s != d) {
         hops.clear();
-        routing.next_hops(s, d, hops);
+        routing_->next_hops(s, d, hops);
         for (Vertex w : hops) {
           route_ports_.push_back(static_cast<std::uint16_t>(port_toward(s, w)));
         }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -29,12 +30,25 @@ inline std::uint64_t flow_path_hash(graph::Vertex src_router,
   return h;
 }
 
+/// A Network shares ownership of the Topology and MinimalRouting it was
+/// built from, so it can outlive every builder-side object. After
+/// construction it is immutable: one Network can back any number of
+/// concurrent Simulations (each Simulation holds the mutable per-run
+/// state), which is what runlab::ExperimentRunner relies on.
 class Network {
  public:
-  Network(const topo::Topology& topo, const routing::MinimalRouting& routing);
+  /// Both pointers must be non-null (throws std::invalid_argument).
+  Network(std::shared_ptr<const topo::Topology> topo,
+          std::shared_ptr<const routing::MinimalRouting> routing);
 
   const topo::Topology& topology() const { return *topo_; }
   const routing::MinimalRouting& routing() const { return *routing_; }
+  const std::shared_ptr<const topo::Topology>& topology_ptr() const {
+    return topo_;
+  }
+  const std::shared_ptr<const routing::MinimalRouting>& routing_ptr() const {
+    return routing_;
+  }
 
   std::uint32_t num_routers() const { return n_; }
 
@@ -71,8 +85,8 @@ class Network {
   std::size_t port_base(graph::Vertex r) const { return port_base_[r]; }
 
  private:
-  const topo::Topology* topo_;
-  const routing::MinimalRouting* routing_;
+  std::shared_ptr<const topo::Topology> topo_;
+  std::shared_ptr<const routing::MinimalRouting> routing_;
   std::uint32_t n_ = 0;
   std::vector<std::size_t> port_base_;          // size n+1
   std::size_t total_link_ports_ = 0;

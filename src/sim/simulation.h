@@ -166,8 +166,8 @@ class Simulation {
                            std::uint64_t tag);
   void free_packet(std::uint32_t idx);
 
-  // Route the head flit of packet pkt at router r; fills out/ovc.
-  // Returns false if no output decision is possible (never in practice).
+  // Route the head flit of packet pkt_idx at router r; fills out/ovc.
+  // A minimal next hop always exists, so there is no failure path.
   void compute_route(std::uint32_t pkt_idx, graph::Vertex r,
                      std::uint16_t& out, std::uint8_t& ovc);
 

@@ -1,6 +1,8 @@
 // Analytical channel-load / throughput bounds, and CDG deadlock analysis.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "analysis/channel_load.h"
 #include "analysis/deadlock.h"
 #include "core/polarstar.h"
@@ -62,9 +64,9 @@ TEST(ChannelLoad, TornadoOnRingSaturatesAtTwoOverN) {
 TEST(ChannelLoad, UniformBoundsSimulatedSaturation) {
   // The simulator's accepted throughput at overload must not beat the
   // analytic bound (it typically lands below it: HOL blocking etc.).
-  auto t = topo::dragonfly::build({4, 2, 2});
-  routing::TableRouting r(t.g);
-  auto rep = analysis::uniform_channel_load(t, r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = std::make_shared<routing::TableRouting>(t->g);
+  auto rep = analysis::uniform_channel_load(*t, *r);
   ASSERT_GT(rep.throughput_bound, 0.0);
 
   sim::Network net(t, r);
@@ -73,7 +75,7 @@ TEST(ChannelLoad, UniformBoundsSimulatedSaturation) {
   prm.measure_cycles = 2000;
   prm.drain_cycles = 2000;
   prm.min_select = sim::MinSelect::kAdaptive;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 1.0, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 1.0, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_LE(res.accepted_flit_rate, rep.throughput_bound * 1.05);
@@ -83,18 +85,20 @@ TEST(ChannelLoad, UniformBoundsSimulatedSaturation) {
 TEST(ChannelLoad, PolarStarUniformNearFullThroughput) {
   // Fig 9's ">75% of full injection" claim has an analytic counterpart:
   // the max uniform channel load of PolarStar at p = radix/3 stays near 1.
-  auto ps = polarstar::core::PolarStar::build(
-      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 3});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 3}));
   routing::PolarStarAnalyticRouting r(ps);
-  auto rep = analysis::uniform_channel_load(ps.topology(), r);
+  auto rep = analysis::uniform_channel_load(ps->topology(), r);
   EXPECT_GT(rep.throughput_bound, 0.75);
 }
 
 TEST(Deadlock, Diameter3MinimalWith4VcsIsAcyclic) {
-  auto ps = polarstar::core::PolarStar::build(
-      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2}));
   routing::PolarStarAnalyticRouting r(ps);
-  auto rep = analysis::check_deadlock_freedom(ps.topology(), r, 4);
+  auto rep = analysis::check_deadlock_freedom(ps->topology(), r, 4);
   EXPECT_TRUE(rep.acyclic);
   EXPECT_GT(rep.cdg_edges, 0u);
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "graph/algorithms.h"
 #include "routing/routing.h"
@@ -58,7 +59,7 @@ TEST(PolarFly, StorageIsTiny) {
 }
 
 TEST(PolarFly, SimulatesUnderUniformTraffic) {
-  auto t = topo::polarfly::build({7, 2});
+  auto t = std::make_shared<topo::Topology>(topo::polarfly::build({7, 2}));
 
   // Adapt the algebraic router to the MinimalRouting interface.
   class Adapter final : public routing::MinimalRouting {
@@ -78,13 +79,14 @@ TEST(PolarFly, SimulatesUnderUniformTraffic) {
 
    private:
     topo::PolarFlyRouting impl_;
-  } route(7);
+  };
+  auto route = std::make_shared<Adapter>(7);
 
   sim::Network net(t, route);
   sim::SimParams prm;
   prm.warmup_cycles = 300;
   prm.measure_cycles = 800;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.3, prm.packet_flits, 9);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.3, prm.packet_flits, 9);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_TRUE(res.stable);

@@ -2,6 +2,8 @@
 // flit simulator.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/polarstar.h"
 #include "routing/routing.h"
 #include "sim/flow_model.h"
@@ -64,8 +66,8 @@ TEST(FlowModel, SameRouterFlowsBypassTheFabric) {
 }
 
 TEST(FlowModel, MatchesSimulatorOnAdversarialDragonfly) {
-  auto t = topo::dragonfly::build({6, 3, 3});
-  routing::TableRouting r(t.g);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({6, 3, 3}));
+  auto r = std::make_shared<routing::TableRouting>(t->g);
   sim::Network net(t, r);
 
   // Freeze the adversarial mapping once so both engines see it.
@@ -74,19 +76,20 @@ TEST(FlowModel, MatchesSimulatorOnAdversarialDragonfly) {
     void tick(sim::Simulation&) override {}
   } null;
   sim::Simulation probe(net, probe_prm, null);
-  sim::PatternSource pattern(t, sim::Pattern::kAdversarial, 1.0, 4, 11);
-  std::vector<std::uint64_t> dst(t.num_endpoints());
-  for (std::uint64_t e = 0; e < t.num_endpoints(); ++e) {
+  sim::PatternSource pattern(*t, sim::Pattern::kAdversarial, 1.0, 4, 11);
+  std::vector<std::uint64_t> dst(t->num_endpoints());
+  for (std::uint64_t e = 0; e < t->num_endpoints(); ++e) {
     dst[e] = pattern.destination(e, probe);
   }
 
-  auto flow = sim::max_min_rates(t, r, [&](std::uint64_t e) { return dst[e]; });
+  auto flow =
+      sim::max_min_rates(*t, *r, [&](std::uint64_t e) { return dst[e]; });
 
   sim::SimParams prm;
   prm.warmup_cycles = 500;
   prm.measure_cycles = 2000;
   prm.drain_cycles = 2000;
-  sim::PatternSource src(t, sim::Pattern::kAdversarial, 1.0, prm.packet_flits,
+  sim::PatternSource src(*t, sim::Pattern::kAdversarial, 1.0, prm.packet_flits,
                          11);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
@@ -98,12 +101,13 @@ TEST(FlowModel, MatchesSimulatorOnAdversarialDragonfly) {
 }
 
 TEST(FlowModel, PolarStarUniformEstimateIsHigh) {
-  auto ps = polarstar::core::PolarStar::build(
-      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 3});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 3}));
   routing::PolarStarAnalyticRouting r(ps);
   // A fixed random permutation as a stand-in for uniform demand.
-  const auto eps = ps.topology().num_endpoints();
-  auto res = sim::max_min_rates(ps.topology(), r, [&](std::uint64_t e) {
+  const auto eps = ps->topology().num_endpoints();
+  auto res = sim::max_min_rates(ps->topology(), r, [&](std::uint64_t e) {
     return (e * 211 + 17) % eps;  // 211 coprime with eps spreads widely
   });
   // Single-path flows on an affine permutation: a solid fraction of full

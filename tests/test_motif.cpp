@@ -3,6 +3,9 @@
 // simulator with scaling sanity checks.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "core/polarstar.h"
 #include "motif/allreduce.h"
 #include "motif/halo.h"
@@ -20,11 +23,11 @@ namespace g = polarstar::graph;
 
 namespace {
 
-sim::SimResult run_motif(const topo::Topology& t,
-                         const routing::MinimalRouting& r,
+sim::SimResult run_motif(std::shared_ptr<const topo::Topology> t,
+                         std::shared_ptr<const routing::MinimalRouting> r,
                          motif::StepProgram& prog,
                          std::uint32_t num_vcs = 4) {
-  sim::Network net(t, r);
+  sim::Network net(std::move(t), std::move(r));
   sim::SimParams prm;
   prm.num_vcs = num_vcs;
   sim::Simulation s(net, prm, prog);
@@ -53,11 +56,11 @@ TEST(Motif, Pow2Floor) {
 }
 
 TEST(Motif, AllreduceRecursiveDoublingCompletes) {
-  auto t = ring_topology(8, 2);  // 16 endpoints
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));  // 16 endpoints
+  auto r = routing::make_table_routing(t->g);
   auto prog = motif::make_allreduce(16, 2, 3,
                                     motif::AllreduceAlgorithm::kRecursiveDoubling);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   // 16 ranks x log2(16)=4 rounds x 3 iterations, one message each.
   EXPECT_EQ(prog.messages_sent(), 16u * 4 * 3);
@@ -71,11 +74,11 @@ TEST(Motif, AllreduceRejectsNonPowerOfTwo) {
 }
 
 TEST(Motif, RingAllreduceCompletes) {
-  auto t = ring_topology(6, 2);  // 12 endpoints
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(6, 2));  // 12 endpoints
+  auto r = routing::make_table_routing(t->g);
   auto prog =
       motif::make_allreduce(12, 1, 2, motif::AllreduceAlgorithm::kRing);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   EXPECT_EQ(prog.messages_sent(), 12u * 22 * 2);  // 2(R-1) rounds
 }
@@ -83,10 +86,10 @@ TEST(Motif, RingAllreduceCompletes) {
 TEST(Motif, SweepWavefrontOrdering) {
   // On a 2x2 grid, the first (+,+) sweep must start only at rank 0; its
   // completion time is bounded below by the chain 0 -> {1,2} -> 3.
-  auto t = ring_topology(4, 1);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(4, 1));
+  auto r = routing::make_table_routing(t->g);
   auto prog = motif::make_sweep3d(2, 2, 4, 1);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   // 4 sweeps x (2 sends for corner + 1 send for each edge rank + 0 for last)
   // = 4 x (2 + 1 + 1 + 0) messages.
@@ -96,12 +99,12 @@ TEST(Motif, SweepWavefrontOrdering) {
 }
 
 TEST(Motif, SweepLargerGridMoreCycles) {
-  auto t4 = ring_topology(16, 1);
-  auto r4 = routing::make_table_routing(t4.g);
+  auto t4 = std::make_shared<topo::Topology>(ring_topology(16, 1));
+  auto r4 = routing::make_table_routing(t4->g);
   auto p1 = motif::make_sweep3d(4, 4, 2, 1);
-  auto res4 = run_motif(t4, *r4, p1);
+  auto res4 = run_motif(t4, r4, p1);
   auto p2 = motif::make_sweep3d(4, 4, 2, 3);
-  auto res4x3 = run_motif(t4, *r4, p2);
+  auto res4x3 = run_motif(t4, r4, p2);
   EXPECT_TRUE(res4.stable);
   EXPECT_TRUE(res4x3.stable);
   // 3 iterations take roughly 3x one iteration (sequential dependency).
@@ -109,14 +112,14 @@ TEST(Motif, SweepLargerGridMoreCycles) {
 }
 
 TEST(Motif, MessageSizeIncreasesCompletionTime) {
-  auto t = ring_topology(8, 2);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));
+  auto r = routing::make_table_routing(t->g);
   auto small = motif::make_allreduce(16, 1, 1,
                                      motif::AllreduceAlgorithm::kRecursiveDoubling);
   auto big = motif::make_allreduce(16, 16, 1,
                                    motif::AllreduceAlgorithm::kRecursiveDoubling);
-  auto rs = run_motif(t, *r, small);
-  auto rb = run_motif(t, *r, big);
+  auto rs = run_motif(t, r, small);
+  auto rb = run_motif(t, r, big);
   EXPECT_TRUE(rs.stable);
   EXPECT_TRUE(rb.stable);
   EXPECT_GT(rb.cycles, rs.cycles * 2);
@@ -125,29 +128,30 @@ TEST(Motif, MessageSizeIncreasesCompletionTime) {
 TEST(Motif, AllreduceOnPolarStarAndDragonfly) {
   // End-to-end smoke: the Fig 11 comparison machinery works on real
   // topologies and adaptive routing completes too.
-  auto ps = polarstar::core::PolarStar::build(
-      {3, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {3, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2}));
   auto rps = routing::make_polarstar_routing(ps);
   auto prog = motif::make_allreduce(
       128, 4, 2, motif::AllreduceAlgorithm::kRecursiveDoubling);
-  auto res_ps = run_motif(ps.topology(), *rps, prog);
+  auto res_ps = run_motif(polarstar::core::shared_topology(ps), rps, prog);
   EXPECT_TRUE(res_ps.stable);
 
-  auto df = topo::dragonfly::build({4, 2, 2});
-  auto rdf = routing::make_table_routing(df.g);
+  auto df = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto rdf = routing::make_table_routing(df->g);
   auto prog2 = motif::make_allreduce(
       64, 4, 2, motif::AllreduceAlgorithm::kRecursiveDoubling);
-  auto res_df = run_motif(df, *rdf, prog2);
+  auto res_df = run_motif(df, rdf, prog2);
   EXPECT_TRUE(res_df.stable);
   EXPECT_GT(res_df.cycles, 0u);
 }
 
 TEST(Motif, BinomialTreeAllreduceCompletes) {
-  auto t = ring_topology(8, 2);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));
+  auto r = routing::make_table_routing(t->g);
   auto prog = motif::make_allreduce(16, 2, 2,
                                     motif::AllreduceAlgorithm::kBinomialTree);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   // Reduce + broadcast each move R-1 messages per iteration.
   EXPECT_EQ(prog.messages_sent(), 2u * 15 * 2);
@@ -158,14 +162,14 @@ TEST(Motif, BinomialTreeVsRecursiveDoublingMessageCounts) {
   // binomial tree only 2(R-1): tree allreduce is bandwidth-lean but pays
   // 2x the phase latency. Completion-time ordering is topology- and
   // congestion-dependent, so assert the structural counts.
-  auto t = ring_topology(16, 2);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(16, 2));
+  auto r = routing::make_table_routing(t->g);
   auto rd = motif::make_allreduce(
       32, 4, 3, motif::AllreduceAlgorithm::kRecursiveDoubling);
   auto bt = motif::make_allreduce(32, 4, 3,
                                   motif::AllreduceAlgorithm::kBinomialTree);
-  auto res_rd = run_motif(t, *r, rd);
-  auto res_bt = run_motif(t, *r, bt);
+  auto res_rd = run_motif(t, r, rd);
+  auto res_bt = run_motif(t, r, bt);
   EXPECT_TRUE(res_rd.stable);
   EXPECT_TRUE(res_bt.stable);
   EXPECT_EQ(rd.messages_sent(), 32u * 5 * 3);
@@ -174,32 +178,32 @@ TEST(Motif, BinomialTreeVsRecursiveDoublingMessageCounts) {
 }
 
 TEST(Motif, Halo2dExchangeCounts) {
-  auto t = ring_topology(8, 2);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));
+  auto r = routing::make_table_routing(t->g);
   auto prog = motif::make_halo2d(4, 4, 2, 3);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   // Messages per iteration = directed neighbor pairs: 2 * (2 * 3 * 4) = 48.
   EXPECT_EQ(prog.messages_sent(), 48u * 3);
 }
 
 TEST(Motif, Halo3dExchangeCounts) {
-  auto t = ring_topology(8, 1);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 1));
+  auto r = routing::make_table_routing(t->g);
   auto prog = motif::make_halo3d(2, 2, 2, 1, 2);
-  auto res = run_motif(t, *r, prog);
+  auto res = run_motif(t, r, prog);
   EXPECT_TRUE(res.stable);
   // 2x2x2 grid: each rank has 3 neighbors -> 24 directed messages/iter.
   EXPECT_EQ(prog.messages_sent(), 24u * 2);
 }
 
 TEST(Motif, HaloScalesWithIterations) {
-  auto t = ring_topology(8, 2);
-  auto r = routing::make_table_routing(t.g);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));
+  auto r = routing::make_table_routing(t->g);
   auto one = motif::make_halo2d(4, 4, 4, 1);
   auto five = motif::make_halo2d(4, 4, 4, 5);
-  auto r1 = run_motif(t, *r, one);
-  auto r5 = run_motif(t, *r, five);
+  auto r1 = run_motif(t, r, one);
+  auto r5 = run_motif(t, r, five);
   EXPECT_TRUE(r1.stable);
   EXPECT_TRUE(r5.stable);
   EXPECT_GT(r5.cycles, 3 * r1.cycles);

@@ -77,15 +77,16 @@ TEST(PathDiversity, HyperXMoreDiverseThanDragonfly) {
 }
 
 TEST(PathDiversity, PolarStarModerate) {
-  auto ps = polarstar::core::PolarStar::build(
-      {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 1});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {5, 3, polarstar::core::SupernodeKind::kInductiveQuad, 1}));
   routing::PolarStarAnalyticRouting r(ps);
-  auto rep = analysis::path_diversity(ps.topology(), r);
+  auto rep = analysis::path_diversity(ps->topology(), r);
   EXPECT_GT(rep.avg_paths, 1.0);
   EXPECT_LT(rep.avg_paths, 12.0);
   // Histogram accounts for every ordered pair.
   std::uint64_t total = 0;
   for (auto h : rep.histogram) total += h;
-  const std::uint64_t n = ps.graph().num_vertices();
+  const std::uint64_t n = ps->graph().num_vertices();
   EXPECT_EQ(total, n * (n - 1));
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <random>
 #include <set>
 
@@ -36,13 +37,14 @@ TEST(TableRouting, HopsDecreaseDistance) {
 }
 
 TEST(TableRouting, MatchesAnalyticOnPolarStar) {
-  auto ps = polarstar::core::PolarStar::build(
-      {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0});
-  routing::TableRouting table(ps.graph());
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {4, 3, polarstar::core::SupernodeKind::kInductiveQuad, 0}));
+  routing::TableRouting table(ps->graph());
   routing::PolarStarAnalyticRouting analytic(ps);
   std::vector<g::Vertex> ht, ha;
-  for (g::Vertex s = 0; s < ps.graph().num_vertices(); s += 3) {
-    for (g::Vertex d = 0; d < ps.graph().num_vertices(); d += 7) {
+  for (g::Vertex s = 0; s < ps->graph().num_vertices(); s += 3) {
+    for (g::Vertex d = 0; d < ps->graph().num_vertices(); d += 7) {
       EXPECT_EQ(table.distance(s, d), analytic.distance(s, d));
       if (s == d) continue;
       ht.clear();
@@ -59,12 +61,13 @@ TEST(TableRouting, MatchesAnalyticOnPolarStar) {
 }
 
 TEST(DragonflyRouting, HierarchicalPaths) {
-  auto t = polarstar::topo::dragonfly::build({6, 3, 2});
+  auto t = std::make_shared<const polarstar::topo::Topology>(
+      polarstar::topo::dragonfly::build({6, 3, 2}));
   routing::DragonflyRouting r(t);
-  routing::TableRouting graph_min(t.g);
+  routing::TableRouting graph_min(t->g);
   std::vector<g::Vertex> hops;
-  for (g::Vertex s = 0; s < t.num_routers(); s += 7) {
-    for (g::Vertex d = 0; d < t.num_routers(); d += 5) {
+  for (g::Vertex s = 0; s < t->num_routers(); s += 7) {
+    for (g::Vertex d = 0; d < t->num_routers(); d += 5) {
       // Hierarchical distance is at least the graph distance, at most 3.
       EXPECT_GE(r.distance(s, d), graph_min.distance(s, d));
       EXPECT_LE(r.distance(s, d), 3u);
@@ -72,7 +75,7 @@ TEST(DragonflyRouting, HierarchicalPaths) {
       hops.clear();
       r.next_hops(s, d, hops);
       ASSERT_EQ(hops.size(), 1u);  // a unique hierarchical path
-      EXPECT_TRUE(t.g.has_edge(s, hops[0]));
+      EXPECT_TRUE(t->g.has_edge(s, hops[0]));
       EXPECT_EQ(r.distance(hops[0], d) + 1, r.distance(s, d));
     }
   }
@@ -81,7 +84,8 @@ TEST(DragonflyRouting, HierarchicalPaths) {
 }
 
 TEST(DragonflyRouting, AllInterGroupTrafficCrossesTheDirectLink) {
-  auto t = polarstar::topo::dragonfly::build({4, 2, 1});
+  auto t = std::make_shared<const polarstar::topo::Topology>(
+      polarstar::topo::dragonfly::build({4, 2, 1}));
   routing::DragonflyRouting r(t);
   // Walk every pair between groups 0 and 1: the global hop is the same
   // link every time.
@@ -93,7 +97,7 @@ TEST(DragonflyRouting, AllInterGroupTrafficCrossesTheDirectLink) {
       while (cur != d) {
         hops.clear();
         r.next_hops(cur, d, hops);
-        if (t.group_of[cur] != t.group_of[hops[0]]) {
+        if (t->group_of[cur] != t->group_of[hops[0]]) {
           global_links.insert({cur, hops[0]});
         }
         cur = hops[0];
@@ -104,7 +108,8 @@ TEST(DragonflyRouting, AllInterGroupTrafficCrossesTheDirectLink) {
 }
 
 TEST(DragonflyRouting, RejectsNonDragonfly) {
-  auto hx = polarstar::topo::hyperx::build({{3, 3, 3}, 1});
+  auto hx = std::make_shared<const polarstar::topo::Topology>(
+      polarstar::topo::hyperx::build({{3, 3, 3}, 1}));
   EXPECT_THROW(routing::DragonflyRouting r(hx), std::invalid_argument);
 }
 

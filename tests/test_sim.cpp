@@ -3,6 +3,7 @@
 // integration.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
 
 #include "core/polarstar.h"
@@ -61,9 +62,9 @@ topo::Topology ring_topology(std::uint32_t n, std::uint32_t p) {
 }  // namespace
 
 TEST(Sim, SinglePacketDelivery) {
-  auto t = ring_topology(6, 1);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(ring_topology(6, 1));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   ScriptedSource src({{0, 0, 3}});  // endpoint 0 -> endpoint 3, distance 3
   sim::SimParams prm;
   prm.packet_flits = 4;
@@ -80,9 +81,9 @@ TEST(Sim, SinglePacketDelivery) {
 }
 
 TEST(Sim, SameRouterEndpointToEndpoint) {
-  auto t = ring_topology(4, 2);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(ring_topology(4, 2));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   ScriptedSource src({{0, 0, 1}});  // both endpoints on router 0
   sim::Simulation s(net, sim::SimParams{}, src);
   auto res = s.run_app(100);
@@ -92,9 +93,9 @@ TEST(Sim, SameRouterEndpointToEndpoint) {
 }
 
 TEST(Sim, AllPacketsConserved) {
-  auto t = ring_topology(8, 2);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(ring_topology(8, 2));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> sends;
   for (std::uint64_t i = 0; i < 200; ++i) {
     sends.push_back({i / 4, i % 16, (i * 7 + 3) % 16});
@@ -109,15 +110,15 @@ TEST(Sim, AllPacketsConserved) {
 }
 
 TEST(Sim, DeterministicForSeed) {
-  auto t = topo::dragonfly::build({4, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 200;
   prm.measure_cycles = 500;
   prm.seed = 99;
   auto run_once = [&] {
-    sim::PatternSource src(t, sim::Pattern::kUniform, 0.2, prm.packet_flits, 7);
+    sim::PatternSource src(*t, sim::Pattern::kUniform, 0.2, prm.packet_flits, 7);
     sim::Simulation s(net, prm, src);
     return s.run();
   };
@@ -129,13 +130,13 @@ TEST(Sim, DeterministicForSeed) {
 }
 
 TEST(Sim, LowLoadUniformIsStableAndLowLatency) {
-  auto t = topo::dragonfly::build({4, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 300;
   prm.measure_cycles = 700;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.1, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.1, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_TRUE(res.stable);
@@ -149,14 +150,14 @@ TEST(Sim, LowLoadUniformIsStableAndLowLatency) {
 }
 
 TEST(Sim, SaturationDetected) {
-  auto t = topo::dragonfly::build({4, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 300;
   prm.measure_cycles = 1500;
   prm.drain_cycles = 1500;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 1.5, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 1.5, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   // Injecting 1.5 flits/cycle/endpoint cannot be sustained.
@@ -166,15 +167,15 @@ TEST(Sim, SaturationDetected) {
 }
 
 TEST(Sim, ThroughputScalesWithLoadBelowSaturation) {
-  auto t = topo::hyperx::build({{3, 3, 3}, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::hyperx::build({{3, 3, 3}, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   double prev = 0;
   for (double load : {0.05, 0.15, 0.3}) {
     sim::SimParams prm;
     prm.warmup_cycles = 300;
     prm.measure_cycles = 800;
-    sim::PatternSource src(t, sim::Pattern::kUniform, load, prm.packet_flits, 5);
+    sim::PatternSource src(*t, sim::Pattern::kUniform, load, prm.packet_flits, 5);
     sim::Simulation s(net, prm, src);
     auto res = s.run();
     EXPECT_TRUE(res.stable) << load;
@@ -185,9 +186,9 @@ TEST(Sim, ThroughputScalesWithLoadBelowSaturation) {
 }
 
 TEST(Sim, UgalModeRunsAndDivertsUnderAdversarial) {
-  auto t = topo::dragonfly::build({4, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 300;
   prm.measure_cycles = 900;
@@ -195,7 +196,7 @@ TEST(Sim, UgalModeRunsAndDivertsUnderAdversarial) {
   prm.path_mode = sim::PathMode::kUgal;
   prm.min_select = sim::MinSelect::kAdaptive;
   prm.drain_cycles = 10000;
-  sim::PatternSource src(t, sim::Pattern::kAdversarial, 0.2, prm.packet_flits, 5);
+  sim::PatternSource src(*t, sim::Pattern::kAdversarial, 0.2, prm.packet_flits, 5);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_TRUE(res.stable);
@@ -205,10 +206,10 @@ TEST(Sim, UgalModeRunsAndDivertsUnderAdversarial) {
 }
 
 TEST(Sim, UgalBeatsMinimalOnAdversarial) {
-  auto t = topo::dragonfly::build({6, 3, 3});
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({6, 3, 3}));
   // Hierarchical DF routing: all minimal traffic between two groups rides
   // the single direct global link, which is what UGAL escapes.
-  routing::DragonflyRouting rt(t);
+  auto rt = std::make_shared<routing::DragonflyRouting>(t);
   sim::Network net(t, rt);
   auto run_mode = [&](sim::PathMode mode, double load) {
     sim::SimParams prm;
@@ -220,7 +221,7 @@ TEST(Sim, UgalBeatsMinimalOnAdversarial) {
     // Single deterministic minpath per flow (BookSim-style MIN for DF);
     // UGAL adds Valiant diversion on top.
     prm.min_select = sim::MinSelect::kSingleHash;
-    sim::PatternSource src(t, sim::Pattern::kAdversarial, load,
+    sim::PatternSource src(*t, sim::Pattern::kAdversarial, load,
                            prm.packet_flits, 11);
     sim::Simulation s(net, prm, src);
     return s.run();
@@ -233,15 +234,16 @@ TEST(Sim, UgalBeatsMinimalOnAdversarial) {
 }
 
 TEST(Sim, AdaptiveMinimalSelectionWorks) {
-  auto ps = polarstar::core::PolarStar::build(
-      {3, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2});
+  auto ps = std::make_shared<const polarstar::core::PolarStar>(
+      polarstar::core::PolarStar::build(
+          {3, 3, polarstar::core::SupernodeKind::kInductiveQuad, 2}));
   auto r = routing::make_polarstar_routing(ps);
-  sim::Network net(ps.topology(), *r);
+  sim::Network net(polarstar::core::shared_topology(ps), r);
   sim::SimParams prm;
   prm.warmup_cycles = 300;
   prm.measure_cycles = 700;
   prm.min_select = sim::MinSelect::kAdaptive;
-  sim::PatternSource src(ps.topology(), sim::Pattern::kUniform, 0.3,
+  sim::PatternSource src(ps->topology(), sim::Pattern::kUniform, 0.3,
                          prm.packet_flits, 9);
   sim::Simulation s(net, prm, src);
   auto res = s.run();

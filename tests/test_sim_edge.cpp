@@ -2,6 +2,7 @@
 // counts, indirect-topology endpoints, and phase/window accounting.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
 
 #include "routing/routing.h"
@@ -55,9 +56,9 @@ topo::Topology path_topology(std::uint32_t n) {
 }  // namespace
 
 TEST(SimEdge, LinkLatencyAddsPerHop) {
-  auto t = path_topology(5);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(5));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   std::uint64_t cycles_l1 = 0;
   for (std::uint32_t latency : {1u, 3u}) {
     ScriptedSource src({{0, 0, 4}});  // 4 hops along the path
@@ -76,9 +77,9 @@ TEST(SimEdge, LinkLatencyAddsPerHop) {
 }
 
 TEST(SimEdge, SingleFlitPackets) {
-  auto t = path_topology(4);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(4));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   ScriptedSource src({{0, 0, 3}, {0, 1, 2}, {1, 3, 0}});
   sim::SimParams prm;
   prm.packet_flits = 1;
@@ -89,9 +90,9 @@ TEST(SimEdge, SingleFlitPackets) {
 }
 
 TEST(SimEdge, TinyBuffersStillDeliver) {
-  auto t = path_topology(6);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(6));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> sends;
   for (std::uint64_t i = 0; i < 100; ++i) sends.push_back({0, i % 6, 5 - i % 6});
   ScriptedSource src(sends);
@@ -105,9 +106,9 @@ TEST(SimEdge, TinyBuffersStillDeliver) {
 
 TEST(SimEdge, BufferSmallerThanPacketStillMoves) {
   // Wormhole: a packet larger than one buffer must stream through.
-  auto t = path_topology(4);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(4));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   ScriptedSource src({{0, 0, 3}});
   sim::SimParams prm;
   prm.packet_flits = 8;
@@ -119,13 +120,13 @@ TEST(SimEdge, BufferSmallerThanPacketStillMoves) {
 }
 
 TEST(SimEdge, IndirectTopologyCarriersOnly) {
-  auto t = topo::megafly::build({3, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::megafly::build({3, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 200;
   prm.measure_cycles = 600;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.15, prm.packet_flits, 5);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.15, prm.packet_flits, 5);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_TRUE(res.stable);
@@ -135,9 +136,9 @@ TEST(SimEdge, IndirectTopologyCarriersOnly) {
 }
 
 TEST(SimEdge, MeasurementWindowOnlyCountsItsPackets) {
-  auto t = path_topology(4);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(4));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   // One packet during warmup, one during measurement.
   ScriptedSource src({{10, 0, 3}, {600, 0, 3}});
   sim::SimParams prm;
@@ -150,9 +151,9 @@ TEST(SimEdge, MeasurementWindowOnlyCountsItsPackets) {
 }
 
 TEST(SimEdge, RouterLatencyAddsPerHop) {
-  auto t = path_topology(5);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(5));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   std::uint64_t base = 0;
   for (std::uint32_t rl : {0u, 2u}) {
     ScriptedSource src({{0, 0, 4}});
@@ -172,9 +173,9 @@ TEST(SimEdge, RouterLatencyAddsPerHop) {
 TEST(SimEdge, CreditLatencySlowsTightBuffers) {
   // With one-packet buffers, delayed credits throttle the pipeline; with
   // roomy buffers the effect at low load is negligible.
-  auto t = path_topology(6);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(6));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   auto run_once = [&](std::uint32_t credit_latency,
                       std::uint32_t buf) -> std::uint64_t {
     std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> sends;
@@ -194,15 +195,15 @@ TEST(SimEdge, CreditLatencySlowsTightBuffers) {
 }
 
 TEST(SimEdge, LinkUtilizationTelemetry) {
-  auto t = path_topology(4);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(4));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 0;
   prm.measure_cycles = 2000;
   prm.drain_cycles = 100;
   prm.record_link_utilization = true;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.1, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.1, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   ASSERT_EQ(res.link_flits.size(), net.total_link_ports());
@@ -218,9 +219,9 @@ TEST(SimEdge, LinkUtilizationTelemetry) {
 TEST(SimEdge, ParanoidInvariantsHoldUnderLoad) {
   // Credit conservation, wormhole contiguity and VC exclusivity verified
   // every cycle across a saturating run with delayed credits and links.
-  auto t = topo::megafly::build({3, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::megafly::build({3, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 200;
   prm.measure_cycles = 600;
@@ -229,35 +230,35 @@ TEST(SimEdge, ParanoidInvariantsHoldUnderLoad) {
   prm.credit_latency = 2;
   prm.link_latency = 2;
   prm.vc_buffer_flits = 8;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.8, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.8, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   EXPECT_NO_THROW({ auto res = s.run(); (void)res; });
 }
 
 TEST(SimEdge, ParanoidInvariantsHoldWithUgal) {
-  auto t = topo::fattree::build({4});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::fattree::build({4}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 200;
   prm.measure_cycles = 500;
   prm.paranoid_checks = true;
   prm.path_mode = sim::PathMode::kUgal;
   prm.num_vcs = 10;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.3, prm.packet_flits, 5);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.3, prm.packet_flits, 5);
   sim::Simulation s(net, prm, src);
   EXPECT_NO_THROW({ auto res = s.run(); (void)res; });
 }
 
 TEST(SimEdge, TwoVcsSufficeForTwoHopPaths) {
-  auto t = path_topology(3);
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(path_topology(3));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.num_vcs = 2;
   prm.warmup_cycles = 100;
   prm.measure_cycles = 400;
-  sim::PatternSource src(t, sim::Pattern::kUniform, 0.2, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, 0.2, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_TRUE(res.stable);

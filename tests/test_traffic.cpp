@@ -2,6 +2,7 @@
 // injection-rate accounting, and the adversarial group pairing.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "core/polarstar.h"
@@ -19,16 +20,13 @@ namespace {
 
 // A sim shell so destination() (which may need routing distances) works.
 struct Shell {
-  topo::Topology t;
-  std::unique_ptr<routing::MinimalRouting> r;
-  std::unique_ptr<sim::Network> net;
+  std::shared_ptr<const topo::Topology> t;
+  std::shared_ptr<const sim::Network> net;
   std::unique_ptr<sim::Simulation> s;
-  sim::TrafficSource* keep = nullptr;
 
   explicit Shell(topo::Topology topo_in, sim::TrafficSource& src)
-      : t(std::move(topo_in)) {
-    r = routing::make_table_routing(t.g);
-    net = std::make_unique<sim::Network>(t, *r);
+      : t(std::make_shared<const topo::Topology>(std::move(topo_in))) {
+    net = std::make_shared<sim::Network>(t, routing::make_table_routing(t->g));
     s = std::make_unique<sim::Simulation>(*net, sim::SimParams{}, src);
   }
 };
@@ -203,14 +201,14 @@ TEST(Traffic, HotspotConcentratesSomeTraffic) {
 }
 
 TEST(Traffic, InjectionRateMatchesBernoulli) {
-  auto t = topo::dragonfly::build({4, 2, 2});
-  auto r = routing::make_table_routing(t.g);
-  sim::Network net(t, *r);
+  auto t = std::make_shared<topo::Topology>(topo::dragonfly::build({4, 2, 2}));
+  auto r = routing::make_table_routing(t->g);
+  sim::Network net(t, r);
   sim::SimParams prm;
   prm.warmup_cycles = 0;
   prm.measure_cycles = 2000;
   const double rate = 0.2;
-  sim::PatternSource src(t, sim::Pattern::kUniform, rate, prm.packet_flits, 3);
+  sim::PatternSource src(*t, sim::Pattern::kUniform, rate, prm.packet_flits, 3);
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   // Offered 0.2 flits/cycle/endpoint; network must accept nearly all.

@@ -86,28 +86,28 @@ int main(int argc, char** argv) {
   prm.min_select =
       adaptive ? sim::MinSelect::kAdaptive : sim::MinSelect::kSingleHash;
 
-  topo::Topology topo = analysis::build_table3(topo_name);
-  std::unique_ptr<core::PolarStar> ps;
-  std::unique_ptr<routing::MinimalRouting> route;
+  auto topo = std::make_shared<const topo::Topology>(
+      analysis::build_table3(topo_name));
+  std::shared_ptr<const routing::MinimalRouting> route;
   if (topo_name == "PS-IQ") {
-    ps = std::make_unique<core::PolarStar>(core::PolarStar::build(
+    auto ps = std::make_shared<const core::PolarStar>(core::PolarStar::build(
         {11, 3, core::SupernodeKind::kInductiveQuad, 5}));
-    route = routing::make_polarstar_routing(*ps);
+    route = routing::make_polarstar_routing(ps);
   } else if (topo_name == "PS-Pal") {
-    ps = std::make_unique<core::PolarStar>(
+    auto ps = std::make_shared<const core::PolarStar>(
         core::PolarStar::build({8, 6, core::SupernodeKind::kPaley, 5}));
-    route = routing::make_polarstar_routing(*ps);
+    route = routing::make_polarstar_routing(ps);
   } else if (topo_name == "DF") {
-    route = std::make_unique<routing::DragonflyRouting>(topo);
+    route = std::make_shared<routing::DragonflyRouting>(topo);
   } else {
-    route = routing::make_table_routing(topo.g);
+    route = routing::make_table_routing(topo->g);
   }
-  sim::Network net(topo, *route);
+  sim::Network net(topo, route);
 
   std::printf("topology,pattern,mode,load,avg_latency,p99_latency,"
               "accepted,avg_hops,stable\n");
   for (double load : loads) {
-    sim::PatternSource src(topo, pattern, load, prm.packet_flits, prm.seed);
+    sim::PatternSource src(*topo, pattern, load, prm.packet_flits, prm.seed);
     sim::Simulation s(net, prm, src);
     auto res = s.run();
     std::printf("%s,%s,%s,%.3f,%.2f,%.0f,%.4f,%.3f,%d\n", topo_name.c_str(),
