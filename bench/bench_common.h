@@ -23,6 +23,7 @@
 #include "runlab/runner.h"
 #include "sim/simulation.h"
 #include "sim/traffic.h"
+#include "telemetry/collectors.h"
 #include "topo/dragonfly.h"
 #include "topo/fattree.h"
 #include "topo/hyperx.h"
@@ -173,11 +174,18 @@ inline runlab::SweepCase sweep_case(const NamedTopo& nt, sim::Pattern pattern,
 }
 
 /// One (topology, pattern, load) point with the sweep knobs -- the serial
-/// primitive behind print_sweep, kept for one-off measurements.
+/// primitive behind print_sweep, kept for one-off measurements. The
+/// optional collector observes the run (telemetry lands in
+/// SimResult::telemetry).
 inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
                                 double load, sim::PathMode mode,
-                                const SweepSettings& s) {
-  return runlab::run_point(*nt.net, pattern, load, sweep_params(nt, mode, s));
+                                const SweepSettings& s,
+                                telemetry::Collector* collector = nullptr) {
+  return runlab::run_point({.net = nt.net.get(),
+                            .pattern = pattern,
+                            .load = load,
+                            .params = sweep_params(nt, mode, s),
+                            .collector = collector});
 }
 
 /// Latency-vs-load sweep printed as one row per load; stops a column after

@@ -27,8 +27,58 @@ int main() {
   std::printf("\nUGAL routing\n");
   bench::print_sweep(suite, polarstar::sim::Pattern::kAdversarial,
                      polarstar::sim::PathMode::kUgal, s, "fig10-adv-ugal");
+
+  // Telemetry at a post-saturation adversarial load: what is each
+  // network's bottleneck made of? Runs on the shared runner with a full
+  // collector per point, so with POLARSTAR_JSON these land in the file as
+  // schema-2 records carrying a "telemetry" block.
+  using polarstar::sim::PathMode;
+  const double sat_load = 0.3;
+  bench::SweepSettings ts = s;
+  ts.loads = {sat_load};
+  std::vector<polarstar::runlab::SweepCase> cases;
+  for (const auto& nt : suite) {
+    auto c = bench::sweep_case(nt, polarstar::sim::Pattern::kAdversarial,
+                               PathMode::kUgal, ts);
+    c.make_collector = [](std::size_t) {
+      return std::make_unique<polarstar::telemetry::FullCollector>();
+    };
+    cases.push_back(std::move(c));
+  }
+  const auto results = bench::runner().run("fig10-adv-telemetry", cases);
+
+  std::printf("\nStall attribution and UGAL decisions at %.2f load (%s)\n",
+              sat_load,
+              polarstar::sim::to_string(PathMode::kUgal,
+                                        polarstar::sim::MinSelect::kAdaptive));
+  std::printf("%-8s %9s %7s %8s %8s %6s %6s | %9s %10s\n", "topo", "max/avg",
+              "busy%%", "credit%%", "vcblk%%", "arb%%", "idle%%", "valiant%%",
+              "vlt-extra");
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& t = results[i].points[0].result.telemetry;
+    const auto& st = t.stall;
+    const double total = static_cast<double>(st.busy + st.credit_starved +
+                                             st.vc_blocked +
+                                             st.arbitration_lost + st.idle);
+    const double pct = total > 0 ? 100.0 / total : 0.0;
+    const auto& ug = t.ugal;
+    const double upct =
+        ug.decisions > 0 ? 100.0 / static_cast<double>(ug.decisions) : 0.0;
+    std::printf(
+        "%-8s %9.2f %6.1f%% %7.2f%% %7.2f%% %5.2f%% %5.1f%% | %8.1f%% %10.2f\n",
+        suite[i].name.c_str(), t.link.max_avg_ratio,
+        pct * static_cast<double>(st.busy),
+        pct * static_cast<double>(st.credit_starved),
+        pct * static_cast<double>(st.vc_blocked),
+        pct * static_cast<double>(st.arbitration_lost),
+        pct * static_cast<double>(st.idle),
+        upct * static_cast<double>(ug.valiant), ug.avg_valiant_extra_hops);
+  }
+
   std::printf("\nExpected shape: DF/MF saturate first (single inter-group "
               "link); BF and PS-* sustain more via link bundles; PS-IQ "
-              "highest among the star products.\n");
+              "highest among the star products. Past saturation the "
+              "bottleneck shows up as credit-starved stalls on the paired "
+              "global links.\n");
   return 0;
 }

@@ -16,6 +16,13 @@ struct PathChoice {
   bool valiant = false;
   graph::Vertex intermediate = 0;  // meaningful when valiant
   std::uint32_t hops = 0;          // total hop estimate
+  // Decision context, filled by UgalSelector::select for telemetry: the
+  // minimal-path baseline, the cost estimates compared, and how many
+  // non-degenerate Valiant intermediates were actually evaluated.
+  std::uint32_t min_hops = 0;
+  std::uint32_t candidates_evaluated = 0;
+  double min_cost = 0.0;
+  double cost = 0.0;
 };
 
 class UgalSelector {
@@ -33,18 +40,27 @@ class UgalSelector {
                     const Occupancy& occupancy, Rng& rng) const {
     const std::uint32_t h_min = routing_.distance(src, dst);
     PathChoice best{false, 0, h_min};
-    double best_cost = cost(src, dst, h_min, occupancy);
+    const double min_cost = cost(src, dst, h_min, occupancy);
+    double best_cost = min_cost;
+    std::uint32_t evaluated = 0;
     for (std::uint32_t i = 0; i < candidates_; ++i) {
       const graph::Vertex mid = static_cast<graph::Vertex>(rng() % n_);
       if (mid == src || mid == dst) continue;
+      ++evaluated;
       const std::uint32_t hops =
           routing_.distance(src, mid) + routing_.distance(mid, dst);
       const double c = cost(src, mid, hops, occupancy);
       if (c < best_cost) {
         best_cost = c;
-        best = {true, mid, hops};
+        best.valiant = true;
+        best.intermediate = mid;
+        best.hops = hops;
       }
     }
+    best.min_hops = h_min;
+    best.candidates_evaluated = evaluated;
+    best.min_cost = min_cost;
+    best.cost = best_cost;
     return best;
   }
 

@@ -17,7 +17,9 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 // Runs one case's whole load chain; writes only into `out` (one distinct
-// CaseResult per task, so no synchronisation is needed).
+// CaseResult per task, so no synchronisation is needed). Collectors are
+// created fresh per point on this worker thread, so telemetry is as
+// deterministic as the simulation itself.
 void run_chain(const SweepCase& c, CaseResult& out) {
   const auto chain_start = std::chrono::steady_clock::now();
   out.points.resize(c.loads.size());
@@ -27,8 +29,14 @@ void run_chain(const SweepCase& c, CaseResult& out) {
     p.load = c.loads[j];
     if (c.skip || (saturated && c.stop_after_saturation)) continue;
     const auto point_start = std::chrono::steady_clock::now();
-    p.result = run_point(*c.net, c.pattern, c.loads[j], c.params,
-                         c.pattern_seed);
+    std::unique_ptr<telemetry::Collector> collector;
+    if (c.make_collector) collector = c.make_collector(j);
+    p.result = run_point({.net = c.net.get(),
+                          .pattern = c.pattern,
+                          .load = c.loads[j],
+                          .params = c.params,
+                          .pattern_seed = c.pattern_seed,
+                          .collector = collector.get()});
     p.wall_seconds = seconds_since(point_start);
     p.ran = true;
     if (!p.result.stable) saturated = true;
@@ -43,22 +51,71 @@ void json_escape(std::ostream& os, const std::string& s) {
   }
 }
 
-const char* mode_string(const sim::SimParams& prm) {
-  if (prm.path_mode == sim::PathMode::kUgal) return "ugal";
-  return prm.min_select == sim::MinSelect::kAdaptive ? "min-adaptive" : "min";
+// One JSON "telemetry" object from a run's summary block (schema 2); the
+// caller has already decided the block is non-empty.
+void write_telemetry(std::ostream& os, const telemetry::Summary& t) {
+  os << "\"telemetry\": {";
+  bool first = true;
+  auto sep = [&os, &first] {
+    if (!first) os << ", ";
+    first = false;
+  };
+  if (t.has_link) {
+    sep();
+    os << "\"link\": {\"num_links\": " << t.link.num_links
+       << ", \"total_flits\": " << t.link.total_flits
+       << ", \"avg_load\": " << t.link.avg_load
+       << ", \"max_load\": " << t.link.max_load
+       << ", \"max_avg_ratio\": " << t.link.max_avg_ratio << "}";
+  }
+  if (t.has_stall) {
+    sep();
+    os << "\"stall\": {\"busy\": " << t.stall.busy
+       << ", \"credit_starved\": " << t.stall.credit_starved
+       << ", \"vc_blocked\": " << t.stall.vc_blocked
+       << ", \"arbitration_lost\": " << t.stall.arbitration_lost
+       << ", \"idle\": " << t.stall.idle << "}";
+  }
+  if (t.has_ugal) {
+    sep();
+    os << "\"ugal\": {\"decisions\": " << t.ugal.decisions
+       << ", \"valiant\": " << t.ugal.valiant
+       << ", \"minimal_no_better\": " << t.ugal.minimal_no_better
+       << ", \"minimal_no_candidate\": " << t.ugal.minimal_no_candidate
+       << ", \"avg_valiant_extra_hops\": " << t.ugal.avg_valiant_extra_hops
+       << "}";
+  }
+  if (t.has_occupancy) {
+    sep();
+    os << "\"occupancy\": {\"samples\": " << t.occupancy.samples
+       << ", \"peak_router_flits\": " << t.occupancy.peak_router_flits
+       << ", \"avg_router_flits\": " << t.occupancy.avg_router_flits << "}";
+  }
+  os << "}";
 }
 
 }  // namespace
 
+sim::SimResult run_point(const PointSpec& spec) {
+  if (spec.net == nullptr) {
+    throw std::invalid_argument("run_point: spec has no network");
+  }
+  const std::uint64_t seed =
+      spec.pattern_seed == kSameSeed ? spec.params.seed : spec.pattern_seed;
+  sim::PatternSource src(spec.net->topology(), spec.pattern, spec.load,
+                         spec.params.packet_flits, seed);
+  sim::Simulation simulation(*spec.net, spec.params, src, spec.collector);
+  return simulation.run();
+}
+
 sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
                          double load, const sim::SimParams& params,
                          std::uint64_t pattern_seed) {
-  const std::uint64_t seed =
-      pattern_seed == SweepCase::kSameSeed ? params.seed : pattern_seed;
-  sim::PatternSource src(net.topology(), pattern, load, params.packet_flits,
-                         seed);
-  sim::Simulation simulation(net, params, src);
-  return simulation.run();
+  return run_point({.net = &net,
+                    .pattern = pattern,
+                    .load = load,
+                    .params = params,
+                    .pattern_seed = pattern_seed});
 }
 
 ExperimentRunner::ExperimentRunner(unsigned num_threads)
@@ -98,8 +155,9 @@ std::vector<CaseResult> ExperimentRunner::run(
       for (const auto& p : results[i].points) {
         if (!p.ran) continue;
         records_.push_back({label, cases[i].name, cases[i].pattern,
-                            mode_string(cases[i].params), p.load, p.result,
-                            p.wall_seconds});
+                            sim::to_string(cases[i].params.path_mode,
+                                           cases[i].params.min_select),
+                            p.load, p.result, p.wall_seconds});
       }
     }
   }
@@ -110,7 +168,10 @@ void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  os << "[\n";
+  // Schema 2: top-level object {"schema": 2, "points": [...]} where each
+  // point may carry a "telemetry" sub-object (see EXPERIMENTS.md). Schema 1
+  // was the bare points array without telemetry.
+  os << "{\n\"schema\": 2,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -129,10 +190,14 @@ void ExperimentRunner::flush_json() {
        << ", \"accepted_flit_rate\": " << res.accepted_flit_rate
        << ", \"cycles\": " << res.cycles
        << ", \"measured_packets\": " << res.measured_packets
-       << ", \"wall_seconds\": " << r.wall_seconds << "}"
-       << (i + 1 < records_.size() ? "," : "") << "\n";
+       << ", \"wall_seconds\": " << r.wall_seconds;
+    if (res.telemetry.any()) {
+      os << ", ";
+      write_telemetry(os, res.telemetry);
+    }
+    os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
-  os << "]\n";
+  os << "]\n}\n";
 }
 
 }  // namespace polarstar::runlab

@@ -13,6 +13,7 @@
 // spec, so a run with POLARSTAR_THREADS=8 is bit-identical to a serial one.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,8 +21,13 @@
 #include "runlab/thread_pool.h"
 #include "sim/simulation.h"
 #include "sim/traffic.h"
+#include "telemetry/collector.h"
 
 namespace polarstar::runlab {
+
+/// Sentinel for pattern_seed: seed the traffic pattern from params.seed
+/// (the common case -- a few benches historically seed the two separately).
+inline constexpr std::uint64_t kSameSeed = ~0ull;
 
 /// One sweep column: a network plus everything needed to run its load
 /// chain. The case co-owns the Network (and through it the topology and
@@ -34,15 +40,35 @@ struct SweepCase {
   sim::SimParams params;
   /// Offered loads, ascending (flits per endpoint per cycle).
   std::vector<double> loads;
-  /// Seed for the traffic pattern's rng; kSameSeed = params.seed (the
-  /// common case -- a few benches historically seed the two separately).
-  static constexpr std::uint64_t kSameSeed = ~0ull;
+  static constexpr std::uint64_t kSameSeed = runlab::kSameSeed;
   std::uint64_t pattern_seed = kSameSeed;
   /// Stop the chain after the first unstable point (paper-plot semantics).
   bool stop_after_saturation = true;
   /// Record the whole chain as never-run (e.g. adversarial traffic on an
   /// ungrouped topology).
   bool skip = false;
+  /// Optional telemetry: invoked once per simulated point (on the worker
+  /// thread) with the load index; the returned collector observes that
+  /// point and its aggregates land in SimResult::telemetry and, through
+  /// POLARSTAR_JSON, in the schema-2 "telemetry" block.
+  std::function<std::unique_ptr<telemetry::Collector>(std::size_t)>
+      make_collector;
+};
+
+/// Everything one simulated (network, pattern, load) point needs -- the
+/// serial primitive the runner schedules. An aggregate, meant for
+/// designated initializers:
+///   run_point({.net = &net, .load = 0.3, .params = prm});
+/// Equal specs give bit-identical results on any thread.
+struct PointSpec {
+  const sim::Network* net = nullptr;
+  sim::Pattern pattern = sim::Pattern::kUniform;
+  double load = 0.0;
+  sim::SimParams params;
+  /// kSameSeed = use params.seed.
+  std::uint64_t pattern_seed = kSameSeed;
+  /// Optional observer attached to the simulation (non-owning).
+  telemetry::Collector* collector = nullptr;
 };
 
 struct PointResult {
@@ -59,13 +85,12 @@ struct CaseResult {
   double wall_seconds = 0.0;  // whole chain
 };
 
-/// Simulates one (network, pattern, load) point: the serial primitive the
-/// runner schedules. The pattern source seeds from pattern_seed
-/// (SweepCase::kSameSeed = use params.seed); equal arguments give
-/// bit-identical results.
+sim::SimResult run_point(const PointSpec& spec);
+
+/// Source-compatibility shim over PointSpec's positional ancestors.
 sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
                          double load, const sim::SimParams& params,
-                         std::uint64_t pattern_seed = SweepCase::kSameSeed);
+                         std::uint64_t pattern_seed = kSameSeed);
 
 class ExperimentRunner {
  public:

@@ -3,21 +3,137 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/collector.h"
+
 namespace polarstar::sim {
 
 using graph::Vertex;
 
 namespace {
 constexpr std::uint32_t kInjectionFlag = 0x80000000u;
+
+/// Internal adapter behind the deprecated SimParams::record_link_utilization:
+/// reproduces the historical SimResult::link_flits counts (per directed
+/// link, measurement window only) through the collector mechanism. It
+/// deliberately skips finish() so it never surfaces in SimResult::telemetry.
+class LegacyLinkCollector final : public telemetry::Collector {
+ public:
+  Caps caps() const override { return {.link_flits = true}; }
+
+  void on_run_begin(const Network& net, const SimParams& /*prm*/,
+                    std::uint64_t measure_begin,
+                    std::uint64_t measure_end) override {
+    measure_begin_ = measure_begin;
+    measure_end_ = measure_end;
+    counts_.assign(net.total_link_ports(), 0);
+  }
+
+  void on_link_flit(std::size_t link_index, std::uint64_t cycle) override {
+    if (cycle >= measure_begin_ && cycle < measure_end_) ++counts_[link_index];
+  }
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::uint64_t measure_begin_ = 0, measure_end_ = ~0ull;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Fans events out to the caller's collector plus the legacy adapter when
+/// both are present (each member still only receives what its caps ask for
+/// implicitly -- unsubscribed hooks are no-op virtual calls).
+class PairCollector final : public telemetry::Collector {
+ public:
+  PairCollector(telemetry::Collector* a, telemetry::Collector* b)
+      : a_(a), b_(b) {}
+
+  Caps caps() const override {
+    const Caps ca = a_->caps(), cb = b_->caps();
+    Caps m;
+    m.link_flits = ca.link_flits || cb.link_flits;
+    m.stalls = ca.stalls || cb.stalls;
+    m.ugal = ca.ugal || cb.ugal;
+    m.occupancy_period = ca.occupancy_period == 0 ? cb.occupancy_period
+                         : cb.occupancy_period == 0
+                             ? ca.occupancy_period
+                             : std::min(ca.occupancy_period,
+                                        cb.occupancy_period);
+    return m;
+  }
+  void on_run_begin(const Network& net, const SimParams& prm,
+                    std::uint64_t mb, std::uint64_t me) override {
+    a_->on_run_begin(net, prm, mb, me);
+    b_->on_run_begin(net, prm, mb, me);
+  }
+  void on_link_flit(std::size_t link, std::uint64_t cycle) override {
+    a_->on_link_flit(link, cycle);
+    b_->on_link_flit(link, cycle);
+  }
+  void on_output_stall(std::uint32_t r, std::uint32_t port,
+                       telemetry::StallCause cause,
+                       std::uint64_t cycle) override {
+    a_->on_output_stall(r, port, cause, cycle);
+    b_->on_output_stall(r, port, cause, cycle);
+  }
+  void on_ugal_decision(const telemetry::UgalDecision& d,
+                        std::uint64_t cycle) override {
+    a_->on_ugal_decision(d, cycle);
+    b_->on_ugal_decision(d, cycle);
+  }
+  void on_occupancy_sample(std::uint64_t cycle,
+                           const telemetry::OccupancySnapshot& s) override {
+    a_->on_occupancy_sample(cycle, s);
+    b_->on_occupancy_sample(cycle, s);
+  }
+  void on_run_end(std::uint64_t cycles) override {
+    a_->on_run_end(cycles);
+    b_->on_run_end(cycles);
+  }
+  void finish(telemetry::Summary& out) const override {
+    a_->finish(out);
+    b_->finish(out);
+  }
+
+ private:
+  telemetry::Collector* a_;
+  telemetry::Collector* b_;
+};
+
+}  // namespace
+
+const char* to_string(PathMode mode, MinSelect sel) {
+  if (mode == PathMode::kUgal) return "ugal";
+  return sel == MinSelect::kAdaptive ? "min-adaptive" : "min";
 }
 
+Simulation::~Simulation() = default;
+
 Simulation::Simulation(const Network& net, const SimParams& prm,
-                       TrafficSource& source)
+                       TrafficSource& source, telemetry::Collector* collector)
     : net_(&net),
       prm_(prm),
       source_(&source),
       rng_(prm.seed),
+      collector_(collector),
       ugal_(net.routing(), net.num_routers(), prm.ugal_candidates) {
+  if (prm_.record_link_utilization) {
+    auto legacy = std::make_unique<LegacyLinkCollector>();
+    legacy_counts_ = &legacy->counts();
+    if (collector_ != nullptr) {
+      pair_owner_ = std::make_unique<PairCollector>(collector_, legacy.get());
+      collector_ = pair_owner_.get();
+    } else {
+      collector_ = legacy.get();
+    }
+    legacy_owner_ = std::move(legacy);
+  }
+  if (collector_ != nullptr) {
+    const auto caps = collector_->caps();
+    link_telemetry_ = caps.link_flits;
+    stall_telemetry_ = caps.stalls;
+    ugal_telemetry_ = caps.ugal;
+    occupancy_period_ = caps.occupancy_period;
+  }
   const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
   buf_store_.resize(nbuf * prm_.vc_buffer_flits);
   buf_head_.assign(nbuf, 0);
@@ -36,9 +152,6 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
 
   arrivals_.resize(prm_.link_latency + prm_.router_latency + 1);
   credit_returns_.resize(prm_.credit_latency + 1);
-  if (prm_.record_link_utilization) {
-    link_flits_.assign(net.total_link_ports(), 0);
-  }
 
   std::uint32_t max_out = 0;
   for (Vertex r = 0; r < net.num_routers(); ++r) {
@@ -46,6 +159,11 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
   }
   req_scratch_.resize(max_out);
   inport_used_.assign(max_out, 0);
+  if (stall_telemetry_) {
+    out_want_credit_.assign(max_out, 0);
+    out_want_vc_.assign(max_out, 0);
+    out_granted_.assign(max_out, 0);
+  }
 }
 
 void Simulation::buffer_push(std::size_t b, Flit f) {
@@ -91,6 +209,12 @@ std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
     auto choice = ugal_.select(pk.src_router, pk.dst_router, occ, rng_);
     pk.valiant = choice.valiant;
     pk.intermediate = choice.intermediate;
+    if (ugal_telemetry_) {
+      collector_->on_ugal_decision(
+          {choice.valiant, choice.min_hops, choice.hops,
+           choice.candidates_evaluated, choice.min_cost, choice.cost},
+          cycle_);
+    }
   }
   return idx;
 }
@@ -204,6 +328,11 @@ void Simulation::step() {
     // Collect feasible requests per output.
     bool any = false;
     for (std::uint32_t o = 0; o < nout; ++o) req_scratch_[o].clear();
+    if (stall_telemetry_) {
+      for (std::uint32_t o = 0; o < nout; ++o) {
+        out_want_credit_[o] = out_want_vc_[o] = out_granted_[o] = 0;
+      }
+    }
 
     auto consider = [&](std::uint32_t input_key, std::uint32_t pkt,
                         std::uint16_t out, std::uint8_t ovc,
@@ -212,12 +341,21 @@ void Simulation::step() {
         const Vertex nbr = net_->neighbor_at(r, out);
         const std::uint32_t rev = net_->reverse_port(r, out);
         const std::size_t recv = buffer_index(nbr, rev, ovc);
-        if (credits_[recv] == 0) return;
+        if (credits_[recv] == 0) {
+          if (stall_telemetry_) out_want_credit_[out] = 1;
+          return;
+        }
         const std::uint32_t owner = out_owner_[recv];
         if (seq == 0) {
-          if (owner != 0 && owner != pkt + 1) return;  // VC held by another
+          if (owner != 0 && owner != pkt + 1) {  // VC held by another
+            if (stall_telemetry_) out_want_vc_[out] = 1;
+            return;
+          }
         } else {
-          if (owner != pkt + 1) return;  // body must follow its head
+          if (owner != pkt + 1) {  // body must follow its head
+            if (stall_telemetry_) out_want_vc_[out] = 1;
+            return;
+          }
         }
       }
       req_scratch_[out].push_back({input_key, pkt, ovc});
@@ -252,7 +390,11 @@ void Simulation::step() {
       consider(kInjectionFlag | static_cast<std::uint32_t>(ep), pkt,
                st.out_port, st.out_vc, inj_sent_[ep]);
     }
-    if (!any) continue;
+    if (!any) {
+      // Nothing reached arbitration; blocked inputs may still want ports.
+      if (stall_telemetry_) report_output_stalls(r, deg);
+      continue;
+    }
 
     // Grant: per output, round-robin over requesters; an input port moves
     // at most one flit per cycle.
@@ -323,15 +465,16 @@ void Simulation::step() {
         arrivals_[(cycle_ + prm_.link_latency + prm_.router_latency) %
                   arrivals_.size()]
             .push_back({static_cast<std::uint32_t>(recv), f});
-        if (!link_flits_.empty() && cycle_ >= measure_begin_ &&
-            cycle_ < measure_end_) {
-          ++link_flits_[net_->link_index(r, o)];
+        if (link_telemetry_) {
+          collector_->on_link_flit(net_->link_index(r, o), cycle_);
         }
       } else {
         finalize_flit(pkt_idx, r);
       }
+      if (stall_telemetry_) out_granted_[o] = 1;
       ++moved_this_cycle_;
     }
+    if (stall_telemetry_) report_output_stalls(r, deg);
   }
 
   if (moved_this_cycle_ > 0 || live_packets_ == 0) {
@@ -339,8 +482,34 @@ void Simulation::step() {
   } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
     deadlock_ = true;
   }
+  if (occupancy_period_ != 0 && cycle_ % occupancy_period_ == 0) {
+    collector_->on_occupancy_sample(
+        cycle_, {std::span<const std::uint16_t>(buf_size_), prm_.num_vcs});
+  }
   if (prm_.paranoid_checks) check_invariants();
   ++cycle_;
+}
+
+// Attribute every output link port of r that moved nothing this cycle:
+// requests that reached arbitration but lost to input-port conflicts, else
+// flits blocked upstream of arbitration on credits or VC ownership. Ports
+// with no waiting traffic are idle and not reported (the collector derives
+// idle from the window length). Ejection ports are excluded.
+void Simulation::report_output_stalls(Vertex r, std::uint32_t deg) {
+  for (std::uint32_t o = 0; o < deg; ++o) {
+    if (out_granted_[o]) continue;
+    telemetry::StallCause cause;
+    if (!req_scratch_[o].empty()) {
+      cause = telemetry::StallCause::kArbitrationLost;
+    } else if (out_want_credit_[o]) {
+      cause = telemetry::StallCause::kCreditStarved;
+    } else if (out_want_vc_[o]) {
+      cause = telemetry::StallCause::kVcBlocked;
+    } else {
+      continue;  // empty: no buffered flit wanted this port
+    }
+    collector_->on_output_stall(r, o, cause, cycle_);
+  }
 }
 
 void Simulation::check_invariants() const {
@@ -410,13 +579,20 @@ SimResult Simulation::collect(std::uint64_t cycles) {
   std::uint64_t maxq = 0;
   for (const auto& q : inj_queue_) maxq = std::max<std::uint64_t>(maxq, q.size());
   res.max_source_queue = maxq;
-  res.link_flits = link_flits_;
+  if (collector_ != nullptr) {
+    collector_->on_run_end(cycles);
+    collector_->finish(res.telemetry);
+  }
+  if (legacy_counts_ != nullptr) res.link_flits = *legacy_counts_;
   return res;
 }
 
 SimResult Simulation::run() {
   measure_begin_ = prm_.warmup_cycles;
   measure_end_ = prm_.warmup_cycles + prm_.measure_cycles;
+  if (collector_ != nullptr) {
+    collector_->on_run_begin(*net_, prm_, measure_begin_, measure_end_);
+  }
   const std::uint64_t budget = measure_end_ + prm_.drain_cycles;
   while (cycle_ < budget && !deadlock_) {
     step();
@@ -428,6 +604,9 @@ SimResult Simulation::run() {
 SimResult Simulation::run_app(std::uint64_t max_cycles) {
   measure_begin_ = 0;
   measure_end_ = ~0ull;
+  if (collector_ != nullptr) {
+    collector_->on_run_begin(*net_, prm_, measure_begin_, measure_end_);
+  }
   while (cycle_ < max_cycles && !deadlock_) {
     step();
     if (source_->finished(*this) && live_packets_ == 0) break;

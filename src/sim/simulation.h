@@ -17,16 +17,27 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "routing/ugal.h"
 #include "sim/network.h"
+#include "telemetry/summary.h"
+
+namespace polarstar::telemetry {
+class Collector;
+}  // namespace polarstar::telemetry
 
 namespace polarstar::sim {
 
 enum class PathMode { kMinimal, kUgal };
 enum class MinSelect { kSingleHash, kAdaptive };
+
+/// Canonical mode string for tables and JSON emission: "min",
+/// "min-adaptive" or "ugal" (UGAL's minimal leg is always hash-picked, so
+/// MinSelect is not distinguished under kUgal).
+const char* to_string(PathMode mode, MinSelect sel);
 
 struct SimParams {
   std::uint32_t num_vcs = 4;
@@ -38,8 +49,10 @@ struct SimParams {
   /// Cycles for a freed buffer slot's credit to reach the upstream router
   /// (0 = instantaneous, the idealized default).
   std::uint32_t credit_latency = 0;
-  /// Record per-directed-link traversal counts during the measurement
-  /// window (SimResult::link_flits).
+  /// DEPRECATED: attach a telemetry::LinkHistogramCollector instead (see
+  /// src/telemetry/). Kept working through an internal adapter: setting it
+  /// records per-directed-link traversal counts during the measurement
+  /// window into SimResult::link_flits, exactly as before.
   bool record_link_utilization = false;
   /// Validate structural invariants every cycle (credit conservation,
   /// wormhole contiguity, VC ownership); throws std::logic_error on
@@ -82,10 +95,14 @@ struct SimResult {
   bool stable = true;
   bool deadlock = false;
   std::uint64_t max_source_queue = 0;
-  /// Flits that crossed each directed link during the measurement window
-  /// (indexed like Network::link_index); empty unless
+  /// DEPRECATED: use a telemetry::LinkHistogramCollector (its totals() are
+  /// this exact vector). Flits that crossed each directed link during the
+  /// measurement window (indexed like Network::link_index); empty unless
   /// SimParams::record_link_utilization.
   std::vector<std::uint64_t> link_flits;
+  /// Aggregates from the attached telemetry collector(s); every has_*
+  /// flag is false when no collector was attached.
+  telemetry::Summary telemetry;
 };
 
 class Simulation;
@@ -110,7 +127,13 @@ class TrafficSource {
 
 class Simulation {
  public:
-  Simulation(const Network& net, const SimParams& prm, TrafficSource& source);
+  /// `collector` (optional, non-owning, may be a telemetry::CollectorSet)
+  /// observes the run; it must outlive the Simulation. With no collector
+  /// and record_link_utilization off, every telemetry hook site reduces to
+  /// one predictable flag check on the hot path.
+  Simulation(const Network& net, const SimParams& prm, TrafficSource& source,
+             telemetry::Collector* collector = nullptr);
+  ~Simulation();
 
   /// Open-loop pattern run: warmup, measurement, then drain (sources keep
   /// injecting) until every measured packet is delivered or the drain
@@ -172,6 +195,9 @@ class Simulation {
                      std::uint16_t& out, std::uint8_t& ovc);
 
   void step();                 // one full cycle
+  // Classify and report this cycle's non-moving output link ports of r
+  // (stall telemetry only).
+  void report_output_stalls(graph::Vertex r, std::uint32_t deg);
   void finalize_flit(std::uint32_t pkt_idx, graph::Vertex r);
   void check_invariants() const;  // paranoid mode
 
@@ -181,6 +207,18 @@ class Simulation {
   SimParams prm_;
   TrafficSource* source_;
   std::mt19937_64 rng_;
+
+  // Telemetry plumbing. collector_ is the effective sink (the caller's
+  // collector, the legacy link adapter backing record_link_utilization, or
+  // an internal pair fanning out to both); the flags cache its caps() so
+  // hot-path hook sites cost one branch each.
+  telemetry::Collector* collector_ = nullptr;
+  std::unique_ptr<telemetry::Collector> legacy_owner_, pair_owner_;
+  const std::vector<std::uint64_t>* legacy_counts_ = nullptr;
+  bool link_telemetry_ = false;
+  bool stall_telemetry_ = false;
+  bool ugal_telemetry_ = false;
+  std::uint32_t occupancy_period_ = 0;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_packet_id_ = 1;
@@ -221,7 +259,6 @@ class Simulation {
   std::vector<std::vector<Arrival>> arrivals_;  // ring by cycle % depth
   // Delayed credit returns (buffer indexes), ring by cycle % depth.
   std::vector<std::vector<std::uint32_t>> credit_returns_;
-  std::vector<std::uint64_t> link_flits_;  // telemetry (optional)
 
   // Per-output round-robin pointers, indexed by router-port (links) and
   // ejection slots.
@@ -237,6 +274,10 @@ class Simulation {
   };
   std::vector<std::vector<Request>> req_scratch_;  // per output port
   std::vector<std::uint8_t> inport_used_;
+  // Stall-attribution scratch (touched only when stall_telemetry_): per
+  // output port, was a flit blocked before arbitration this cycle, and did
+  // arbitration grant the port.
+  std::vector<std::uint8_t> out_want_credit_, out_want_vc_, out_granted_;
 
   routing::UgalSelector ugal_;
 };

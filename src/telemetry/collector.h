@@ -1,0 +1,122 @@
+// Simulator telemetry: the Collector interface the flit simulator drives.
+//
+// A Collector is a passive observer attached to one Simulation run. The
+// simulator keeps the no-telemetry hot path free of work: every hook site
+// is compiled around a per-capability flag check (link flits, stalls, UGAL
+// decisions, occupancy sampling), so a run without a collector pays one
+// predictable branch per site and a run with a collector pays only for the
+// event classes its caps() request.
+//
+// This header is deliberately self-contained (sim types are forward
+// declared) so `ps_sim` can drive collectors without linking against the
+// concrete implementations in `ps_telemetry` -- the interface is the only
+// coupling point between the two libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "telemetry/summary.h"
+
+namespace polarstar::sim {
+class Network;
+struct SimParams;
+}  // namespace polarstar::sim
+
+namespace polarstar::telemetry {
+
+/// Why an output link port moved no flit this cycle even though at least
+/// one buffered packet wanted it. Ports with no waiting traffic are "empty"
+/// (idle) -- derived, not reported, since busy + stalled + empty partitions
+/// the cycle count.
+enum class StallCause : std::uint8_t {
+  /// Every candidate was blocked on zero downstream credits.
+  kCreditStarved,
+  /// Candidates had credits but the downstream VC is owned by another
+  /// in-flight packet (wormhole exclusivity).
+  kVcBlocked,
+  /// Requests reached the allocator but every requester's input port was
+  /// already granted to a different output this cycle.
+  kArbitrationLost,
+};
+
+/// One UGAL-L injection-time decision (built from routing::PathChoice).
+struct UgalDecision {
+  bool valiant = false;
+  std::uint32_t min_hops = 0;     ///< minimal-path hop count
+  std::uint32_t chosen_hops = 0;  ///< hops of the chosen path
+  /// Valiant intermediates actually evaluated (degenerate draws skipped).
+  std::uint32_t candidates_evaluated = 0;
+  double min_cost = 0.0;     ///< hops x (1 + queue) of the minimal path
+  double chosen_cost = 0.0;  ///< same estimate for the chosen path
+};
+
+/// Buffer-fill view handed to occupancy sampling hooks. `buffer_fill[i]`
+/// is the occupied flits of input-buffer i, indexed exactly like the
+/// simulator: (Network::port_base(r) + port) * num_vcs + vc.
+struct OccupancySnapshot {
+  std::span<const std::uint16_t> buffer_fill;
+  std::uint32_t num_vcs = 0;
+};
+
+class Collector {
+ public:
+  /// Event classes this collector wants. Queried once at Simulation
+  /// construction; the simulator skips hook sites nobody subscribed to.
+  struct Caps {
+    bool link_flits = false;
+    bool stalls = false;
+    bool ugal = false;
+    /// Sample period in cycles for on_occupancy_sample (0 = never).
+    std::uint32_t occupancy_period = 0;
+  };
+
+  virtual ~Collector() = default;
+
+  virtual Caps caps() const { return {}; }
+
+  /// Called once when the run starts, before the first cycle. The window
+  /// is [measure_begin, measure_end); run_app passes measure_end = ~0ull
+  /// (open-ended -- treat on_run_end's cycle count as the window end).
+  virtual void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
+                            std::uint64_t measure_begin,
+                            std::uint64_t measure_end) {
+    (void)net, (void)prm, (void)measure_begin, (void)measure_end;
+  }
+
+  /// A flit crossed the directed link `link_index` (Network::link_index
+  /// numbering) during `cycle`. Fired for every cycle of the run; window
+  /// filtering is the collector's business.
+  virtual void on_link_flit(std::size_t link_index, std::uint64_t cycle) {
+    (void)link_index, (void)cycle;
+  }
+
+  /// Output link port `port` of router `r` moved nothing this cycle for
+  /// the given cause. Only fired for ports with waiting traffic; ports
+  /// that forwarded a flit show up via on_link_flit instead.
+  virtual void on_output_stall(std::uint32_t router, std::uint32_t port,
+                               StallCause cause, std::uint64_t cycle) {
+    (void)router, (void)port, (void)cause, (void)cycle;
+  }
+
+  /// A UGAL-L path decision was made for a packet injected at `cycle`.
+  virtual void on_ugal_decision(const UgalDecision& d, std::uint64_t cycle) {
+    (void)d, (void)cycle;
+  }
+
+  /// Periodic buffer-occupancy sample (every caps().occupancy_period
+  /// cycles, at end of cycle, after switch traversal).
+  virtual void on_occupancy_sample(std::uint64_t cycle,
+                                   const OccupancySnapshot& snap) {
+    (void)cycle, (void)snap;
+  }
+
+  /// Called once after the last cycle, with the final cycle count.
+  virtual void on_run_end(std::uint64_t cycles) { (void)cycles; }
+
+  /// Fold this collector's aggregates into the run's summary block
+  /// (SimResult::telemetry). Called after on_run_end.
+  virtual void finish(Summary& out) const { (void)out; }
+};
+
+}  // namespace polarstar::telemetry

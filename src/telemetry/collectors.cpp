@@ -1,0 +1,303 @@
+#include "telemetry/collectors.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace polarstar::telemetry {
+
+namespace {
+
+std::uint64_t window_length(std::uint64_t begin, std::uint64_t end,
+                            std::uint64_t run_cycles) {
+  const std::uint64_t eff_end = std::min(end, run_cycles);
+  return eff_end > begin ? eff_end - begin : 0;
+}
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- links ---
+
+void LinkHistogramCollector::on_run_begin(const sim::Network& net,
+                                          const sim::SimParams& /*prm*/,
+                                          std::uint64_t measure_begin,
+                                          std::uint64_t measure_end) {
+  measure_begin_ = measure_begin;
+  measure_end_ = measure_end;
+  num_links_ = net.total_link_ports();
+  totals_.assign(num_links_, 0);
+  epochs_.clear();
+}
+
+void LinkHistogramCollector::on_link_flit(std::size_t link_index,
+                                          std::uint64_t cycle) {
+  if (cycle >= measure_begin_ && cycle < measure_end_) ++totals_[link_index];
+  if (epoch_cycles_ == 0) return;
+  const std::size_t e = static_cast<std::size_t>(cycle / epoch_cycles_);
+  if (e >= epochs_.size()) {
+    epochs_.resize(e + 1);
+    for (auto& h : epochs_) {
+      if (h.empty()) h.assign(num_links_, 0);
+    }
+  }
+  ++epochs_[e][link_index];
+}
+
+void LinkHistogramCollector::on_run_end(std::uint64_t cycles) {
+  end_cycles_ = cycles;
+}
+
+std::uint64_t LinkHistogramCollector::window_cycles() const {
+  return window_length(measure_begin_, measure_end_, end_cycles_);
+}
+
+void LinkHistogramCollector::finish(Summary& out) const {
+  out.has_link = true;
+  auto& l = out.link;
+  l.num_links = num_links_;
+  l.total_flits = std::accumulate(totals_.begin(), totals_.end(),
+                                  std::uint64_t{0});
+  const std::uint64_t window = window_cycles();
+  if (num_links_ == 0 || window == 0) return;
+  const std::uint64_t max_flits =
+      *std::max_element(totals_.begin(), totals_.end());
+  l.avg_load = static_cast<double>(l.total_flits) /
+               (static_cast<double>(num_links_) * static_cast<double>(window));
+  l.max_load = static_cast<double>(max_flits) / static_cast<double>(window);
+  l.max_avg_ratio = l.avg_load > 0 ? l.max_load / l.avg_load : 0.0;
+}
+
+// --------------------------------------------------------------- stalls ---
+
+void StallCollector::on_run_begin(const sim::Network& net,
+                                  const sim::SimParams& /*prm*/,
+                                  std::uint64_t measure_begin,
+                                  std::uint64_t measure_end) {
+  measure_begin_ = measure_begin;
+  measure_end_ = measure_end;
+  net_ = &net;
+  const std::size_t n = net.total_link_ports();
+  busy_.assign(n, 0);
+  credit_starved_.assign(n, 0);
+  vc_blocked_.assign(n, 0);
+  arbitration_lost_.assign(n, 0);
+}
+
+void StallCollector::on_link_flit(std::size_t link_index, std::uint64_t cycle) {
+  if (in_window(cycle)) ++busy_[link_index];
+}
+
+void StallCollector::on_output_stall(std::uint32_t router, std::uint32_t port,
+                                     StallCause cause, std::uint64_t cycle) {
+  if (!in_window(cycle)) return;
+  const std::size_t idx = net_->link_index(router, port);
+  switch (cause) {
+    case StallCause::kCreditStarved:
+      ++credit_starved_[idx];
+      break;
+    case StallCause::kVcBlocked:
+      ++vc_blocked_[idx];
+      break;
+    case StallCause::kArbitrationLost:
+      ++arbitration_lost_[idx];
+      break;
+  }
+}
+
+void StallCollector::on_run_end(std::uint64_t cycles) { end_cycles_ = cycles; }
+
+std::uint64_t StallCollector::window_cycles() const {
+  return window_length(measure_begin_, measure_end_, end_cycles_);
+}
+
+std::uint64_t StallCollector::idle(std::size_t link_index) const {
+  const std::uint64_t used = busy_[link_index] + credit_starved_[link_index] +
+                             vc_blocked_[link_index] +
+                             arbitration_lost_[link_index];
+  const std::uint64_t window = window_cycles();
+  return window > used ? window - used : 0;
+}
+
+void StallCollector::finish(Summary& out) const {
+  out.has_stall = true;
+  auto& s = out.stall;
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    s.busy += busy_[i];
+    s.credit_starved += credit_starved_[i];
+    s.vc_blocked += vc_blocked_[i];
+    s.arbitration_lost += arbitration_lost_[i];
+    s.idle += idle(i);
+  }
+}
+
+// ------------------------------------------------------------ occupancy ---
+
+void OccupancyCollector::on_run_begin(const sim::Network& net,
+                                      const sim::SimParams& /*prm*/,
+                                      std::uint64_t /*measure_begin*/,
+                                      std::uint64_t /*measure_end*/) {
+  net_ = &net;
+  num_routers_ = net.num_routers();
+  num_vcs_ = 0;  // learned from the first snapshot
+  sample_cycles_.clear();
+  router_series_.clear();
+  vc_series_.clear();
+}
+
+void OccupancyCollector::on_occupancy_sample(std::uint64_t cycle,
+                                             const OccupancySnapshot& snap) {
+  num_vcs_ = snap.num_vcs;
+  sample_cycles_.push_back(cycle);
+  const std::size_t row = router_series_.size();
+  router_series_.resize(row + num_routers_, 0);
+  const std::size_t vrow = vc_series_.size();
+  vc_series_.resize(vrow + num_vcs_, 0);
+  for (std::uint32_t r = 0; r < num_routers_; ++r) {
+    const std::size_t base = net_->port_base(r) * num_vcs_;
+    const std::size_t end =
+        (net_->port_base(r) + net_->num_link_ports(r)) * num_vcs_;
+    std::uint32_t total = 0;
+    for (std::size_t b = base; b < end; ++b) {
+      const std::uint16_t fill = snap.buffer_fill[b];
+      total += fill;
+      vc_series_[vrow + b % num_vcs_] += fill;
+    }
+    router_series_[row + r] = total;
+  }
+}
+
+void OccupancyCollector::finish(Summary& out) const {
+  out.has_occupancy = true;
+  auto& o = out.occupancy;
+  o.samples = sample_cycles_.size();
+  if (router_series_.empty()) return;
+  std::uint64_t sum = 0;
+  std::uint32_t peak = 0;
+  for (std::uint32_t v : router_series_) {
+    sum += v;
+    peak = std::max(peak, v);
+  }
+  o.peak_router_flits = static_cast<double>(peak);
+  o.avg_router_flits =
+      static_cast<double>(sum) / static_cast<double>(router_series_.size());
+}
+
+// ----------------------------------------------------------------- ugal ---
+
+void UgalCollector::on_run_begin(const sim::Network& /*net*/,
+                                 const sim::SimParams& /*prm*/,
+                                 std::uint64_t measure_begin,
+                                 std::uint64_t measure_end) {
+  measure_begin_ = measure_begin;
+  measure_end_ = measure_end;
+  sum_ = {};
+  valiant_extra_hops_ = 0;
+}
+
+void UgalCollector::on_ugal_decision(const UgalDecision& d,
+                                     std::uint64_t cycle) {
+  if (cycle < measure_begin_ || cycle >= measure_end_) return;
+  ++sum_.decisions;
+  if (d.valiant) {
+    ++sum_.valiant;
+    valiant_extra_hops_ += static_cast<std::int64_t>(d.chosen_hops) -
+                           static_cast<std::int64_t>(d.min_hops);
+  } else if (d.candidates_evaluated == 0) {
+    ++sum_.minimal_no_candidate;
+  } else {
+    ++sum_.minimal_no_better;
+  }
+}
+
+void UgalCollector::finish(Summary& out) const {
+  out.has_ugal = true;
+  out.ugal = sum_;
+  if (sum_.valiant > 0) {
+    out.ugal.avg_valiant_extra_hops =
+        static_cast<double>(valiant_extra_hops_) /
+        static_cast<double>(sum_.valiant);
+  }
+}
+
+// ------------------------------------------------------------------ set ---
+
+CollectorSet::CollectorSet(std::vector<Collector*> members)
+    : members_(std::move(members)) {}
+
+void CollectorSet::add(Collector* c) { members_.push_back(c); }
+
+Collector::Caps CollectorSet::caps() const {
+  Caps merged;
+  for (const Collector* c : members_) {
+    const Caps m = c->caps();
+    merged.link_flits |= m.link_flits;
+    merged.stalls |= m.stalls;
+    merged.ugal |= m.ugal;
+    if (m.occupancy_period != 0) {
+      merged.occupancy_period =
+          merged.occupancy_period == 0
+              ? m.occupancy_period
+              : static_cast<std::uint32_t>(
+                    gcd64(merged.occupancy_period, m.occupancy_period));
+    }
+  }
+  return merged;
+}
+
+void CollectorSet::on_run_begin(const sim::Network& net,
+                                const sim::SimParams& prm,
+                                std::uint64_t measure_begin,
+                                std::uint64_t measure_end) {
+  for (Collector* c : members_) {
+    c->on_run_begin(net, prm, measure_begin, measure_end);
+  }
+}
+
+void CollectorSet::on_link_flit(std::size_t link_index, std::uint64_t cycle) {
+  for (Collector* c : members_) {
+    if (c->caps().link_flits) c->on_link_flit(link_index, cycle);
+  }
+}
+
+void CollectorSet::on_output_stall(std::uint32_t router, std::uint32_t port,
+                                   StallCause cause, std::uint64_t cycle) {
+  for (Collector* c : members_) {
+    if (c->caps().stalls) c->on_output_stall(router, port, cause, cycle);
+  }
+}
+
+void CollectorSet::on_ugal_decision(const UgalDecision& d,
+                                    std::uint64_t cycle) {
+  for (Collector* c : members_) {
+    if (c->caps().ugal) c->on_ugal_decision(d, cycle);
+  }
+}
+
+void CollectorSet::on_occupancy_sample(std::uint64_t cycle,
+                                       const OccupancySnapshot& snap) {
+  for (Collector* c : members_) {
+    const std::uint32_t p = c->caps().occupancy_period;
+    if (p != 0 && cycle % p == 0) c->on_occupancy_sample(cycle, snap);
+  }
+}
+
+void CollectorSet::on_run_end(std::uint64_t cycles) {
+  for (Collector* c : members_) c->on_run_end(cycles);
+}
+
+void CollectorSet::finish(Summary& out) const {
+  for (const Collector* c : members_) c->finish(out);
+}
+
+}  // namespace polarstar::telemetry

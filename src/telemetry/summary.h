@@ -1,0 +1,64 @@
+// Plain-data telemetry summary attached to every SimResult.
+//
+// Each concrete collector folds its end-of-run aggregates into one block
+// here (Collector::finish); a run without telemetry leaves every `has_*`
+// flag false. Kept header-only and free of sim includes so sim/simulation.h
+// can embed a Summary without a link dependency on ps_telemetry.
+#pragma once
+
+#include <cstdint>
+
+namespace polarstar::telemetry {
+
+/// Directed-link load aggregates over the measurement window.
+struct LinkLoadSummary {
+  std::uint64_t total_flits = 0;
+  std::uint64_t num_links = 0;
+  double avg_load = 0.0;       ///< flits per link per cycle
+  double max_load = 0.0;       ///< hottest link, flits per cycle
+  double max_avg_ratio = 0.0;  ///< load-balance figure of merit (1 = perfect)
+};
+
+/// Output-port cycle accounting over the measurement window, summed across
+/// all directed link ports: busy + stalls + idle == ports x window.
+struct StallSummary {
+  std::uint64_t busy = 0;  ///< port-cycles that forwarded a flit
+  std::uint64_t credit_starved = 0;
+  std::uint64_t vc_blocked = 0;
+  std::uint64_t arbitration_lost = 0;
+  std::uint64_t idle = 0;  ///< no waiting traffic (derived)
+};
+
+/// UGAL-L decision counters over the measurement window.
+struct UgalSummary {
+  std::uint64_t decisions = 0;
+  std::uint64_t valiant = 0;  ///< Valiant path chosen (queue advantage)
+  /// Minimal kept: candidates were evaluated but none was cheaper.
+  std::uint64_t minimal_no_better = 0;
+  /// Minimal kept by default: every sampled intermediate was degenerate.
+  std::uint64_t minimal_no_candidate = 0;
+  /// Mean extra hops of the chosen Valiant paths (0 when none chosen).
+  double avg_valiant_extra_hops = 0.0;
+};
+
+/// Buffer-occupancy time-series aggregates.
+struct OccupancySummary {
+  std::uint64_t samples = 0;
+  double peak_router_flits = 0.0;  ///< max per-router buffered flits seen
+  double avg_router_flits = 0.0;   ///< mean over samples and routers
+};
+
+struct Summary {
+  bool has_link = false;
+  bool has_stall = false;
+  bool has_ugal = false;
+  bool has_occupancy = false;
+  LinkLoadSummary link;
+  StallSummary stall;
+  UgalSummary ugal;
+  OccupancySummary occupancy;
+
+  bool any() const { return has_link || has_stall || has_ugal || has_occupancy; }
+};
+
+}  // namespace polarstar::telemetry

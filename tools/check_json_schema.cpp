@@ -1,0 +1,154 @@
+// Offline validator for POLARSTAR_JSON files.
+//
+//   check_json_schema <file.json> [...]   validate runner output files
+//   check_json_schema --selftest          validate a built-in example
+//
+// Accepts schema 2 (object with "schema"/"points", optional per-point
+// "telemetry" blocks) and the legacy schema-1 bare points array. Exits
+// non-zero with a message on the first violation, so it slots into CI
+// after any bench run: POLARSTAR_JSON=out.json bench_... &&
+// check_json_schema out.json.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "io/json.h"
+
+namespace json = polarstar::io::json;
+
+namespace {
+
+const json::Value& require(const json::Value& obj, const std::string& key,
+                           json::Value::Kind kind) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) throw std::runtime_error("missing key \"" + key + "\"");
+  if (v->kind() != kind) throw std::runtime_error("wrong type for \"" + key + "\"");
+  return *v;
+}
+
+void check_point(const json::Value& p, std::size_t index) {
+  try {
+    if (!p.is_object()) throw std::runtime_error("point is not an object");
+    require(p, "sweep", json::Value::Kind::kString);
+    require(p, "case", json::Value::Kind::kString);
+    require(p, "pattern", json::Value::Kind::kString);
+    const auto& mode = require(p, "mode", json::Value::Kind::kString);
+    if (mode.as_string() != "min" && mode.as_string() != "min-adaptive" &&
+        mode.as_string() != "ugal") {
+      throw std::runtime_error("unknown mode \"" + mode.as_string() + "\"");
+    }
+    require(p, "load", json::Value::Kind::kNumber);
+    require(p, "stable", json::Value::Kind::kBool);
+    require(p, "deadlock", json::Value::Kind::kBool);
+    require(p, "avg_latency", json::Value::Kind::kNumber);
+    require(p, "p99_latency", json::Value::Kind::kNumber);
+    require(p, "avg_hops", json::Value::Kind::kNumber);
+    require(p, "accepted_flit_rate", json::Value::Kind::kNumber);
+    require(p, "cycles", json::Value::Kind::kNumber);
+    require(p, "measured_packets", json::Value::Kind::kNumber);
+    require(p, "wall_seconds", json::Value::Kind::kNumber);
+    if (const json::Value* t = p.find("telemetry")) {
+      if (!t->is_object()) throw std::runtime_error("telemetry not an object");
+      if (const json::Value* link = t->find("link")) {
+        require(*link, "num_links", json::Value::Kind::kNumber);
+        require(*link, "total_flits", json::Value::Kind::kNumber);
+        require(*link, "avg_load", json::Value::Kind::kNumber);
+        require(*link, "max_load", json::Value::Kind::kNumber);
+        require(*link, "max_avg_ratio", json::Value::Kind::kNumber);
+      }
+      if (const json::Value* st = t->find("stall")) {
+        for (const char* k :
+             {"busy", "credit_starved", "vc_blocked", "arbitration_lost",
+              "idle"}) {
+          require(*st, k, json::Value::Kind::kNumber);
+        }
+      }
+      if (const json::Value* ug = t->find("ugal")) {
+        for (const char* k : {"decisions", "valiant", "minimal_no_better",
+                              "minimal_no_candidate"}) {
+          require(*ug, k, json::Value::Kind::kNumber);
+        }
+        const double total =
+            ug->find("valiant")->as_number() +
+            ug->find("minimal_no_better")->as_number() +
+            ug->find("minimal_no_candidate")->as_number();
+        if (ug->find("decisions")->as_number() != total) {
+          throw std::runtime_error("ugal counters do not sum to decisions");
+        }
+      }
+      if (const json::Value* oc = t->find("occupancy")) {
+        require(*oc, "samples", json::Value::Kind::kNumber);
+        require(*oc, "peak_router_flits", json::Value::Kind::kNumber);
+        require(*oc, "avg_router_flits", json::Value::Kind::kNumber);
+      }
+    }
+  } catch (const std::exception& e) {
+    throw std::runtime_error("point " + std::to_string(index) + ": " +
+                             e.what());
+  }
+}
+
+/// Returns the number of points validated; throws on any violation.
+std::size_t check_document(const json::Value& doc) {
+  const json::Array* points = nullptr;
+  if (doc.is_array()) {
+    points = &doc.as_array();  // legacy schema 1: bare points array
+  } else if (doc.is_object()) {
+    const auto& schema = require(doc, "schema", json::Value::Kind::kNumber);
+    if (schema.as_number() != 2.0) {
+      throw std::runtime_error("unsupported schema " +
+                               std::to_string(schema.as_number()));
+    }
+    points = &require(doc, "points", json::Value::Kind::kArray).as_array();
+  } else {
+    throw std::runtime_error("document is neither object nor array");
+  }
+  for (std::size_t i = 0; i < points->size(); ++i) {
+    check_point((*points)[i], i);
+  }
+  return points->size();
+}
+
+constexpr const char* kSelftestDoc = R"({
+"schema": 2,
+"points": [
+  {"sweep": "s", "case": "PS-IQ", "pattern": "uniform", "mode": "ugal",
+   "load": 0.1, "stable": true, "deadlock": false, "avg_latency": 8.5,
+   "p99_latency": 20, "avg_hops": 2.4, "accepted_flit_rate": 0.1,
+   "cycles": 2000, "measured_packets": 512, "wall_seconds": 0.05,
+   "telemetry": {
+     "link": {"num_links": 60, "total_flits": 4096, "avg_load": 0.04,
+              "max_load": 0.2, "max_avg_ratio": 5.0},
+     "stall": {"busy": 4096, "credit_starved": 10, "vc_blocked": 2,
+               "arbitration_lost": 7, "idle": 85885},
+     "ugal": {"decisions": 512, "valiant": 100, "minimal_no_better": 400,
+              "minimal_no_candidate": 12, "avg_valiant_extra_hops": 1.5},
+     "occupancy": {"samples": 31, "peak_router_flits": 24,
+                   "avg_router_flits": 3.5}}}
+]
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <polarstar.json> [...] | --selftest\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    if (std::string(argv[1]) == "--selftest") {
+      const std::size_t n = check_document(json::parse(kSelftestDoc));
+      std::printf("selftest: %zu point(s) valid\n", n);
+      return 0;
+    }
+    for (int i = 1; i < argc; ++i) {
+      const std::size_t n = check_document(json::parse_file(argv[i]));
+      std::printf("%s: schema ok, %zu point(s)\n", argv[i], n);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
