@@ -40,10 +40,18 @@ inline bool full_scale() {
 }
 
 /// The per-binary experiment runner. One instance per process so every
-/// sweep shares the pool and all points land in one POLARSTAR_JSON file.
+/// sweep shares the pool and all points land in one POLARSTAR_JSON file
+/// (and all sampled flight records in one POLARSTAR_TRACE file).
 inline runlab::ExperimentRunner& runner() {
   static runlab::ExperimentRunner r;
   return r;
+}
+
+/// Stall-table column header for one cause: the canonical to_string name
+/// plus a doubled percent. The headers are printed through %s, so "%%"
+/// stays two literal characters, exactly like the historical labels.
+inline std::string stall_label(telemetry::StallCause cause) {
+  return std::string(telemetry::to_string(cause)) + "%%";
 }
 
 /// A topology plus its routing scheme, ready to simulate. The Network
@@ -185,7 +193,8 @@ inline sim::SimResult run_point(const NamedTopo& nt, sim::Pattern pattern,
                             .pattern = pattern,
                             .load = load,
                             .params = sweep_params(nt, mode, s),
-                            .collector = collector});
+                            .collector = collector,
+                            .trace = {}});
 }
 
 /// Latency-vs-load sweep printed as one row per load; stops a column after

@@ -79,8 +79,13 @@ int main() {
   // max/avg is the hot-link concentration (1.0 = perfectly balanced);
   // the stall columns partition every link-port cycle of the window.
   std::printf("\nLink balance and stall attribution (same runs)\n");
+  using polarstar::telemetry::StallCause;
   std::printf("%-8s %12s %9s %7s %8s %8s %6s %6s\n", "topo", "mode",
-              "max/avg", "busy%%", "credit%%", "vcblk%%", "arb%%", "idle%%");
+              "max/avg", "busy%%",
+              bench::stall_label(StallCause::kCreditStarved).c_str(),
+              bench::stall_label(StallCause::kVcBlocked).c_str(),
+              bench::stall_label(StallCause::kArbitrationLost).c_str(),
+              "idle%%");
   for (const auto& tt : collected) {
     const auto& st = tt.summary.stall;
     const double total = static_cast<double>(st.busy + st.credit_starved +

@@ -1,0 +1,139 @@
+#include "io/trace_export.h"
+
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace polarstar::io {
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters are invalid raw JSON; none are expected in
+          // labels, but keep the document parseable regardless.
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+struct EventSink {
+  std::ostream& os;
+  bool first = true;
+
+  /// Starts one event object (caller appends fields after the leading
+  /// name/ph/pid) -- emits the separating comma and shared prefix.
+  void begin(const char* name, const char* ph, std::size_t pid) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\":";
+    write_escaped(os, name);
+    os << ",\"ph\":\"" << ph << "\",\"pid\":" << pid;
+  }
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const PacketTraceGroup> groups) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventSink sink{os};
+  std::uint64_t async_id = 0;  // unique across groups: no span collisions
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const PacketTraceGroup& grp = groups[g];
+    const std::size_t pid = g + 1;
+
+    sink.begin("process_name", "M", pid);
+    os << ",\"args\":{\"name\":";
+    write_escaped(os, grp.label.empty() ? "packet trace" : grp.label);
+    os << "}}";
+
+    // Name each router track once (tid = router id + 1; tid 0 is reserved
+    // for the packet span track).
+    std::set<std::uint32_t> routers;
+    for (const telemetry::PacketTrace& t : grp.traces) {
+      for (const telemetry::PacketHopRecord& h : t.hops) {
+        routers.insert(h.router);
+      }
+    }
+    sink.begin("thread_name", "M", pid);
+    os << ",\"tid\":0,\"args\":{\"name\":\"packets\"}}";
+    for (std::uint32_t r : routers) {
+      sink.begin("thread_name", "M", pid);
+      os << ",\"tid\":" << (r + 1) << ",\"args\":{\"name\":\"router " << r
+         << "\"}}";
+    }
+
+    for (const telemetry::PacketTrace& t : grp.traces) {
+      const std::string pkt_name = "pkt " + std::to_string(t.id);
+      const std::uint64_t end =
+          t.delivered ? t.eject_cycle : grp.run_cycles;
+      ++async_id;
+
+      sink.begin(pkt_name.c_str(), "b", pid);
+      os << ",\"cat\":\"packet\",\"id\":" << async_id << ",\"tid\":0,\"ts\":"
+         << t.birth_cycle << ",\"args\":{\"src\":" << t.src_endpoint
+         << ",\"dst\":" << t.dst_endpoint << ",\"flits\":" << t.flits
+         << ",\"valiant\":" << (t.valiant ? "true" : "false")
+         << ",\"delivered\":" << (t.delivered ? "true" : "false") << "}}";
+      sink.begin(pkt_name.c_str(), "e", pid);
+      os << ",\"cat\":\"packet\",\"id\":" << async_id
+         << ",\"tid\":0,\"ts\":" << end << "}";
+
+      for (std::size_t h = 0; h < t.hops.size(); ++h) {
+        const telemetry::PacketHopRecord& hop = t.hops[h];
+        // arrival/departure are recorded when the head flit leaves, so a
+        // packet cut off by run end has only `routed` on its last hop:
+        // anchor that span at the route decision and close it at run end.
+        const bool departed = hop.departure != 0 || hop.arrival != 0;
+        const std::uint64_t ts = departed ? hop.arrival : hop.routed;
+        const std::uint64_t dep = departed ? hop.departure : grp.run_cycles;
+        sink.begin(pkt_name.c_str(), "X", pid);
+        os << ",\"cat\":\"hop\",\"tid\":" << (hop.router + 1)
+           << ",\"ts\":" << ts << ",\"dur\":" << (dep > ts ? dep - ts : 0)
+           << ",\"args\":{\"packet\":" << t.id << ",\"hop\":" << h
+           << ",\"port\":";
+        if (hop.port == telemetry::kEjectPort) {
+          os << "\"eject\"";
+        } else {
+          os << hop.port;
+        }
+        os << ",\"vc\":" << static_cast<unsigned>(hop.vc) << ",\"routed\":"
+           << hop.routed << "}}";
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             std::span<const PacketTraceGroup> groups) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("trace_export: cannot open " + path);
+  write_chrome_trace(os, groups);
+  if (!os) throw std::runtime_error("trace_export: write failed: " + path);
+}
+
+}  // namespace polarstar::io

@@ -1,0 +1,50 @@
+// Chrome-trace-event / Perfetto export of packet flight records.
+//
+// write_chrome_trace() renders one or more groups of telemetry::PacketTrace
+// records (one group per simulated point, typically) as a JSON Trace Event
+// Format document that chrome://tracing and https://ui.perfetto.dev open
+// directly:
+//
+//  - each group becomes one "process" (pid = group index + 1, named by the
+//    group label) so sweep points stay visually separate;
+//  - each router that a sampled packet visited becomes one thread track,
+//    carrying an "X" complete span per head-flit visit (ts = arrival,
+//    dur = queueing wait + service; args: packet id, hop number, output
+//    port, VC);
+//  - each sampled packet becomes one async nestable span ("b"/"e" pair,
+//    category "packet") from injection to ejection -- packets still in
+//    flight at run end close at `run_cycles` and are marked in-flight.
+//
+// Cycle numbers are written as microsecond timestamps unscaled (1 cycle ==
+// 1 us) so durations read directly as cycle counts in the UI. Output is
+// deterministic: byte-identical for identical inputs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/packet_trace.h"
+
+namespace polarstar::io {
+
+/// One simulated point's worth of flight records.
+struct PacketTraceGroup {
+  std::string label;             ///< process name in the trace viewer
+  std::uint64_t run_cycles = 0;  ///< span end for packets still in flight
+  std::vector<telemetry::PacketTrace> traces;
+};
+
+/// Writes the Trace Event Format document. Exactly one async "b" event is
+/// emitted per PacketTrace, so the viewer's span count equals the sampled
+/// packet count.
+void write_chrome_trace(std::ostream& os,
+                        std::span<const PacketTraceGroup> groups);
+
+/// Convenience: open `path` (truncating) and write. Throws on I/O failure.
+void write_chrome_trace_file(const std::string& path,
+                             std::span<const PacketTraceGroup> groups);
+
+}  // namespace polarstar::io

@@ -4,7 +4,13 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
+
+#include "telemetry/collectors.h"
 
 namespace polarstar::runlab {
 
@@ -16,14 +22,84 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Shared heartbeat state for one run() call. Workers report each finished
+/// point under the mutex and the line is written as a single insertion, so
+/// counts are monotonic and lines never interleave even with many workers.
+/// Purely observational: nothing a simulation computes passes through here.
+class ProgressMeter {
+ public:
+  ProgressMeter(std::ostream* os, std::string label, unsigned workers,
+                std::size_t total_cases, std::size_t total_points)
+      : os_(os),
+        label_(std::move(label)),
+        workers_(workers == 0 ? 1 : workers),
+        total_cases_(total_cases),
+        total_points_(total_points),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void point_done(std::uint64_t sim_cycles) {
+    if (os_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(m_);
+    ++done_points_;
+    cycles_ += sim_cycles;
+    print_locked();
+  }
+
+  void chain_done(std::size_t points_not_run) {
+    if (os_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(m_);
+    ++done_cases_;
+    // Skipped points (case skip or past saturation) will never run: retire
+    // them from the denominator so the ETA converges instead of stalling.
+    total_points_ -= points_not_run;
+    print_locked();
+  }
+
+ private:
+  void print_locked() {
+    const double elapsed = seconds_since(start_);
+    std::ostringstream line;
+    line << "[runlab] " << label_ << ": cases " << done_cases_ << "/"
+         << total_cases_ << ", points " << done_points_ << "/"
+         << total_points_;
+    if (elapsed > 0.0) {
+      line << ", " << std::fixed << std::setprecision(2)
+           << static_cast<double>(cycles_) / elapsed / 1e6 /
+                  static_cast<double>(workers_)
+           << " Mcyc/s/worker";
+    }
+    if (done_points_ > 0 && done_points_ < total_points_) {
+      const double eta = elapsed *
+                         static_cast<double>(total_points_ - done_points_) /
+                         static_cast<double>(done_points_);
+      line << ", ETA " << static_cast<long long>(eta + 0.5) << "s";
+    }
+    line << "\n";
+    *os_ << line.str() << std::flush;
+  }
+
+  std::ostream* os_;
+  const std::string label_;
+  const unsigned workers_;
+  const std::size_t total_cases_;
+  std::size_t total_points_;
+  const std::chrono::steady_clock::time_point start_;
+  std::mutex m_;
+  std::size_t done_cases_ = 0, done_points_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
 // Runs one case's whole load chain; writes only into `out` (one distinct
 // CaseResult per task, so no synchronisation is needed). Collectors are
 // created fresh per point on this worker thread, so telemetry is as
-// deterministic as the simulation itself.
-void run_chain(const SweepCase& c, CaseResult& out) {
+// deterministic as the simulation itself. `trace` is the case's effective
+// flight-recorder filter (the runner may have applied its default).
+void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
+               ProgressMeter& meter, CaseResult& out) {
   const auto chain_start = std::chrono::steady_clock::now();
   out.points.resize(c.loads.size());
   bool saturated = false;
+  std::size_t ran = 0;
   for (std::size_t j = 0; j < c.loads.size(); ++j) {
     auto& p = out.points[j];
     p.load = c.loads[j];
@@ -36,11 +112,15 @@ void run_chain(const SweepCase& c, CaseResult& out) {
                           .load = c.loads[j],
                           .params = c.params,
                           .pattern_seed = c.pattern_seed,
-                          .collector = collector.get()});
+                          .collector = collector.get(),
+                          .trace = trace});
     p.wall_seconds = seconds_since(point_start);
     p.ran = true;
+    ++ran;
+    meter.point_done(p.result.cycles);
     if (!p.result.stable) saturated = true;
   }
+  meter.chain_done(c.loads.size() - ran);
   out.wall_seconds = seconds_since(chain_start);
 }
 
@@ -91,6 +171,19 @@ void write_telemetry(std::ostream& os, const telemetry::Summary& t) {
        << ", \"peak_router_flits\": " << t.occupancy.peak_router_flits
        << ", \"avg_router_flits\": " << t.occupancy.avg_router_flits << "}";
   }
+  if (t.has_latency) {
+    sep();
+    os << "\"latency\": {\"packets\": " << t.latency.packets
+       << ", \"p50\": " << t.latency.p50 << ", \"p90\": " << t.latency.p90
+       << ", \"p99\": " << t.latency.p99 << ", \"p999\": " << t.latency.p999
+       << "}";
+  }
+  if (t.has_trace) {
+    sep();
+    os << "\"trace\": {\"sampled\": " << t.trace.sampled_packets
+       << ", \"delivered\": " << t.trace.delivered
+       << ", \"period\": " << t.trace.sample_period << "}";
+  }
   os << "}";
 }
 
@@ -104,8 +197,21 @@ sim::SimResult run_point(const PointSpec& spec) {
       spec.pattern_seed == kSameSeed ? spec.params.seed : spec.pattern_seed;
   sim::PatternSource src(spec.net->topology(), spec.pattern, spec.load,
                          spec.params.packet_flits, seed);
-  sim::Simulation simulation(*spec.net, spec.params, src, spec.collector);
-  return simulation.run();
+  if (!spec.trace.enabled()) {
+    sim::Simulation simulation(*spec.net, spec.params, src, spec.collector);
+    return simulation.run();
+  }
+  // Flight recorder rides along with whatever collector the caller gave;
+  // the sampled records move into the result so the stack-local collector
+  // can die with this frame.
+  telemetry::PacketTraceCollector tracer(spec.trace);
+  telemetry::CollectorSet set;
+  set.add(&tracer);
+  if (spec.collector != nullptr) set.add(spec.collector);
+  sim::Simulation simulation(*spec.net, spec.params, src, &set);
+  sim::SimResult res = simulation.run();
+  res.packet_traces = tracer.take_traces();
+  return res;
 }
 
 sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
@@ -115,15 +221,24 @@ sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
                     .pattern = pattern,
                     .load = load,
                     .params = params,
-                    .pattern_seed = pattern_seed});
+                    .pattern_seed = pattern_seed,
+                    .collector = nullptr,
+                    .trace = {}});
 }
 
 ExperimentRunner::ExperimentRunner(unsigned num_threads)
     : pool_(num_threads) {
   if (const char* v = std::getenv("POLARSTAR_JSON")) json_path_ = v;
+  if (const char* v = std::getenv("POLARSTAR_TRACE")) trace_path_ = v;
+  if (const char* v = std::getenv("POLARSTAR_PROGRESS")) {
+    if (v[0] == '1' && v[1] == '\0') progress_ = &std::cerr;
+  }
 }
 
-ExperimentRunner::~ExperimentRunner() { flush_json(); }
+ExperimentRunner::~ExperimentRunner() {
+  flush_json();
+  flush_trace();
+}
 
 std::vector<CaseResult> ExperimentRunner::run(
     const std::string& label, const std::vector<SweepCase>& cases) {
@@ -133,12 +248,26 @@ std::vector<CaseResult> ExperimentRunner::run(
                                   "' has no network");
     }
   }
+  // Effective flight-recorder filter per case: the case's own filter wins;
+  // a configured trace path turns on default-period sampling everywhere
+  // else.
+  std::vector<telemetry::PacketFilter> trace(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    trace[i] = cases[i].trace;
+    if (!trace[i].enabled() && !trace_path_.empty()) {
+      trace[i].sample_period = kDefaultTracePeriod;
+    }
+  }
+  std::size_t total_points = 0;
+  for (const auto& c : cases) total_points += c.loads.size();
+  ProgressMeter meter(progress_, label, pool_.size(), cases.size(),
+                      total_points);
   std::vector<CaseResult> results(cases.size());
   std::vector<std::exception_ptr> errors(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    pool_.submit([&cases, &results, &errors, i] {
+    pool_.submit([&cases, &trace, &meter, &results, &errors, i] {
       try {
-        run_chain(cases[i], results[i]);
+        run_chain(cases[i], trace[i], meter, results[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -161,6 +290,20 @@ std::vector<CaseResult> ExperimentRunner::run(
       }
     }
   }
+  // Same case-order walk for the flight records (copies: the caller keeps
+  // the originals inside its CaseResults).
+  if (!trace_path_.empty()) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (!trace[i].enabled()) continue;
+      for (const auto& p : results[i].points) {
+        if (!p.ran) continue;
+        std::ostringstream name;
+        name << label << "/" << cases[i].name << " @ " << p.load;
+        trace_groups_.push_back(
+            {name.str(), p.result.cycles, p.result.packet_traces});
+      }
+    }
+  }
   return results;
 }
 
@@ -168,10 +311,12 @@ void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  // Schema 2: top-level object {"schema": 2, "points": [...]} where each
-  // point may carry a "telemetry" sub-object (see EXPERIMENTS.md). Schema 1
-  // was the bare points array without telemetry.
-  os << "{\n\"schema\": 2,\n\"points\": [\n";
+  // Schema 3: top-level object {"schema": 3, "points": [...]}. Over schema
+  // 2 each point gains p50/p99.9 latency percentiles and the "telemetry"
+  // sub-object may carry "latency" (histogram percentiles) and "trace"
+  // (flight-recorder sampling metadata) blocks; see EXPERIMENTS.md. Schema
+  // 1 was the bare points array without telemetry.
+  os << "{\n\"schema\": 3,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -185,7 +330,9 @@ void ExperimentRunner::flush_json() {
        << (res.stable ? "true" : "false")
        << ", \"deadlock\": " << (res.deadlock ? "true" : "false")
        << ", \"avg_latency\": " << res.avg_packet_latency
+       << ", \"p50_latency\": " << res.p50_packet_latency
        << ", \"p99_latency\": " << res.p99_packet_latency
+       << ", \"p999_latency\": " << res.p999_packet_latency
        << ", \"avg_hops\": " << res.avg_hops
        << ", \"accepted_flit_rate\": " << res.accepted_flit_rate
        << ", \"cycles\": " << res.cycles
@@ -198,6 +345,16 @@ void ExperimentRunner::flush_json() {
     os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
   os << "]\n}\n";
+}
+
+void ExperimentRunner::flush_trace() {
+  if (trace_path_.empty() || trace_groups_.empty()) return;
+  try {
+    io::write_chrome_trace_file(trace_path_, trace_groups_);
+  } catch (const std::exception&) {
+    // Unwritable path: drop the trace, never fail the run (same contract
+    // as flush_json).
+  }
 }
 
 }  // namespace polarstar::runlab

@@ -11,13 +11,19 @@
 // Results come back in case order regardless of which worker finished
 // first, and every point is simulated with the parameters given in the
 // spec, so a run with POLARSTAR_THREADS=8 is bit-identical to a serial one.
+// That extends to the flight recorder: trace sampling is keyed on packet
+// ids, not wall time, so POLARSTAR_TRACE output is byte-identical at any
+// thread count. POLARSTAR_PROGRESS=1 adds a stderr heartbeat (stdout is
+// never touched, so piped tables stay byte-identical).
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "io/trace_export.h"
 #include "runlab/thread_pool.h"
 #include "sim/simulation.h"
 #include "sim/traffic.h"
@@ -50,9 +56,13 @@ struct SweepCase {
   /// Optional telemetry: invoked once per simulated point (on the worker
   /// thread) with the load index; the returned collector observes that
   /// point and its aggregates land in SimResult::telemetry and, through
-  /// POLARSTAR_JSON, in the schema-2 "telemetry" block.
+  /// POLARSTAR_JSON, in the "telemetry" block.
   std::function<std::unique_ptr<telemetry::Collector>(std::size_t)>
       make_collector;
+  /// Flight-recorder sampling for every point of this case. Disabled by
+  /// default; when POLARSTAR_TRACE is set the runner samples cases without
+  /// an explicit filter at kDefaultTracePeriod.
+  telemetry::PacketFilter trace;
 };
 
 /// Everything one simulated (network, pattern, load) point needs -- the
@@ -69,6 +79,9 @@ struct PointSpec {
   std::uint64_t pattern_seed = kSameSeed;
   /// Optional observer attached to the simulation (non-owning).
   telemetry::Collector* collector = nullptr;
+  /// When enabled, a PacketTraceCollector rides along and the sampled
+  /// flight records come back in SimResult::packet_traces.
+  telemetry::PacketFilter trace;
 };
 
 struct PointResult {
@@ -94,9 +107,14 @@ sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
 
 class ExperimentRunner {
  public:
+  /// Sampling period applied to cases without an explicit trace filter
+  /// when a trace path is configured (1 in 64 packets by id).
+  static constexpr std::uint32_t kDefaultTracePeriod = 64;
+
   /// 0 = POLARSTAR_THREADS, falling back to hardware_concurrency.
   explicit ExperimentRunner(unsigned num_threads = 0);
-  /// Flushes pending JSON (see set_json_path) before tearing the pool down.
+  /// Flushes pending JSON and traces (see set_json_path / set_trace_path)
+  /// before tearing the pool down.
   ~ExperimentRunner();
 
   ExperimentRunner(const ExperimentRunner&) = delete;
@@ -115,10 +133,24 @@ class ExperimentRunner {
   void set_json_path(std::string path) { json_path_ = std::move(path); }
   const std::string& json_path() const { return json_path_; }
 
+  /// Where sampled flight records are written as a Chrome-trace / Perfetto
+  /// JSON file. Initialised from POLARSTAR_TRACE; empty disables tracing
+  /// for cases that don't request it themselves.
+  void set_trace_path(std::string path) { trace_path_ = std::move(path); }
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Heartbeat destination (default: stderr iff POLARSTAR_PROGRESS=1,
+  /// else none). Tests inject an ostringstream; nullptr silences.
+  void set_progress_stream(std::ostream* os) { progress_ = os; }
+
   /// Writes every point recorded so far (all run() calls on this runner)
   /// as one JSON array. Called automatically by the destructor; explicit
   /// calls rewrite the file in place. No-op when the path is empty.
   void flush_json();
+
+  /// Same contract for the Chrome-trace file: one trace group per traced
+  /// point, in case order.
+  void flush_trace();
 
  private:
   struct Record {
@@ -131,8 +163,10 @@ class ExperimentRunner {
   };
 
   ThreadPool pool_;
-  std::string json_path_;
+  std::string json_path_, trace_path_;
+  std::ostream* progress_ = nullptr;
   std::vector<Record> records_;
+  std::vector<io::PacketTraceGroup> trace_groups_;
 };
 
 }  // namespace polarstar::runlab

@@ -18,7 +18,11 @@ constexpr std::uint32_t kInjectionFlag = 0x80000000u;
 /// deliberately skips finish() so it never surfaces in SimResult::telemetry.
 class LegacyLinkCollector final : public telemetry::Collector {
  public:
-  Caps caps() const override { return {.link_flits = true}; }
+  Caps caps() const override {
+    Caps c;
+    c.link_flits = true;
+    return c;
+  }
 
   void on_run_begin(const Network& net, const SimParams& /*prm*/,
                     std::uint64_t measure_begin,
@@ -58,6 +62,7 @@ class PairCollector final : public telemetry::Collector {
                              ? ca.occupancy_period
                              : std::min(ca.occupancy_period,
                                         cb.occupancy_period);
+    m.packets = telemetry::PacketFilter::merge(ca.packets, cb.packets);
     return m;
   }
   void on_run_begin(const Network& net, const SimParams& prm,
@@ -85,9 +90,33 @@ class PairCollector final : public telemetry::Collector {
     a_->on_occupancy_sample(cycle, s);
     b_->on_occupancy_sample(cycle, s);
   }
-  void on_run_end(std::uint64_t cycles) override {
-    a_->on_run_end(cycles);
-    b_->on_run_end(cycles);
+  void on_packet_injected(const PacketRecord& pkt,
+                          std::uint64_t cycle) override {
+    a_->on_packet_injected(pkt, cycle);
+    b_->on_packet_injected(pkt, cycle);
+  }
+  void on_packet_routed(const PacketRecord& pkt, std::uint32_t router,
+                        std::uint16_t out_port, std::uint8_t out_vc,
+                        bool eject, std::uint64_t cycle) override {
+    a_->on_packet_routed(pkt, router, out_port, out_vc, eject, cycle);
+    b_->on_packet_routed(pkt, router, out_port, out_vc, eject, cycle);
+  }
+  void on_packet_hop(const PacketRecord& pkt, std::uint32_t router,
+                     std::uint32_t port, std::uint8_t vc,
+                     std::uint64_t arrival_cycle,
+                     std::uint64_t cycle) override {
+    a_->on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
+    b_->on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
+  }
+  void on_packet_ejected(const PacketRecord& pkt, std::uint64_t arrival_cycle,
+                         std::uint64_t cycle) override {
+    a_->on_packet_ejected(pkt, arrival_cycle, cycle);
+    b_->on_packet_ejected(pkt, arrival_cycle, cycle);
+  }
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override {
+    a_->on_run_end(cycles, measure_begin, measure_end);
+    b_->on_run_end(cycles, measure_begin, measure_end);
   }
   void finish(telemetry::Summary& out) const override {
     a_->finish(out);
@@ -133,6 +162,8 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     stall_telemetry_ = caps.stalls;
     ugal_telemetry_ = caps.ugal;
     occupancy_period_ = caps.occupancy_period;
+    trace_filter_ = caps.packets;
+    packet_telemetry_ = trace_filter_.enabled();
   }
   const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
   buf_store_.resize(nbuf * prm_.vc_buffer_flits);
@@ -216,6 +247,19 @@ std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
           cycle_);
     }
   }
+  if (packet_telemetry_) {
+    // After the UGAL decision so the injected event sees the final
+    // valiant/intermediate fields.
+    if (idx >= traced_.size()) {
+      traced_.resize(idx + 1, 0);
+      trace_arrival_.resize(idx + 1, 0);
+    }
+    traced_[idx] = trace_filter_.matches(pk.id, src_ep, dst_ep) ? 1 : 0;
+    if (traced_[idx]) {
+      trace_arrival_[idx] = cycle_;  // hop-0 wait counts from birth
+      collector_->on_packet_injected(pk, cycle_);
+    }
+  }
   return idx;
 }
 
@@ -254,6 +298,9 @@ void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
     out = static_cast<std::uint16_t>(
         deg + (pk.dst_endpoint - net_->topology().first_endpoint(r)));
     ovc = 0;
+    if (packet_telemetry_ && traced_[pkt_idx]) {
+      collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/true, cycle_);
+    }
     return;
   }
   auto ports = net_->route_ports(r, target);
@@ -282,6 +329,9 @@ void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
     }
     out = best;
   }
+  if (packet_telemetry_ && traced_[pkt_idx]) {
+    collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/false, cycle_);
+  }
 }
 
 void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
@@ -299,6 +349,9 @@ void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
       const std::uint64_t lat = cycle_ - pk.birth_cycle + 1;
       latency_sum_ += static_cast<double>(lat);
       latency_samples_.push_back(static_cast<std::uint32_t>(lat));
+    }
+    if (packet_telemetry_ && traced_[pkt_idx]) {
+      collector_->on_packet_ejected(pk, trace_arrival_[pkt_idx], cycle_);
     }
     source_->on_delivered(*this, pk);
     free_packet(pkt_idx);
@@ -459,6 +512,14 @@ void Simulation::step() {
         if (f.seq == 0) {
           out_owner_[recv] = pkt_idx + 1;
           ++pk.hops;
+          if (packet_telemetry_ && traced_[pkt_idx]) {
+            collector_->on_packet_hop(pk, r, o, req.ovc,
+                                      trace_arrival_[pkt_idx], cycle_);
+            // Head flit lands at the neighbour after link + router latency;
+            // the next hop's wait is measured from that arrival.
+            trace_arrival_[pkt_idx] =
+                cycle_ + prm_.link_latency + prm_.router_latency;
+          }
         }
         if (f.seq + 1u == pk.flits) out_owner_[recv] = 0;
         --credits_[recv];
@@ -561,10 +622,16 @@ SimResult Simulation::collect(std::uint64_t cycles) {
   res.stable = !deadlock_ && measured_outstanding_ == 0;
   if (!latency_samples_.empty()) {
     res.avg_packet_latency = latency_sum_ / latency_samples_.size();
-    auto p99 = latency_samples_.begin() +
-               static_cast<std::ptrdiff_t>(0.99 * (latency_samples_.size() - 1));
-    std::nth_element(latency_samples_.begin(), p99, latency_samples_.end());
-    res.p99_packet_latency = *p99;
+    // One full sort yields every percentile; the rank convention
+    // floor(q * (n-1)) matches the previous nth_element p99 exactly.
+    std::sort(latency_samples_.begin(), latency_samples_.end());
+    const std::size_t n = latency_samples_.size();
+    const auto rank = [n](double q) {
+      return static_cast<std::ptrdiff_t>(q * (n - 1));
+    };
+    res.p50_packet_latency = latency_samples_[rank(0.50)];
+    res.p99_packet_latency = latency_samples_[rank(0.99)];
+    res.p999_packet_latency = latency_samples_[rank(0.999)];
   }
   if (res.packets_delivered > 0) {
     res.avg_hops =
@@ -580,7 +647,11 @@ SimResult Simulation::collect(std::uint64_t cycles) {
   for (const auto& q : inj_queue_) maxq = std::max<std::uint64_t>(maxq, q.size());
   res.max_source_queue = maxq;
   if (collector_ != nullptr) {
-    collector_->on_run_end(cycles);
+    // Re-announce the window collectors should normalize to: run_app's
+    // open-ended window closes at the cycle the run actually stopped.
+    const std::uint64_t eff_end = std::min(measure_end_, cycles);
+    const std::uint64_t eff_begin = std::min(measure_begin_, eff_end);
+    collector_->on_run_end(cycles, eff_begin, eff_end);
     collector_->finish(res.telemetry);
   }
   if (legacy_counts_ != nullptr) res.link_flits = *legacy_counts_;

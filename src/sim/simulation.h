@@ -23,11 +23,9 @@
 
 #include "routing/ugal.h"
 #include "sim/network.h"
+#include "telemetry/collector.h"
+#include "telemetry/packet_trace.h"
 #include "telemetry/summary.h"
-
-namespace polarstar::telemetry {
-class Collector;
-}  // namespace polarstar::telemetry
 
 namespace polarstar::sim {
 
@@ -88,7 +86,12 @@ struct SimResult {
   std::uint64_t packets_delivered = 0;
   std::uint64_t measured_packets = 0;
   double avg_packet_latency = 0.0;
+  /// Exact percentiles over the measured packets (one sorted pass of the
+  /// per-packet samples; p99 keeps the historical index convention
+  /// sample[floor(q * (n - 1))]).
+  double p50_packet_latency = 0.0;
   double p99_packet_latency = 0.0;
+  double p999_packet_latency = 0.0;
   double avg_hops = 0.0;
   /// Ejected flits per endpoint per cycle during the measurement window.
   double accepted_flit_rate = 0.0;
@@ -103,6 +106,10 @@ struct SimResult {
   /// Aggregates from the attached telemetry collector(s); every has_*
   /// flag is false when no collector was attached.
   telemetry::Summary telemetry;
+  /// Flight-recorder records, filled by runlab::run_point when its spec
+  /// enables tracing (the Simulation itself stays collector-agnostic);
+  /// empty otherwise.
+  std::vector<telemetry::PacketTrace> packet_traces;
 };
 
 class Simulation;
@@ -219,6 +226,13 @@ class Simulation {
   bool stall_telemetry_ = false;
   bool ugal_telemetry_ = false;
   std::uint32_t occupancy_period_ = 0;
+  // Flight recorder: which packets fire the on_packet_* hooks. traced_ /
+  // trace_arrival_ shadow the packet pool and are only touched when
+  // packet_telemetry_ (one branch per site otherwise).
+  bool packet_telemetry_ = false;
+  telemetry::PacketFilter trace_filter_;
+  std::vector<std::uint8_t> traced_;
+  std::vector<std::uint64_t> trace_arrival_;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t next_packet_id_ = 1;

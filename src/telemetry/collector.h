@@ -3,9 +3,9 @@
 // A Collector is a passive observer attached to one Simulation run. The
 // simulator keeps the no-telemetry hot path free of work: every hook site
 // is compiled around a per-capability flag check (link flits, stalls, UGAL
-// decisions, occupancy sampling), so a run without a collector pays one
-// predictable branch per site and a run with a collector pays only for the
-// event classes its caps() request.
+// decisions, occupancy sampling, packet lifecycle events), so a run without
+// a collector pays one predictable branch per site and a run with a
+// collector pays only for the event classes its caps() request.
 //
 // This header is deliberately self-contained (sim types are forward
 // declared) so `ps_sim` can drive collectors without linking against the
@@ -13,14 +13,18 @@
 // coupling point between the two libraries.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "telemetry/summary.h"
 
 namespace polarstar::sim {
 class Network;
 struct SimParams;
+struct PacketRecord;
 }  // namespace polarstar::sim
 
 namespace polarstar::telemetry {
@@ -39,6 +43,20 @@ enum class StallCause : std::uint8_t {
   /// already granted to a different output this cycle.
   kArbitrationLost,
 };
+
+/// Short column label for tables ("credit", "vcblk", "arb") -- the canonical
+/// spelling shared by the bench tables and trace tooling.
+inline const char* to_string(StallCause cause) {
+  switch (cause) {
+    case StallCause::kCreditStarved:
+      return "credit";
+    case StallCause::kVcBlocked:
+      return "vcblk";
+    case StallCause::kArbitrationLost:
+      return "arb";
+  }
+  return "?";
+}
 
 /// One UGAL-L injection-time decision (built from routing::PathChoice).
 struct UgalDecision {
@@ -59,6 +77,48 @@ struct OccupancySnapshot {
   std::uint32_t num_vcs = 0;
 };
 
+/// Deterministic packet-sampling predicate for the flight-recorder hooks:
+/// a packet is traced when its id is a multiple of `sample_period`, or its
+/// (src, dst) endpoint pair is on the watch list. Sampling by id keeps
+/// full-scale runs cheap and is reproducible across thread counts (ids are
+/// assigned in injection order, which is part of the deterministic run).
+struct PacketFilter {
+  /// Trace every packet whose id % sample_period == 0 (0 = none).
+  std::uint32_t sample_period = 0;
+  /// (src_endpoint, dst_endpoint) pairs always traced regardless of id.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> watch;
+
+  bool enabled() const { return sample_period != 0 || !watch.empty(); }
+
+  bool matches(std::uint64_t id, std::uint64_t src_ep,
+               std::uint64_t dst_ep) const {
+    if (sample_period != 0 && id % sample_period == 0) return true;
+    return std::find(watch.begin(), watch.end(),
+                     std::make_pair(src_ep, dst_ep)) != watch.end();
+  }
+
+  /// The least selective of two filters (what the simulator must observe so
+  /// both subscribers see their packets). A gcd period over-approximates --
+  /// collectors re-check their own filter on delivered events.
+  static PacketFilter merge(const PacketFilter& a, const PacketFilter& b) {
+    PacketFilter m;
+    if (a.sample_period == 0 || b.sample_period == 0) {
+      m.sample_period = a.sample_period + b.sample_period;
+    } else {
+      std::uint32_t x = a.sample_period, y = b.sample_period;
+      while (y != 0) {
+        const std::uint32_t t = x % y;
+        x = y;
+        y = t;
+      }
+      m.sample_period = x;
+    }
+    m.watch = a.watch;
+    m.watch.insert(m.watch.end(), b.watch.begin(), b.watch.end());
+    return m;
+  }
+};
+
 class Collector {
  public:
   /// Event classes this collector wants. Queried once at Simulation
@@ -69,6 +129,11 @@ class Collector {
     bool ugal = false;
     /// Sample period in cycles for on_occupancy_sample (0 = never).
     std::uint32_t occupancy_period = 0;
+    /// Which packets fire the flight-recorder hooks (on_packet_*);
+    /// disabled filter = none. Fan-out collectors merge member filters, so
+    /// a concrete collector may see packets outside its own filter and
+    /// must re-check PacketFilter::matches if it cares.
+    PacketFilter packets;
   };
 
   virtual ~Collector() = default;
@@ -77,7 +142,7 @@ class Collector {
 
   /// Called once when the run starts, before the first cycle. The window
   /// is [measure_begin, measure_end); run_app passes measure_end = ~0ull
-  /// (open-ended -- treat on_run_end's cycle count as the window end).
+  /// (open-ended -- on_run_end re-announces the clamped window).
   virtual void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                             std::uint64_t measure_begin,
                             std::uint64_t measure_end) {
@@ -111,8 +176,60 @@ class Collector {
     (void)cycle, (void)snap;
   }
 
-  /// Called once after the last cycle, with the final cycle count.
-  virtual void on_run_end(std::uint64_t cycles) { (void)cycles; }
+  // ---- Packet flight-recorder hooks (caps().packets selects packets) ----
+  // For a traced packet the simulator fires, in order: one injection, then
+  // per router visit one route decision followed (possibly several cycles
+  // later) by one hop departure, and finally one ejection when the tail
+  // flit leaves the network. `pkt` is only valid for the duration of the
+  // call; copy what you need.
+
+  /// The packet entered its source queue at `cycle` (== pkt.birth_cycle).
+  virtual void on_packet_injected(const sim::PacketRecord& pkt,
+                                  std::uint64_t cycle) {
+    (void)pkt, (void)cycle;
+  }
+
+  /// The head flit was routed at `router`: output port and VC chosen.
+  /// `eject` marks the terminal decision (out_port is an ejection slot,
+  /// not a link port).
+  virtual void on_packet_routed(const sim::PacketRecord& pkt,
+                                std::uint32_t router, std::uint16_t out_port,
+                                std::uint8_t out_vc, bool eject,
+                                std::uint64_t cycle) {
+    (void)pkt, (void)router, (void)out_port, (void)out_vc, (void)eject,
+        (void)cycle;
+  }
+
+  /// The head flit won allocation at `router` and crossed link port `port`
+  /// on VC `vc` during `cycle`. `arrival_cycle` is when the head flit
+  /// became available at this router (buffer arrival, or birth for the
+  /// source router), so cycle - arrival_cycle is the per-hop wait.
+  virtual void on_packet_hop(const sim::PacketRecord& pkt,
+                             std::uint32_t router, std::uint32_t port,
+                             std::uint8_t vc, std::uint64_t arrival_cycle,
+                             std::uint64_t cycle) {
+    (void)pkt, (void)router, (void)port, (void)vc, (void)arrival_cycle,
+        (void)cycle;
+  }
+
+  /// The packet's tail flit was ejected at `cycle`; pkt still carries the
+  /// arrival cycle at the final router (see on_packet_hop) so the terminal
+  /// wait is cycle - arrival.
+  virtual void on_packet_ejected(const sim::PacketRecord& pkt,
+                                 std::uint64_t arrival_cycle,
+                                 std::uint64_t cycle) {
+    (void)pkt, (void)arrival_cycle, (void)cycle;
+  }
+
+  /// Called once after the last cycle. `cycles` is the final cycle count;
+  /// [measure_begin, measure_end) is the *effective* measurement window:
+  /// what on_run_begin announced, clamped by the simulator to the run's
+  /// actual length. Open-ended run_app windows arrive here closed, so
+  /// collectors never special-case measure_end == ~0ull themselves.
+  virtual void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                          std::uint64_t measure_end) {
+    (void)cycles, (void)measure_begin, (void)measure_end;
+  }
 
   /// Fold this collector's aggregates into the run's summary block
   /// (SimResult::telemetry). Called after on_run_end.

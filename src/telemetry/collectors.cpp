@@ -10,12 +10,6 @@ namespace polarstar::telemetry {
 
 namespace {
 
-std::uint64_t window_length(std::uint64_t begin, std::uint64_t end,
-                            std::uint64_t run_cycles) {
-  const std::uint64_t eff_end = std::min(end, run_cycles);
-  return eff_end > begin ? eff_end - begin : 0;
-}
-
 std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) {
   while (b != 0) {
     const std::uint64_t t = a % b;
@@ -54,12 +48,13 @@ void LinkHistogramCollector::on_link_flit(std::size_t link_index,
   ++epochs_[e][link_index];
 }
 
-void LinkHistogramCollector::on_run_end(std::uint64_t cycles) {
-  end_cycles_ = cycles;
-}
-
-std::uint64_t LinkHistogramCollector::window_cycles() const {
-  return window_length(measure_begin_, measure_end_, end_cycles_);
+void LinkHistogramCollector::on_run_end(std::uint64_t /*cycles*/,
+                                        std::uint64_t measure_begin,
+                                        std::uint64_t measure_end) {
+  // The simulator hands us the effective (clamped) window; adopt it so
+  // window_cycles() is exact even for open-ended run_app windows.
+  measure_begin_ = measure_begin;
+  measure_end_ = measure_end;
 }
 
 void LinkHistogramCollector::finish(Summary& out) const {
@@ -115,10 +110,11 @@ void StallCollector::on_output_stall(std::uint32_t router, std::uint32_t port,
   }
 }
 
-void StallCollector::on_run_end(std::uint64_t cycles) { end_cycles_ = cycles; }
-
-std::uint64_t StallCollector::window_cycles() const {
-  return window_length(measure_begin_, measure_end_, end_cycles_);
+void StallCollector::on_run_end(std::uint64_t /*cycles*/,
+                                std::uint64_t measure_begin,
+                                std::uint64_t measure_end) {
+  measure_begin_ = measure_begin;
+  measure_end_ = measure_end;
 }
 
 std::uint64_t StallCollector::idle(std::size_t link_index) const {
@@ -235,12 +231,23 @@ void UgalCollector::finish(Summary& out) const {
 CollectorSet::CollectorSet(std::vector<Collector*> members)
     : members_(std::move(members)) {}
 
-void CollectorSet::add(Collector* c) { members_.push_back(c); }
+void CollectorSet::add(Collector* c) {
+  members_.push_back(c);
+  member_caps_.clear();  // invalidate the dispatch cache
+}
+
+const std::vector<Collector::Caps>& CollectorSet::member_caps() const {
+  if (member_caps_.size() != members_.size()) {
+    member_caps_.clear();
+    member_caps_.reserve(members_.size());
+    for (const Collector* c : members_) member_caps_.push_back(c->caps());
+  }
+  return member_caps_;
+}
 
 Collector::Caps CollectorSet::caps() const {
   Caps merged;
-  for (const Collector* c : members_) {
-    const Caps m = c->caps();
+  for (const Caps& m : member_caps()) {
     merged.link_flits |= m.link_flits;
     merged.stalls |= m.stalls;
     merged.ugal |= m.ugal;
@@ -251,6 +258,7 @@ Collector::Caps CollectorSet::caps() const {
               : static_cast<std::uint32_t>(
                     gcd64(merged.occupancy_period, m.occupancy_period));
     }
+    merged.packets = PacketFilter::merge(merged.packets, m.packets);
   }
   return merged;
 }
@@ -259,41 +267,95 @@ void CollectorSet::on_run_begin(const sim::Network& net,
                                 const sim::SimParams& prm,
                                 std::uint64_t measure_begin,
                                 std::uint64_t measure_end) {
+  member_caps();  // warm the dispatch cache before the first event
   for (Collector* c : members_) {
     c->on_run_begin(net, prm, measure_begin, measure_end);
   }
 }
 
 void CollectorSet::on_link_flit(std::size_t link_index, std::uint64_t cycle) {
-  for (Collector* c : members_) {
-    if (c->caps().link_flits) c->on_link_flit(link_index, cycle);
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].link_flits) members_[i]->on_link_flit(link_index, cycle);
   }
 }
 
 void CollectorSet::on_output_stall(std::uint32_t router, std::uint32_t port,
                                    StallCause cause, std::uint64_t cycle) {
-  for (Collector* c : members_) {
-    if (c->caps().stalls) c->on_output_stall(router, port, cause, cycle);
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].stalls) members_[i]->on_output_stall(router, port, cause, cycle);
   }
 }
 
 void CollectorSet::on_ugal_decision(const UgalDecision& d,
                                     std::uint64_t cycle) {
-  for (Collector* c : members_) {
-    if (c->caps().ugal) c->on_ugal_decision(d, cycle);
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].ugal) members_[i]->on_ugal_decision(d, cycle);
   }
 }
 
 void CollectorSet::on_occupancy_sample(std::uint64_t cycle,
                                        const OccupancySnapshot& snap) {
-  for (Collector* c : members_) {
-    const std::uint32_t p = c->caps().occupancy_period;
-    if (p != 0 && cycle % p == 0) c->on_occupancy_sample(cycle, snap);
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    const std::uint32_t p = caps[i].occupancy_period;
+    if (p != 0 && cycle % p == 0) members_[i]->on_occupancy_sample(cycle, snap);
   }
 }
 
-void CollectorSet::on_run_end(std::uint64_t cycles) {
-  for (Collector* c : members_) c->on_run_end(cycles);
+void CollectorSet::on_packet_injected(const sim::PacketRecord& pkt,
+                                      std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].packets.enabled()) members_[i]->on_packet_injected(pkt, cycle);
+  }
+}
+
+void CollectorSet::on_packet_routed(const sim::PacketRecord& pkt,
+                                    std::uint32_t router,
+                                    std::uint16_t out_port,
+                                    std::uint8_t out_vc, bool eject,
+                                    std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].packets.enabled()) {
+      members_[i]->on_packet_routed(pkt, router, out_port, out_vc, eject,
+                                    cycle);
+    }
+  }
+}
+
+void CollectorSet::on_packet_hop(const sim::PacketRecord& pkt,
+                                 std::uint32_t router, std::uint32_t port,
+                                 std::uint8_t vc, std::uint64_t arrival_cycle,
+                                 std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].packets.enabled()) {
+      members_[i]->on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
+    }
+  }
+}
+
+void CollectorSet::on_packet_ejected(const sim::PacketRecord& pkt,
+                                     std::uint64_t arrival_cycle,
+                                     std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].packets.enabled()) {
+      members_[i]->on_packet_ejected(pkt, arrival_cycle, cycle);
+    }
+  }
+}
+
+void CollectorSet::on_run_end(std::uint64_t cycles,
+                              std::uint64_t measure_begin,
+                              std::uint64_t measure_end) {
+  for (Collector* c : members_) {
+    c->on_run_end(cycles, measure_begin, measure_end);
+  }
 }
 
 void CollectorSet::finish(Summary& out) const {

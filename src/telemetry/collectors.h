@@ -10,6 +10,10 @@
 //  - UgalCollector: UGAL-L decision counters (minimal vs Valiant, and why).
 //  - CollectorSet: fans one Simulation's events out to several collectors.
 //
+// The packet flight recorder (PacketTraceCollector) and the percentile
+// histogram (LatencyHistogramCollector) live in telemetry/packet_trace.h;
+// FullCollector bundles one of each latency-capable collector here.
+//
 // Every collector is single-run state: attach a fresh instance per
 // Simulation. None of them touches global state, so runs on different
 // threads with distinct collectors are independent and deterministic.
@@ -19,6 +23,7 @@
 #include <vector>
 
 #include "telemetry/collector.h"
+#include "telemetry/packet_trace.h"
 
 namespace polarstar::telemetry {
 
@@ -30,12 +35,17 @@ class LinkHistogramCollector final : public Collector {
   explicit LinkHistogramCollector(std::uint64_t epoch_cycles = 0)
       : epoch_cycles_(epoch_cycles) {}
 
-  Caps caps() const override { return {.link_flits = true}; }
+  Caps caps() const override {
+    Caps c;
+    c.link_flits = true;
+    return c;
+  }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                     std::uint64_t measure_begin,
                     std::uint64_t measure_end) override;
   void on_link_flit(std::size_t link_index, std::uint64_t cycle) override;
-  void on_run_end(std::uint64_t cycles) override;
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override;
   void finish(Summary& out) const override;
 
   /// Flits per directed link inside the measurement window (the quantity
@@ -46,13 +56,14 @@ class LinkHistogramCollector final : public Collector {
     return epochs_[e];
   }
   std::uint64_t epoch_cycles() const { return epoch_cycles_; }
-  /// Measurement-window length actually observed (cycles).
-  std::uint64_t window_cycles() const;
+  /// Measurement-window length actually observed (cycles). The simulator
+  /// re-announces the clamped window at on_run_end, so this needs no
+  /// open-ended special case.
+  std::uint64_t window_cycles() const { return measure_end_ - measure_begin_; }
 
  private:
   std::uint64_t epoch_cycles_;
   std::uint64_t measure_begin_ = 0, measure_end_ = ~0ull;
-  std::uint64_t end_cycles_ = 0;
   std::size_t num_links_ = 0;
   std::vector<std::uint64_t> totals_;
   std::vector<std::vector<std::uint64_t>> epochs_;
@@ -60,14 +71,20 @@ class LinkHistogramCollector final : public Collector {
 
 class StallCollector final : public Collector {
  public:
-  Caps caps() const override { return {.link_flits = true, .stalls = true}; }
+  Caps caps() const override {
+    Caps c;
+    c.link_flits = true;
+    c.stalls = true;
+    return c;
+  }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                     std::uint64_t measure_begin,
                     std::uint64_t measure_end) override;
   void on_link_flit(std::size_t link_index, std::uint64_t cycle) override;
   void on_output_stall(std::uint32_t router, std::uint32_t port,
                        StallCause cause, std::uint64_t cycle) override;
-  void on_run_end(std::uint64_t cycles) override;
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override;
   void finish(Summary& out) const override;
 
   /// Per-directed-link counters (measurement window), Network::link_index
@@ -80,8 +97,9 @@ class StallCollector final : public Collector {
   const std::vector<std::uint64_t>& arbitration_lost() const {
     return arbitration_lost_;
   }
-  /// Window cycles: busy + stalls + idle of any port sums to this.
-  std::uint64_t window_cycles() const;
+  /// Window cycles: busy + stalls + idle of any port sums to this. Valid
+  /// after on_run_end (the simulator re-announces the clamped window).
+  std::uint64_t window_cycles() const { return measure_end_ - measure_begin_; }
   std::uint64_t idle(std::size_t link_index) const;
 
  private:
@@ -89,7 +107,6 @@ class StallCollector final : public Collector {
     return cycle >= measure_begin_ && cycle < measure_end_;
   }
   std::uint64_t measure_begin_ = 0, measure_end_ = ~0ull;
-  std::uint64_t end_cycles_ = 0;
   const sim::Network* net_ = nullptr;
   std::vector<std::uint64_t> busy_, credit_starved_, vc_blocked_,
       arbitration_lost_;
@@ -99,7 +116,11 @@ class OccupancyCollector final : public Collector {
  public:
   explicit OccupancyCollector(std::uint32_t period) : period_(period) {}
 
-  Caps caps() const override { return {.occupancy_period = period_}; }
+  Caps caps() const override {
+    Caps c;
+    c.occupancy_period = period_;
+    return c;
+  }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                     std::uint64_t measure_begin,
                     std::uint64_t measure_end) override;
@@ -133,7 +154,11 @@ class OccupancyCollector final : public Collector {
 
 class UgalCollector final : public Collector {
  public:
-  Caps caps() const override { return {.ugal = true}; }
+  Caps caps() const override {
+    Caps c;
+    c.ugal = true;
+    return c;
+  }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                     std::uint64_t measure_begin,
                     std::uint64_t measure_end) override;
@@ -169,11 +194,30 @@ class CollectorSet final : public Collector {
   void on_ugal_decision(const UgalDecision& d, std::uint64_t cycle) override;
   void on_occupancy_sample(std::uint64_t cycle,
                            const OccupancySnapshot& snap) override;
-  void on_run_end(std::uint64_t cycles) override;
+  void on_packet_injected(const sim::PacketRecord& pkt,
+                          std::uint64_t cycle) override;
+  void on_packet_routed(const sim::PacketRecord& pkt, std::uint32_t router,
+                        std::uint16_t out_port, std::uint8_t out_vc,
+                        bool eject, std::uint64_t cycle) override;
+  void on_packet_hop(const sim::PacketRecord& pkt, std::uint32_t router,
+                     std::uint32_t port, std::uint8_t vc,
+                     std::uint64_t arrival_cycle, std::uint64_t cycle) override;
+  void on_packet_ejected(const sim::PacketRecord& pkt,
+                         std::uint64_t arrival_cycle,
+                         std::uint64_t cycle) override;
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override;
   void finish(Summary& out) const override;
 
  private:
+  /// caps() is re-queried per member on every dispatch decision; with
+  /// PacketFilter in Caps that would copy a vector per event, so the set
+  /// caches each member's caps and refreshes the cache whenever the
+  /// membership is (re)inspected.
+  const std::vector<Caps>& member_caps() const;
+
   std::vector<Collector*> members_;
+  mutable std::vector<Caps> member_caps_;
 };
 
 /// The everything-on bundle: one collector of each kind behind a single
@@ -189,12 +233,14 @@ class FullCollector final : public Collector {
     set_.add(&stalls);
     set_.add(&occupancy);
     set_.add(&ugal);
+    set_.add(&latency);
   }
 
   LinkHistogramCollector links;
   StallCollector stalls;
   OccupancyCollector occupancy;
   UgalCollector ugal;
+  LatencyHistogramCollector latency;
 
   Caps caps() const override { return set_.caps(); }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
@@ -215,7 +261,30 @@ class FullCollector final : public Collector {
                            const OccupancySnapshot& snap) override {
     set_.on_occupancy_sample(cycle, snap);
   }
-  void on_run_end(std::uint64_t cycles) override { set_.on_run_end(cycles); }
+  void on_packet_injected(const sim::PacketRecord& pkt,
+                          std::uint64_t cycle) override {
+    set_.on_packet_injected(pkt, cycle);
+  }
+  void on_packet_routed(const sim::PacketRecord& pkt, std::uint32_t router,
+                        std::uint16_t out_port, std::uint8_t out_vc,
+                        bool eject, std::uint64_t cycle) override {
+    set_.on_packet_routed(pkt, router, out_port, out_vc, eject, cycle);
+  }
+  void on_packet_hop(const sim::PacketRecord& pkt, std::uint32_t router,
+                     std::uint32_t port, std::uint8_t vc,
+                     std::uint64_t arrival_cycle,
+                     std::uint64_t cycle) override {
+    set_.on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
+  }
+  void on_packet_ejected(const sim::PacketRecord& pkt,
+                         std::uint64_t arrival_cycle,
+                         std::uint64_t cycle) override {
+    set_.on_packet_ejected(pkt, arrival_cycle, cycle);
+  }
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override {
+    set_.on_run_end(cycles, measure_begin, measure_end);
+  }
   void finish(Summary& out) const override { set_.finish(out); }
 
  private:

@@ -1,4 +1,4 @@
-// POLARSTAR_JSON schema-2 validation: run a sweep with telemetry through
+// POLARSTAR_JSON schema-3 validation: run a sweep with telemetry through
 // the ExperimentRunner, parse the emitted file with the in-repo JSON
 // parser, and check the versioned schema plus a round-trip of the values
 // against the in-memory results. Doubles as the parser's own test.
@@ -64,8 +64,8 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   EXPECT_THROW(json::parse("trye"), std::runtime_error);
 }
 
-TEST(JsonSchema, V2RoundTripsThroughTheRunner) {
-  const std::string path = ::testing::TempDir() + "schema_v2_test.json";
+TEST(JsonSchema, V3RoundTripsThroughTheRunner) {
+  const std::string path = ::testing::TempDir() + "schema_v3_test.json";
   std::remove(path.c_str());
 
   std::vector<runlab::CaseResult> results;
@@ -90,7 +90,7 @@ TEST(JsonSchema, V2RoundTripsThroughTheRunner) {
 
   const auto doc = json::parse_file(path);
   ASSERT_TRUE(doc.is_object());
-  EXPECT_EQ(require(doc, "schema").as_number(), 2.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 3.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 2u);
 
@@ -118,6 +118,11 @@ TEST(JsonSchema, V2RoundTripsThroughTheRunner) {
     EXPECT_NEAR(require(p, "avg_latency").as_number(),
                 res.avg_packet_latency,
                 1e-4 * (1.0 + std::abs(res.avg_packet_latency)));
+    // Schema 3: the percentile columns, ordered like any sane latency CDF.
+    EXPECT_LE(require(p, "p50_latency").as_number(),
+              require(p, "p99_latency").as_number());
+    EXPECT_LE(require(p, "p99_latency").as_number(),
+              require(p, "p999_latency").as_number());
 
     // The telemetry block: present (a FullCollector ran) with every
     // sub-block, values round-tripping exactly for the integer counters.
@@ -146,12 +151,18 @@ TEST(JsonSchema, V2RoundTripsThroughTheRunner) {
                   require(ugal, "minimal_no_candidate").as_number());
     const auto& occ = require(t, "occupancy");
     EXPECT_GT(require(occ, "samples").as_number(), 0.0);
+    // FullCollector now bundles the latency histogram (schema 3).
+    const auto& lat = require(t, "latency");
+    EXPECT_EQ(require(lat, "packets").as_number(),
+              static_cast<double>(res.telemetry.latency.packets));
+    EXPECT_LE(require(lat, "p50").as_number(),
+              require(lat, "p999").as_number());
   }
   std::remove(path.c_str());
 }
 
 TEST(JsonSchema, PointsWithoutTelemetryOmitTheBlock) {
-  const std::string path = ::testing::TempDir() + "schema_v2_plain.json";
+  const std::string path = ::testing::TempDir() + "schema_v3_plain.json";
   std::remove(path.c_str());
   {
     runlab::ExperimentRunner r(1);
@@ -166,7 +177,7 @@ TEST(JsonSchema, PointsWithoutTelemetryOmitTheBlock) {
     r.run("plain", {c});
   }
   const auto doc = json::parse_file(path);
-  EXPECT_EQ(require(doc, "schema").as_number(), 2.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 3.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].find("telemetry"), nullptr);

@@ -402,7 +402,8 @@ TEST(Telemetry, PointSpecMatchesPositionalOverload) {
   auto a = runlab::run_point(*net, sim::Pattern::kUniform, 0.2, prm);
   auto b = runlab::run_point(
       {.net = net.get(), .pattern = sim::Pattern::kUniform, .load = 0.2,
-       .params = prm});
+       .params = prm, .pattern_seed = runlab::kSameSeed,
+       .collector = nullptr, .trace = {}});
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_EQ(a.measured_packets, b.measured_packets);
   EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);

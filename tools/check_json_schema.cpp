@@ -3,8 +3,10 @@
 //   check_json_schema <file.json> [...]   validate runner output files
 //   check_json_schema --selftest          validate a built-in example
 //
-// Accepts schema 2 (object with "schema"/"points", optional per-point
-// "telemetry" blocks) and the legacy schema-1 bare points array. Exits
+// Accepts schema 3 (adds p50/p99.9 percentile columns and optional
+// "latency"/"trace" telemetry sub-blocks), schema 2 (object with
+// "schema"/"points", optional per-point "telemetry" blocks) and the legacy
+// schema-1 bare points array. Exits
 // non-zero with a message on the first violation, so it slots into CI
 // after any bench run: POLARSTAR_JSON=out.json bench_... &&
 // check_json_schema out.json.
@@ -26,7 +28,7 @@ const json::Value& require(const json::Value& obj, const std::string& key,
   return *v;
 }
 
-void check_point(const json::Value& p, std::size_t index) {
+void check_point(const json::Value& p, std::size_t index, int schema) {
   try {
     if (!p.is_object()) throw std::runtime_error("point is not an object");
     require(p, "sweep", json::Value::Kind::kString);
@@ -42,6 +44,16 @@ void check_point(const json::Value& p, std::size_t index) {
     require(p, "deadlock", json::Value::Kind::kBool);
     require(p, "avg_latency", json::Value::Kind::kNumber);
     require(p, "p99_latency", json::Value::Kind::kNumber);
+    if (schema >= 3) {
+      const auto& p50 = require(p, "p50_latency", json::Value::Kind::kNumber);
+      const auto& p99 = require(p, "p99_latency", json::Value::Kind::kNumber);
+      const auto& p999 =
+          require(p, "p999_latency", json::Value::Kind::kNumber);
+      if (p50.as_number() > p99.as_number() ||
+          p99.as_number() > p999.as_number()) {
+        throw std::runtime_error("latency percentiles are not monotone");
+      }
+    }
     require(p, "avg_hops", json::Value::Kind::kNumber);
     require(p, "accepted_flit_rate", json::Value::Kind::kNumber);
     require(p, "cycles", json::Value::Kind::kNumber);
@@ -81,6 +93,29 @@ void check_point(const json::Value& p, std::size_t index) {
         require(*oc, "peak_router_flits", json::Value::Kind::kNumber);
         require(*oc, "avg_router_flits", json::Value::Kind::kNumber);
       }
+      if (const json::Value* lat = t->find("latency")) {
+        if (schema < 3) {
+          throw std::runtime_error("\"latency\" block requires schema 3");
+        }
+        for (const char* k : {"packets", "p50", "p90", "p99", "p999"}) {
+          require(*lat, k, json::Value::Kind::kNumber);
+        }
+        if (lat->find("p50")->as_number() > lat->find("p999")->as_number()) {
+          throw std::runtime_error("histogram percentiles are not monotone");
+        }
+      }
+      if (const json::Value* tr = t->find("trace")) {
+        if (schema < 3) {
+          throw std::runtime_error("\"trace\" block requires schema 3");
+        }
+        for (const char* k : {"sampled", "delivered", "period"}) {
+          require(*tr, k, json::Value::Kind::kNumber);
+        }
+        if (tr->find("delivered")->as_number() >
+            tr->find("sampled")->as_number()) {
+          throw std::runtime_error("trace delivered exceeds sampled");
+        }
+      }
     }
   } catch (const std::exception& e) {
     throw std::runtime_error("point " + std::to_string(index) + ": " +
@@ -91,30 +126,33 @@ void check_point(const json::Value& p, std::size_t index) {
 /// Returns the number of points validated; throws on any violation.
 std::size_t check_document(const json::Value& doc) {
   const json::Array* points = nullptr;
+  int schema = 1;
   if (doc.is_array()) {
     points = &doc.as_array();  // legacy schema 1: bare points array
   } else if (doc.is_object()) {
-    const auto& schema = require(doc, "schema", json::Value::Kind::kNumber);
-    if (schema.as_number() != 2.0) {
+    const auto& v = require(doc, "schema", json::Value::Kind::kNumber);
+    if (v.as_number() != 2.0 && v.as_number() != 3.0) {
       throw std::runtime_error("unsupported schema " +
-                               std::to_string(schema.as_number()));
+                               std::to_string(v.as_number()));
     }
+    schema = static_cast<int>(v.as_number());
     points = &require(doc, "points", json::Value::Kind::kArray).as_array();
   } else {
     throw std::runtime_error("document is neither object nor array");
   }
   for (std::size_t i = 0; i < points->size(); ++i) {
-    check_point((*points)[i], i);
+    check_point((*points)[i], i, schema);
   }
   return points->size();
 }
 
 constexpr const char* kSelftestDoc = R"({
-"schema": 2,
+"schema": 3,
 "points": [
   {"sweep": "s", "case": "PS-IQ", "pattern": "uniform", "mode": "ugal",
    "load": 0.1, "stable": true, "deadlock": false, "avg_latency": 8.5,
-   "p99_latency": 20, "avg_hops": 2.4, "accepted_flit_rate": 0.1,
+   "p50_latency": 8, "p99_latency": 20, "p999_latency": 31,
+   "avg_hops": 2.4, "accepted_flit_rate": 0.1,
    "cycles": 2000, "measured_packets": 512, "wall_seconds": 0.05,
    "telemetry": {
      "link": {"num_links": 60, "total_flits": 4096, "avg_load": 0.04,
@@ -124,7 +162,21 @@ constexpr const char* kSelftestDoc = R"({
      "ugal": {"decisions": 512, "valiant": 100, "minimal_no_better": 400,
               "minimal_no_candidate": 12, "avg_valiant_extra_hops": 1.5},
      "occupancy": {"samples": 31, "peak_router_flits": 24,
-                   "avg_router_flits": 3.5}}}
+                   "avg_router_flits": 3.5},
+     "latency": {"packets": 512, "p50": 8, "p90": 14, "p99": 20,
+                 "p999": 31},
+     "trace": {"sampled": 8, "delivered": 8, "period": 64}}}
+]
+})";
+
+// A schema-2 document (no percentile columns) must stay valid.
+constexpr const char* kSelftestDocV2 = R"({
+"schema": 2,
+"points": [
+  {"sweep": "s", "case": "PS-IQ", "pattern": "uniform", "mode": "min",
+   "load": 0.1, "stable": true, "deadlock": false, "avg_latency": 8.5,
+   "p99_latency": 20, "avg_hops": 2.4, "accepted_flit_rate": 0.1,
+   "cycles": 2000, "measured_packets": 512, "wall_seconds": 0.05}
 ]
 })";
 
@@ -138,7 +190,8 @@ int main(int argc, char** argv) {
   }
   try {
     if (std::string(argv[1]) == "--selftest") {
-      const std::size_t n = check_document(json::parse(kSelftestDoc));
+      const std::size_t n = check_document(json::parse(kSelftestDoc)) +
+                            check_document(json::parse(kSelftestDocV2));
       std::printf("selftest: %zu point(s) valid\n", n);
       return 0;
     }

@@ -1,0 +1,110 @@
+// Offline summary of a POLARSTAR_TRACE Chrome-trace file.
+//
+//   trace_summarize <trace.json> [...]
+//
+// Re-parses the exporter's output with the in-repo JSON parser (so it
+// doubles as a validity check) and prints, per trace group ("process"),
+// a per-hop table of head-flit router occupancy: how long packets spent
+// at their 1st, 2nd, ... router, split out of the same spans Perfetto
+// renders. Exits non-zero on malformed input.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace json = polarstar::io::json;
+
+namespace {
+
+struct HopStats {
+  std::uint64_t count = 0;
+  double dur_sum = 0.0;
+  double dur_max = 0.0;
+};
+
+struct GroupStats {
+  std::string name;
+  std::uint64_t spans = 0;      // async "b" events == sampled packets
+  std::uint64_t delivered = 0;  // async spans flagged delivered
+  std::map<std::uint64_t, HopStats> hops;
+};
+
+const json::Value& require(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) throw std::runtime_error("missing key \"" + key + "\"");
+  return *v;
+}
+
+void summarize(const std::string& path) {
+  const json::Value doc = json::parse_file(path);
+  const auto& events = require(doc, "traceEvents").as_array();
+
+  std::map<std::uint64_t, GroupStats> groups;  // keyed by pid
+  for (const auto& ev : events) {
+    const std::uint64_t pid =
+        static_cast<std::uint64_t>(require(ev, "pid").as_number());
+    GroupStats& g = groups[pid];
+    const std::string& ph = require(ev, "ph").as_string();
+    if (ph == "M") {
+      if (require(ev, "name").as_string() == "process_name") {
+        g.name = require(require(ev, "args"), "name").as_string();
+      }
+    } else if (ph == "b") {
+      ++g.spans;
+      if (const json::Value* args = ev.find("args")) {
+        if (const json::Value* d = args->find("delivered")) {
+          if (d->as_bool()) ++g.delivered;
+        }
+      }
+    } else if (ph == "X") {
+      const auto& args = require(ev, "args");
+      const auto hop =
+          static_cast<std::uint64_t>(require(args, "hop").as_number());
+      const double dur = require(ev, "dur").as_number();
+      HopStats& h = g.hops[hop];
+      ++h.count;
+      h.dur_sum += dur;
+      h.dur_max = std::max(h.dur_max, dur);
+    } else if (ph != "e") {
+      throw std::runtime_error("unexpected event phase \"" + ph + "\"");
+    }
+  }
+
+  std::printf("%s: %zu group(s)\n", path.c_str(), groups.size());
+  for (const auto& [pid, g] : groups) {
+    std::printf("\n%s -- %llu sampled packet(s), %llu delivered\n",
+                g.name.c_str(), static_cast<unsigned long long>(g.spans),
+                static_cast<unsigned long long>(g.delivered));
+    if (g.hops.empty()) continue;
+    std::printf("%5s %8s %10s %10s   head-flit router occupancy (cycles)\n",
+                "hop", "count", "avg", "max");
+    for (const auto& [hop, h] : g.hops) {
+      std::printf("%5llu %8llu %10.1f %10.0f\n",
+                  static_cast<unsigned long long>(hop),
+                  static_cast<unsigned long long>(h.count),
+                  h.count > 0 ? h.dur_sum / static_cast<double>(h.count) : 0.0,
+                  h.dur_max);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [...]\n", argv[0]);
+    return 2;
+  }
+  try {
+    for (int i = 1; i < argc; ++i) summarize(argv[i]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid trace: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
