@@ -4,27 +4,10 @@
 // curves. Reports uniform-traffic latency at a moderate load and the
 // saturation throughput as links fail.
 #include <cstdio>
-#include <random>
 #include <vector>
 
 #include "bench_common.h"
-
-namespace {
-
-using namespace polarstar;
-
-topo::Topology degrade(const topo::Topology& t, double fraction,
-                       std::uint64_t seed) {
-  auto edges = t.g.edge_list();
-  std::mt19937_64 rng(seed);
-  std::shuffle(edges.begin(), edges.end(), rng);
-  edges.resize(static_cast<std::size_t>(fraction * edges.size()));
-  topo::Topology out = t;
-  out.g = t.g.remove_edges(edges);
-  return out;
-}
-
-}  // namespace
+#include "fault/degrade.h"
 
 int main() {
   using namespace polarstar;
@@ -45,7 +28,7 @@ int main() {
     if (nt.name != "PS-IQ" && nt.name != "DF") continue;
     for (double frac : {0.0, 0.05, 0.10, 0.20}) {
       auto degraded = std::make_shared<const topo::Topology>(
-          degrade(nt.topology(), frac, 77));
+          fault::degrade(nt.topology(), frac, 77));
       Row row{nt.name, frac, graph::is_connected(degraded->g)};
       if (!row.connected) {
         rows.push_back(row);

@@ -1,0 +1,26 @@
+#include "fault/degrade.h"
+
+#include <algorithm>
+#include <random>
+
+namespace polarstar::fault {
+
+std::vector<graph::Edge> shuffled_edges(const graph::Graph& g,
+                                        std::uint64_t seed) {
+  auto edges = g.edge_list();
+  std::mt19937_64 rng(seed);
+  std::shuffle(edges.begin(), edges.end(), rng);
+  return edges;
+}
+
+topo::Topology degrade(const topo::Topology& t, double fraction,
+                       std::uint64_t seed) {
+  auto edges = shuffled_edges(t.g, seed);
+  edges.resize(static_cast<std::size_t>(fraction *
+                                        static_cast<double>(edges.size())));
+  topo::Topology out = t;
+  out.g = t.g.remove_edges(edges);
+  return out;
+}
+
+}  // namespace polarstar::fault

@@ -1,0 +1,28 @@
+// Static degradation helpers: the canonical seeded link-failure order.
+//
+// Both the Fig 14 structural analysis (analysis/fault_tolerance) and the
+// degraded-operation bench remove "the first fraction*|E| links of a seeded
+// shuffle"; FaultSchedule::random fails the same prefix live. This header
+// is the single definition of that order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "topo/topology.h"
+
+namespace polarstar::fault {
+
+/// The canonical failure order for `seed`: a copy of g.edge_list() (sorted
+/// u < v pairs) shuffled by std::shuffle with std::mt19937_64(seed).
+std::vector<graph::Edge> shuffled_edges(const graph::Graph& g,
+                                        std::uint64_t seed);
+
+/// Copy of `t` with the first fraction*|E| links of the seed's failure
+/// order removed (fraction in [0, 1]; everything else about the topology --
+/// name, concentration, groups -- is preserved).
+topo::Topology degrade(const topo::Topology& t, double fraction,
+                       std::uint64_t seed);
+
+}  // namespace polarstar::fault

@@ -1,0 +1,136 @@
+#include "fault/fault_routing.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace polarstar::fault {
+
+using graph::Vertex;
+
+namespace {
+constexpr std::uint16_t kFar = std::numeric_limits<std::uint16_t>::max();
+}
+
+FaultAwareRouting::FaultAwareRouting(
+    std::shared_ptr<const topo::Topology> topo,
+    std::shared_ptr<const routing::MinimalRouting> base)
+    : topo_(std::move(topo)), base_(std::move(base)) {
+  if (!topo_ || !base_) {
+    throw std::invalid_argument("FaultAwareRouting: null topology or routing");
+  }
+  router_dead_.assign(topo_->num_routers(), 0);
+}
+
+void FaultAwareRouting::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kLinkDown:
+      failed_links_.insert(canon(ev.a, ev.b));
+      break;
+    case EventKind::kLinkUp:
+      failed_links_.erase(canon(ev.a, ev.b));
+      break;
+    case EventKind::kRouterDown:
+      if (router_dead_[ev.a] == 0) {
+        router_dead_[ev.a] = 1;
+        ++dead_routers_;
+      }
+      break;
+    case EventKind::kRouterUp:
+      if (router_dead_[ev.a] != 0) {
+        router_dead_[ev.a] = 0;
+        --dead_routers_;
+      }
+      break;
+  }
+  dirty_ = true;
+}
+
+void FaultAwareRouting::commit() {
+  if (!dirty_) return;
+  dirty_ = false;
+  ++epoch_;
+  degraded_ = !failed_links_.empty() || dead_routers_ > 0;
+  if (!degraded_) {
+    dist_.reset();
+    hops_.reset();
+    return;
+  }
+  std::vector<graph::Edge> alive;
+  alive.reserve(topo_->g.num_edges());
+  for (const graph::Edge& e : topo_->g.edge_list()) {
+    if (link_alive(e.first, e.second)) alive.push_back(e);
+  }
+  const graph::Graph surv =
+      graph::Graph::from_edges(topo_->num_routers(), alive);
+  // Single-threaded rebuild: Simulations advance epochs from runlab worker
+  // threads, and nested pools would oversubscribe without speeding up the
+  // small survivor graphs involved.
+  dist_ = std::make_unique<graph::DistanceMatrix>(surv, 1);
+  hops_ = std::make_unique<graph::MinimalNextHops>(surv, *dist_);
+}
+
+bool FaultAwareRouting::link_alive(Vertex u, Vertex v) const {
+  if (router_dead_[u] != 0 || router_dead_[v] != 0) return false;
+  return failed_links_.empty() || failed_links_.count(canon(u, v)) == 0;
+}
+
+std::uint32_t FaultAwareRouting::survivor_distance(Vertex src,
+                                                   Vertex dst) const {
+  const std::uint16_t d = dist_->at(src, dst);
+  return d == kFar ? graph::kUnreachable : d;
+}
+
+std::uint32_t FaultAwareRouting::distance(Vertex src, Vertex dst) const {
+  if (!degraded_) return base_->distance(src, dst);
+  if (router_dead_[src] != 0 || router_dead_[dst] != 0) {
+    return graph::kUnreachable;
+  }
+  return survivor_distance(src, dst);
+}
+
+void FaultAwareRouting::next_hops(Vertex cur, Vertex dst,
+                                  std::vector<Vertex>& out) const {
+  if (!degraded_) {
+    base_->next_hops(cur, dst, out);
+    return;
+  }
+  const std::size_t start = out.size();
+  base_->next_hops(cur, dst, out);
+  // Keep base-scheme hops that are still minimal ON THE SURVIVOR GRAPH:
+  // link and router alive, and strictly closer to the destination. Mere
+  // reachability is not enough -- two routers whose pristine-minimal hops
+  // point through each other would bounce a packet between them forever,
+  // and a looping wormhole revisiting a router corrupts VC ownership.
+  // Every hop decreasing survivor distance keeps routing provably
+  // loop-free, the invariant the simulator's wormhole machinery needs.
+  const std::uint32_t d_cur = survivor_distance(cur, dst);
+  std::size_t w = start;
+  for (std::size_t i = start; i < out.size(); ++i) {
+    const Vertex h = out[i];
+    if (link_alive(cur, h) && survivor_distance(h, dst) < d_cur) {
+      out[w++] = h;
+    }
+  }
+  out.resize(w);
+  if (out.size() > start) return;
+  // The base scheme routes into a hole: serve survivor-minimal hops.
+  auto h = hops_->next_hops(cur, dst);
+  out.insert(out.end(), h.begin(), h.end());
+}
+
+std::size_t FaultAwareRouting::storage_entries() const {
+  return base_->storage_entries() +
+         (degraded_ ? hops_->storage_entries() : 0);
+}
+
+std::string FaultAwareRouting::name() const {
+  return base_->name() + "+fault";
+}
+
+std::shared_ptr<FaultAwareRouting> make_fault_aware_routing(
+    std::shared_ptr<const topo::Topology> topo,
+    std::shared_ptr<const routing::MinimalRouting> base) {
+  return std::make_shared<FaultAwareRouting>(std::move(topo), std::move(base));
+}
+
+}  // namespace polarstar::fault

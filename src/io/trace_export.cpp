@@ -86,6 +86,15 @@ void write_chrome_trace(std::ostream& os,
          << "\"}}";
     }
 
+    // Failure instants: process-scoped instant events named by kind, so
+    // faults line up vertically against the packet and router tracks.
+    for (const telemetry::FaultMarkRecord& f : grp.faults) {
+      const std::string name = "fault: " + f.kind;
+      sink.begin(name.c_str(), "i", pid);
+      os << ",\"cat\":\"fault\",\"tid\":0,\"s\":\"p\",\"ts\":" << f.cycle
+         << ",\"args\":{\"a\":" << f.a << ",\"b\":" << f.b << "}}";
+    }
+
     for (const telemetry::PacketTrace& t : grp.traces) {
       const std::string pkt_name = "pkt " + std::to_string(t.id);
       const std::uint64_t end =

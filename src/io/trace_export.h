@@ -35,6 +35,10 @@ struct PacketTraceGroup {
   std::string label;             ///< process name in the trace viewer
   std::uint64_t run_cycles = 0;  ///< span end for packets still in flight
   std::vector<telemetry::PacketTrace> traces;
+  /// Failure instants (live fault injection): rendered as process-scoped
+  /// "i" instant events named by their kind, so schedule events and
+  /// drop/retransmit/lost marks pin onto the timeline. Usually empty.
+  std::vector<telemetry::FaultMarkRecord> faults;
 };
 
 /// Writes the Trace Event Format document. Exactly one async "b" event is

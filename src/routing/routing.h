@@ -18,9 +18,17 @@
 // immutable after construction -- distance()/next_hops() are const,
 // mutation-free, and safe to call from many threads at once (the parallel
 // ExperimentRunner shares one routing across all concurrent Simulations).
+//
+// Unreachable pairs: distance() returns graph::kUnreachable (the uint32
+// sentinel) for a (src, dst) pair with no path -- never a narrowed stand-in
+// like the DistanceMatrix's internal uint16 max -- and next_hops() appends
+// nothing for such a pair. Healthy diameter-3 topologies never hit this,
+// but degraded graphs (fault::degrade, live fault epochs) legitimately
+// disconnect, and callers compare against graph::kUnreachable.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,7 +65,11 @@ class TableRouting final : public MinimalRouting {
       : dist_(g), hops_(g, dist_) {}
 
   std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const override {
-    return dist_.at(src, dst);
+    // Widen the matrix's uint16 unreachable marker back to the interface
+    // sentinel (a disconnected pair used to leak the raw 0xFFFF).
+    const std::uint16_t d = dist_.at(src, dst);
+    return d == std::numeric_limits<std::uint16_t>::max() ? graph::kUnreachable
+                                                          : d;
   }
   void next_hops(graph::Vertex cur, graph::Vertex dst,
                  std::vector<graph::Vertex>& out) const override {

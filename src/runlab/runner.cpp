@@ -113,7 +113,8 @@ void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
                           .params = c.params,
                           .pattern_seed = c.pattern_seed,
                           .collector = collector.get(),
-                          .trace = trace});
+                          .trace = trace,
+                          .faults = c.faults.get()});
     p.wall_seconds = seconds_since(point_start);
     p.ran = true;
     ++ran;
@@ -184,6 +185,16 @@ void write_telemetry(std::ostream& os, const telemetry::Summary& t) {
        << ", \"delivered\": " << t.trace.delivered
        << ", \"period\": " << t.trace.sample_period << "}";
   }
+  if (t.has_fault) {
+    sep();
+    os << "\"fault\": {\"events\": " << t.fault.events
+       << ", \"link_down\": " << t.fault.link_down
+       << ", \"router_down\": " << t.fault.router_down
+       << ", \"repairs\": " << t.fault.repairs
+       << ", \"dropped\": " << t.fault.dropped_packets
+       << ", \"retransmits\": " << t.fault.retransmits
+       << ", \"lost\": " << t.fault.lost_packets << "}";
+  }
   os << "}";
 }
 
@@ -197,8 +208,10 @@ sim::SimResult run_point(const PointSpec& spec) {
       spec.pattern_seed == kSameSeed ? spec.params.seed : spec.pattern_seed;
   sim::PatternSource src(spec.net->topology(), spec.pattern, spec.load,
                          spec.params.packet_flits, seed);
+  sim::SimParams params = spec.params;
+  if (spec.faults != nullptr) params.faults = spec.faults;
   if (!spec.trace.enabled()) {
-    sim::Simulation simulation(*spec.net, spec.params, src, spec.collector);
+    sim::Simulation simulation(*spec.net, params, src, spec.collector);
     return simulation.run();
   }
   // Flight recorder rides along with whatever collector the caller gave;
@@ -208,9 +221,10 @@ sim::SimResult run_point(const PointSpec& spec) {
   telemetry::CollectorSet set;
   set.add(&tracer);
   if (spec.collector != nullptr) set.add(spec.collector);
-  sim::Simulation simulation(*spec.net, spec.params, src, &set);
+  sim::Simulation simulation(*spec.net, params, src, &set);
   sim::SimResult res = simulation.run();
   res.packet_traces = tracer.take_traces();
+  res.fault_marks = tracer.take_fault_marks();
   return res;
 }
 
@@ -286,7 +300,8 @@ std::vector<CaseResult> ExperimentRunner::run(
         records_.push_back({label, cases[i].name, cases[i].pattern,
                             sim::to_string(cases[i].params.path_mode,
                                            cases[i].params.min_select),
-                            p.load, p.result, p.wall_seconds});
+                            p.load, p.result, p.wall_seconds,
+                            cases[i].faults != nullptr});
       }
     }
   }
@@ -299,8 +314,9 @@ std::vector<CaseResult> ExperimentRunner::run(
         if (!p.ran) continue;
         std::ostringstream name;
         name << label << "/" << cases[i].name << " @ " << p.load;
-        trace_groups_.push_back(
-            {name.str(), p.result.cycles, p.result.packet_traces});
+        trace_groups_.push_back({name.str(), p.result.cycles,
+                                 p.result.packet_traces,
+                                 p.result.fault_marks});
       }
     }
   }
@@ -311,12 +327,14 @@ void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  // Schema 3: top-level object {"schema": 3, "points": [...]}. Over schema
-  // 2 each point gains p50/p99.9 latency percentiles and the "telemetry"
-  // sub-object may carry "latency" (histogram percentiles) and "trace"
-  // (flight-recorder sampling metadata) blocks; see EXPERIMENTS.md. Schema
-  // 1 was the bare points array without telemetry.
-  os << "{\n\"schema\": 3,\n\"points\": [\n";
+  // Schema 4: top-level object {"schema": 4, "points": [...]}. Over schema
+  // 3 a point simulated under a live fault schedule carries a top-level
+  // "fault" object (events / dropped / retransmits / lost / measured_lost /
+  // delivered_fraction) and the "telemetry" sub-object may carry a "fault"
+  // counter block. Schema 3 added p50/p99.9 latency percentiles plus the
+  // "latency" and "trace" telemetry blocks; schema 1 was the bare points
+  // array without telemetry. See EXPERIMENTS.md.
+  os << "{\n\"schema\": 4,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -338,6 +356,14 @@ void ExperimentRunner::flush_json() {
        << ", \"cycles\": " << res.cycles
        << ", \"measured_packets\": " << res.measured_packets
        << ", \"wall_seconds\": " << r.wall_seconds;
+    if (r.faulted) {
+      os << ", \"fault\": {\"events\": " << res.fault_events
+         << ", \"dropped\": " << res.packets_dropped
+         << ", \"retransmits\": " << res.retransmits
+         << ", \"lost\": " << res.packets_lost
+         << ", \"measured_lost\": " << res.measured_lost
+         << ", \"delivered_fraction\": " << res.delivered_fraction << "}";
+    }
     if (res.telemetry.any()) {
       os << ", ";
       write_telemetry(os, res.telemetry);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/schedule.h"
 #include "io/trace_export.h"
 #include "runlab/thread_pool.h"
 #include "sim/simulation.h"
@@ -63,6 +64,11 @@ struct SweepCase {
   /// default; when POLARSTAR_TRACE is set the runner samples cases without
   /// an explicit filter at kDefaultTracePeriod.
   telemetry::PacketFilter trace;
+  /// Live fault schedule applied to every point of this case (availability
+  /// sweeps). Shared-ownership like the network: the immutable schedule is
+  /// safely driven by many concurrent Simulations, and JSON points of a
+  /// faulted case carry the schema-4 "fault" block.
+  std::shared_ptr<const fault::FaultSchedule> faults;
 };
 
 /// Everything one simulated (network, pattern, load) point needs -- the
@@ -80,8 +86,11 @@ struct PointSpec {
   /// Optional observer attached to the simulation (non-owning).
   telemetry::Collector* collector = nullptr;
   /// When enabled, a PacketTraceCollector rides along and the sampled
-  /// flight records come back in SimResult::packet_traces.
+  /// flight records come back in SimResult::packet_traces (and, under
+  /// faults, failure instants in SimResult::fault_marks).
   telemetry::PacketFilter trace;
+  /// Optional live fault schedule (non-owning; overrides params.faults).
+  const fault::FaultSchedule* faults = nullptr;
 };
 
 struct PointResult {
@@ -160,6 +169,7 @@ class ExperimentRunner {
     double load;
     sim::SimResult result;
     double wall_seconds;
+    bool faulted = false;  // case carried a fault schedule
   };
 
   ThreadPool pool_;

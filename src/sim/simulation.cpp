@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 
+#include "fault/fault_routing.h"
+#include "fault/schedule.h"
 #include "telemetry/collector.h"
 
 namespace polarstar::sim {
@@ -63,6 +66,7 @@ class PairCollector final : public telemetry::Collector {
                              : std::min(ca.occupancy_period,
                                         cb.occupancy_period);
     m.packets = telemetry::PacketFilter::merge(ca.packets, cb.packets);
+    m.faults = ca.faults || cb.faults;
     return m;
   }
   void on_run_begin(const Network& net, const SimParams& prm,
@@ -112,6 +116,16 @@ class PairCollector final : public telemetry::Collector {
                          std::uint64_t cycle) override {
     a_->on_packet_ejected(pkt, arrival_cycle, cycle);
     b_->on_packet_ejected(pkt, arrival_cycle, cycle);
+  }
+  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override {
+    a_->on_fault(ev, cycle);
+    b_->on_fault(ev, cycle);
+  }
+  void on_packet_fault(const PacketRecord& pkt,
+                       telemetry::PacketFaultKind kind,
+                       std::uint64_t cycle) override {
+    a_->on_packet_fault(pkt, kind, cycle);
+    b_->on_packet_fault(pkt, kind, cycle);
   }
   void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
                   std::uint64_t measure_end) override {
@@ -164,6 +178,16 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     occupancy_period_ = caps.occupancy_period;
     trace_filter_ = caps.packets;
     packet_telemetry_ = trace_filter_.enabled();
+    fault_telemetry_ = caps.faults;
+  }
+  if (prm_.faults != nullptr && !prm_.faults->empty()) {
+    has_faults_ = true;
+    fault_hop_limit_ =
+        prm_.fault_hop_limit != 0 ? prm_.fault_hop_limit : prm_.num_vcs * 4;
+    fault_routing_ = std::make_unique<fault::FaultAwareRouting>(
+        net.topology_ptr(), net.routing_ptr());
+    link_down_.assign(net.total_link_ports(), 0);
+    router_down_.assign(net.num_routers(), 0);
   }
   const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
   buf_store_.resize(nbuf * prm_.vc_buffer_flits);
@@ -271,6 +295,11 @@ void Simulation::free_packet(std::uint32_t idx) {
 void Simulation::enqueue_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
                                 std::uint64_t tag) {
   const std::uint32_t idx = new_packet(src_ep, dst_ep, tag);
+  if (faults_active_ &&
+      !fault_routing_->router_alive(packets_[idx].src_router)) {
+    lose_packet(idx);  // the source NIC's router is down: nothing to inject
+    return;
+  }
   inj_queue_[src_ep].push_back(idx);
 }
 
@@ -286,10 +315,15 @@ double Simulation::occupancy(Vertex r, Vertex next) const {
   return occupied;  // absolute flits: the classic UGAL-L queue estimate
 }
 
-void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
+bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
                                std::uint16_t& out, std::uint8_t& ovc) {
   PacketRecord& pk = packets_[pkt_idx];
   if (pk.valiant && !pk.phase2 && r == pk.intermediate) pk.phase2 = true;
+  if (faults_active_ && pk.valiant && !pk.phase2 &&
+      (!fault_routing_->router_alive(pk.intermediate) ||
+       fault_routing_->distance(r, pk.intermediate) == graph::kUnreachable)) {
+    pk.phase2 = true;  // Valiant leg broken: head straight for the dst
+  }
   const Vertex target =
       (pk.valiant && !pk.phase2) ? pk.intermediate : pk.dst_router;
   const std::uint32_t deg = net_->num_link_ports(r);
@@ -301,10 +335,24 @@ void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
     if (packet_telemetry_ && traced_[pkt_idx]) {
       collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/true, cycle_);
     }
-    return;
+    return true;
   }
-  auto ports = net_->route_ports(r, target);
-  assert(!ports.empty());
+  std::span<const std::uint16_t> ports;
+  if (faults_active_) {
+    if (pk.hops >= fault_hop_limit_) return false;  // walked too far: drop
+    fault_hop_scratch_.clear();
+    fault_routing_->next_hops(r, target, fault_hop_scratch_);
+    if (fault_hop_scratch_.empty()) return false;  // target unreachable
+    fault_port_scratch_.clear();
+    for (Vertex h : fault_hop_scratch_) {
+      fault_port_scratch_.push_back(
+          static_cast<std::uint16_t>(net_->port_toward(r, h)));
+    }
+    ports = fault_port_scratch_;
+  } else {
+    ports = net_->route_ports(r, target);
+    assert(!ports.empty());
+  }
   ovc = static_cast<std::uint8_t>(
       std::min<std::uint32_t>(pk.hops, prm_.num_vcs - 1));
   if (prm_.min_select == MinSelect::kSingleHash || ports.size() == 1) {
@@ -332,6 +380,7 @@ void Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
   if (packet_telemetry_ && traced_[pkt_idx]) {
     collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/false, cycle_);
   }
+  return true;
 }
 
 void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
@@ -349,6 +398,9 @@ void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
       const std::uint64_t lat = cycle_ - pk.birth_cycle + 1;
       latency_sum_ += static_cast<double>(lat);
       latency_samples_.push_back(static_cast<std::uint32_t>(lat));
+      if (pk.retries > 0 && lat > max_recovery_latency_) {
+        max_recovery_latency_ = lat;  // recovery time of a retransmitted pkt
+      }
     }
     if (packet_telemetry_ && traced_[pkt_idx]) {
       collector_->on_packet_ejected(pk, trace_arrival_[pkt_idx], cycle_);
@@ -358,7 +410,241 @@ void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
   }
 }
 
+// ------------------------------------------------- live fault injection ---
+// Everything below is only reached when a FaultSchedule is attached; a
+// fault-free run never executes any of it (bit-identical to the pre-fault
+// simulator).
+
+void Simulation::process_faults() {
+  const auto& evs = prm_.faults->events();
+  if (next_fault_ >= evs.size() || evs[next_fault_].cycle > cycle_) return;
+
+  // 1. Fold the due batch into the fault routing as one epoch.
+  while (next_fault_ < evs.size() && evs[next_fault_].cycle <= cycle_) {
+    const fault::FaultEvent& ev = evs[next_fault_++];
+    fault_routing_->apply(ev);
+    ++fault_events_applied_;
+    if (fault_telemetry_) collector_->on_fault(ev, cycle_);
+  }
+  fault_routing_->commit();
+  faults_active_ = fault_routing_->degraded();
+
+  // 2. Recompute the liveness masks the hot path consults.
+  for (Vertex r = 0; r < net_->num_routers(); ++r) {
+    router_down_[r] = fault_routing_->router_alive(r) ? 0 : 1;
+    const std::uint32_t deg = net_->num_link_ports(r);
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      link_down_[net_->link_index(r, p)] =
+          fault_routing_->link_alive(r, net_->neighbor_at(r, p)) ? 0 : 1;
+    }
+  }
+
+  // 3. Collect the casualties: packets with flits in flight on a dead
+  // link, mid-stream across one (upstream remainder can't follow the cut
+  // wormhole), buffered at a dead router, or queued at its endpoints.
+  // Flits already fully across a dead link survive at the live far side.
+  std::vector<std::uint32_t> victims;
+  for (const auto& slot : arrivals_) {
+    for (const Arrival& a : slot) {
+      if (link_down_[a.buffer / prm_.num_vcs] != 0) victims.push_back(a.flit.pkt);
+    }
+  }
+  for (std::size_t recv = 0; recv < out_owner_.size(); ++recv) {
+    if (out_owner_[recv] != 0 && link_down_[recv / prm_.num_vcs] != 0) {
+      victims.push_back(out_owner_[recv] - 1);
+    }
+  }
+  const auto& topo = net_->topology();
+  for (Vertex r = 0; r < net_->num_routers(); ++r) {
+    if (router_down_[r] == 0) continue;
+    const std::size_t b0 = net_->port_base(r) * prm_.num_vcs;
+    const std::size_t b1 =
+        (net_->port_base(r) + net_->num_link_ports(r)) * prm_.num_vcs;
+    const std::uint32_t cap = prm_.vc_buffer_flits;
+    for (std::size_t b = b0; b < b1; ++b) {
+      for (std::uint16_t i = 0; i < buf_size_[b]; ++i) {
+        victims.push_back(buf_store_[b * cap + (buf_head_[b] + i) % cap].pkt);
+      }
+    }
+    const std::uint64_t ep0 = topo.first_endpoint(r);
+    for (std::uint32_t s = 0; s < topo.conc[r]; ++s) {
+      for (std::uint32_t idx : inj_queue_[ep0 + s]) victims.push_back(idx);
+    }
+  }
+
+  // 4. Purge their flits everywhere, then drop each exactly once.
+  if (!victims.empty()) {
+    purge_packets(victims);
+    for (std::uint32_t v : victims) drop_packet(v);
+  }
+
+  // 5. Invalidate surviving route decisions that point at a dead link (only
+  // heads that never moved a flit can still be active here -- a mid-stream
+  // packet on a dead link held the downstream VC and was purged above).
+  for (Vertex r = 0; r < net_->num_routers(); ++r) {
+    if (router_down_[r] != 0) continue;
+    const std::uint32_t deg = net_->num_link_ports(r);
+    for (std::uint32_t p = 0; p < deg; ++p) {
+      for (std::uint32_t vc = 0; vc < prm_.num_vcs; ++vc) {
+        VcState& st = vc_state_[buffer_index(r, p, vc)];
+        if (st.active && st.out_port < deg &&
+            link_down_[net_->link_index(r, st.out_port)] != 0) {
+          st.active = false;
+        }
+      }
+    }
+    const std::uint64_t ep0 = topo.first_endpoint(r);
+    for (std::uint32_t s = 0; s < topo.conc[r]; ++s) {
+      VcState& st = inj_state_[ep0 + s];
+      if (st.active && st.out_port < deg &&
+          link_down_[net_->link_index(r, st.out_port)] != 0) {
+        st.active = false;
+      }
+    }
+  }
+}
+
+void Simulation::purge_packets(std::vector<std::uint32_t>& victims) {
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  std::vector<std::uint8_t> is_victim(packets_.size(), 0);
+  for (std::uint32_t v : victims) is_victim[v] = 1;
+
+  // Downstream VC ownership.
+  for (std::uint32_t& owner : out_owner_) {
+    if (owner != 0 && is_victim[owner - 1]) owner = 0;
+  }
+  // Link pipeline: each removed arrival returns the credit its sender took.
+  for (auto& slot : arrivals_) {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (is_victim[slot[i].flit.pkt]) {
+        ++credits_[slot[i].buffer];
+      } else {
+        slot[w++] = slot[i];
+      }
+    }
+    slot.resize(w);
+  }
+  // Input buffers: rebuild each ring keeping survivors in order; every
+  // removed flit frees its slot (credit). The VC route state stays valid
+  // only while the front packet is unchanged.
+  const std::uint32_t cap = prm_.vc_buffer_flits;
+  std::vector<Flit> kept;
+  for (std::size_t b = 0; b < buf_size_.size(); ++b) {
+    if (buf_size_[b] == 0) continue;
+    const std::uint32_t front_pkt = buffer_front(b).pkt;
+    kept.clear();
+    bool removed = false;
+    for (std::uint16_t i = 0; i < buf_size_[b]; ++i) {
+      const Flit f = buf_store_[b * cap + (buf_head_[b] + i) % cap];
+      if (is_victim[f.pkt]) {
+        removed = true;
+      } else {
+        kept.push_back(f);
+      }
+    }
+    if (!removed) continue;
+    credits_[b] += static_cast<std::uint16_t>(buf_size_[b] - kept.size());
+    buf_head_[b] = 0;
+    buf_size_[b] = static_cast<std::uint16_t>(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) buf_store_[b * cap + i] = kept[i];
+    if (kept.empty() || kept.front().pkt != front_pkt) {
+      vc_state_[b].active = false;
+    }
+  }
+  // Injection queues (a victim mid-injection resets its sent counter).
+  for (std::size_t ep = 0; ep < inj_queue_.size(); ++ep) {
+    auto& q = inj_queue_[ep];
+    if (q.empty()) continue;
+    const bool front_victim = is_victim[q.front()] != 0;
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [&](std::uint32_t idx) { return is_victim[idx]; }),
+            q.end());
+    if (front_victim) {
+      inj_sent_[ep] = 0;
+      inj_state_[ep].active = false;
+    }
+  }
+}
+
+void Simulation::drop_packet(std::uint32_t pkt_idx) {
+  PacketRecord& pk = packets_[pkt_idx];
+  ++packets_dropped_;
+  if (fault_telemetry_) {
+    collector_->on_packet_fault(pk, telemetry::PacketFaultKind::kDropped,
+                                cycle_);
+  }
+  if (pk.retries >= prm_.max_retransmits ||
+      !fault_routing_->router_alive(pk.src_router) ||
+      !fault_routing_->router_alive(pk.dst_router)) {
+    lose_packet(pkt_idx);
+    return;
+  }
+  ++pk.retries;
+  pk.delivered_flits = 0;
+  pk.hops = 0;
+  pk.phase2 = false;
+  // Exponential backoff: timeout, 2x timeout, 4x timeout, ...
+  const std::uint64_t delay = static_cast<std::uint64_t>(prm_.retransmit_timeout)
+                              << (pk.retries - 1);
+  retx_queue_.emplace(cycle_ + delay, pkt_idx);
+}
+
+void Simulation::lose_packet(std::uint32_t pkt_idx) {
+  PacketRecord& pk = packets_[pkt_idx];
+  ++packets_lost_;
+  if (fault_telemetry_) {
+    collector_->on_packet_fault(pk, telemetry::PacketFaultKind::kLost, cycle_);
+  }
+  if (pk.measured) {
+    ++measured_lost_;
+    --measured_outstanding_;
+  }
+  free_packet(pkt_idx);
+}
+
+void Simulation::process_retransmits() {
+  while (!retx_queue_.empty() && retx_queue_.begin()->first <= cycle_) {
+    const std::uint32_t idx = retx_queue_.begin()->second;
+    retx_queue_.erase(retx_queue_.begin());
+    PacketRecord& pk = packets_[idx];
+    if (!fault_routing_->router_alive(pk.src_router) ||
+        !fault_routing_->router_alive(pk.dst_router)) {
+      lose_packet(idx);  // an endpoint died during the backoff
+      continue;
+    }
+    ++retransmits_done_;
+    if (fault_telemetry_) {
+      collector_->on_packet_fault(
+          pk, telemetry::PacketFaultKind::kRetransmitted, cycle_);
+    }
+    if (pk.valiant && !fault_routing_->router_alive(pk.intermediate)) {
+      pk.valiant = false;  // stale UGAL choice; go minimal on the survivors
+    }
+    inj_queue_[pk.src_endpoint].push_back(idx);
+  }
+}
+
+void Simulation::process_pending_kills() {
+  purge_packets(pending_kills_);
+  for (std::uint32_t v : pending_kills_) drop_packet(v);
+  pending_kills_.clear();
+}
+
+bool Simulation::fault_progress_pending() const {
+  if (!retx_queue_.empty()) return true;
+  return next_fault_ < prm_.faults->events().size();
+}
+
 void Simulation::step() {
+  // 0. Live faults: apply due schedule events (dropping casualties), then
+  // re-enqueue packets whose retransmission backoff expired.
+  if (has_faults_) {
+    process_faults();
+    process_retransmits();
+  }
+
   // 1. Deliver link arrivals and credit returns scheduled for this cycle.
   auto& slot = arrivals_[cycle_ % arrivals_.size()];
   for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
@@ -374,6 +660,7 @@ void Simulation::step() {
   const auto& topo = net_->topology();
   moved_this_cycle_ = 0;
   for (Vertex r = 0; r < net_->num_routers(); ++r) {
+    if (faults_active_ && router_down_[r] != 0) continue;  // dead: no switch
     const std::uint32_t deg = net_->num_link_ports(r);
     const std::uint32_t conc = topo.conc[r];
     const std::uint32_t nout = deg + conc;
@@ -423,7 +710,10 @@ void Simulation::step() {
         VcState& st = vc_state_[b];
         if (!st.active) {
           // A head flit must be at the front (wormhole order).
-          compute_route(f.pkt, r, st.out_port, st.out_vc);
+          if (!compute_route(f.pkt, r, st.out_port, st.out_vc)) {
+            pending_kills_.push_back(f.pkt);  // unroutable: killed end of step
+            continue;
+          }
           st.active = true;
         }
         consider(static_cast<std::uint32_t>(b), f.pkt, st.out_port, st.out_vc,
@@ -437,7 +727,10 @@ void Simulation::step() {
       const std::uint32_t pkt = inj_queue_[ep].front();
       VcState& st = inj_state_[ep];
       if (!st.active) {
-        compute_route(pkt, r, st.out_port, st.out_vc);
+        if (!compute_route(pkt, r, st.out_port, st.out_vc)) {
+          pending_kills_.push_back(pkt);
+          continue;
+        }
         st.active = true;
       }
       consider(kInjectionFlag | static_cast<std::uint32_t>(ep), pkt,
@@ -538,7 +831,12 @@ void Simulation::step() {
     if (stall_telemetry_) report_output_stalls(r, deg);
   }
 
-  if (moved_this_cycle_ > 0 || live_packets_ == 0) {
+  if (has_faults_ && !pending_kills_.empty()) process_pending_kills();
+
+  if (moved_this_cycle_ > 0 || live_packets_ == 0 ||
+      (has_faults_ && fault_progress_pending())) {
+    // Pending retransmission backoffs and unapplied schedule events (e.g. a
+    // repair that will unblock traffic) count as progress, not deadlock.
     last_progress_cycle_ = cycle_;
   } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
     deadlock_ = true;
@@ -646,6 +944,22 @@ SimResult Simulation::collect(std::uint64_t cycles) {
   std::uint64_t maxq = 0;
   for (const auto& q : inj_queue_) maxq = std::max<std::uint64_t>(maxq, q.size());
   res.max_source_queue = maxq;
+  if (has_faults_) {
+    res.fault_events = fault_events_applied_;
+    res.packets_dropped = packets_dropped_;
+    res.retransmits = retransmits_done_;
+    res.packets_lost = packets_lost_;
+    res.measured_lost = measured_lost_;
+    res.max_recovery_latency = max_recovery_latency_;
+    // Undelivered survivors at run end (stuck behind a permanent fault or
+    // still in a backoff) count against availability alongside the lost.
+    const std::uint64_t denom =
+        measured_delivered_ + measured_lost_ + measured_outstanding_;
+    res.delivered_fraction =
+        denom == 0 ? 1.0
+                   : static_cast<double>(measured_delivered_) /
+                         static_cast<double>(denom);
+  }
   if (collector_ != nullptr) {
     // Re-announce the window collectors should normalize to: run_app's
     // open-ended window closes at the cycle the run actually stopped.

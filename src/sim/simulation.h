@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <random>
 #include <vector>
@@ -26,6 +27,12 @@
 #include "telemetry/collector.h"
 #include "telemetry/packet_trace.h"
 #include "telemetry/summary.h"
+
+namespace polarstar::fault {
+class FaultSchedule;
+class FaultAwareRouting;
+struct FaultEvent;
+}  // namespace polarstar::fault
 
 namespace polarstar::sim {
 
@@ -64,6 +71,22 @@ struct SimParams {
   PathMode path_mode = PathMode::kMinimal;
   MinSelect min_select = MinSelect::kSingleHash;
   std::uint32_t ugal_candidates = 4;
+  /// Live fault injection: events from this schedule (non-owning; must
+  /// outlive the Simulation) are applied at their cycles -- links/routers
+  /// die, in-flight flits on them are dropped and their packets
+  /// source-retransmitted. nullptr (default) = fault-free; every fault
+  /// code path is gated so fault-free runs are bit-identical to a build
+  /// without the subsystem.
+  const fault::FaultSchedule* faults = nullptr;
+  /// Cycles from a drop until the source re-enqueues the packet; doubles
+  /// per retry (exponential backoff).
+  std::uint32_t retransmit_timeout = 64;
+  /// Retransmit attempts before a packet is counted lost.
+  std::uint32_t max_retransmits = 8;
+  /// Hop budget under faults (survivor paths can exceed the pristine
+  /// diameter; packets over budget are dropped and retransmitted). Also
+  /// clamps the VC index. 0 = num_vcs * 4.
+  std::uint32_t fault_hop_limit = 0;
 };
 
 struct PacketRecord {
@@ -75,6 +98,7 @@ struct PacketRecord {
   std::uint16_t flits = 0;
   std::uint16_t delivered_flits = 0;
   std::uint8_t hops = 0;
+  std::uint8_t retries = 0;  // source retransmissions so far (faults only)
   bool valiant = false;
   bool phase2 = false;  // passed the Valiant intermediate
   std::uint32_t intermediate = 0;
@@ -110,6 +134,25 @@ struct SimResult {
   /// enables tracing (the Simulation itself stays collector-agnostic);
   /// empty otherwise.
   std::vector<telemetry::PacketTrace> packet_traces;
+
+  // ---- Live fault injection (all zero / 1.0 on fault-free runs) ----
+  std::uint64_t fault_events = 0;  ///< schedule events applied
+  /// Packets whose in-flight flits a failure dropped (counted once per
+  /// drop; a packet dropped twice counts twice).
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t retransmits = 0;  ///< source re-injections performed
+  /// Packets given up (retry budget exhausted or destination unreachable).
+  std::uint64_t packets_lost = 0;
+  std::uint64_t measured_lost = 0;  ///< of those, measurement-window births
+  /// measured delivered / (delivered + lost + still outstanding at end):
+  /// the availability sweep's headline number. 1.0 when fault-free.
+  double delivered_fraction = 1.0;
+  /// Largest delivered latency of a measured packet that was retransmitted
+  /// at least once (0 = none): the recovery-time proxy.
+  std::uint64_t max_recovery_latency = 0;
+  /// Failure instants observed by the flight recorder, filled by
+  /// runlab::run_point alongside packet_traces; empty otherwise.
+  std::vector<telemetry::FaultMarkRecord> fault_marks;
 };
 
 class Simulation;
@@ -197,11 +240,23 @@ class Simulation {
   void free_packet(std::uint32_t idx);
 
   // Route the head flit of packet pkt_idx at router r; fills out/ovc.
-  // A minimal next hop always exists, so there is no failure path.
-  void compute_route(std::uint32_t pkt_idx, graph::Vertex r,
+  // Fault-free a minimal next hop always exists and this returns true;
+  // under faults it returns false when no live route remains (or the hop
+  // budget is spent) and the caller queues the packet for a drop.
+  bool compute_route(std::uint32_t pkt_idx, graph::Vertex r,
                      std::uint16_t& out, std::uint8_t& ovc);
 
   void step();                 // one full cycle
+  // Fault machinery (only called when has_faults_).
+  void process_faults();       // apply due schedule events, kill casualties
+  // Removes every flit of the given packets from buffers, arrivals and
+  // injection queues, restoring credits; sorts + dedupes `victims` in place.
+  void purge_packets(std::vector<std::uint32_t>& victims);
+  void drop_packet(std::uint32_t pkt_idx);  // schedule retransmit or lose
+  void lose_packet(std::uint32_t pkt_idx);
+  void process_retransmits();  // re-enqueue packets whose backoff expired
+  void process_pending_kills();
+  bool fault_progress_pending() const;  // work left besides in-network flits
   // Classify and report this cycle's non-moving output link ports of r
   // (stall telemetry only).
   void report_output_stalls(graph::Vertex r, std::uint32_t deg);
@@ -294,6 +349,29 @@ class Simulation {
   std::vector<std::uint8_t> out_want_credit_, out_want_vc_, out_granted_;
 
   routing::UgalSelector ugal_;
+
+  // ---- Live fault injection (inert unless has_faults_) ----
+  bool has_faults_ = false;      // a schedule was attached
+  bool faults_active_ = false;   // network currently degraded
+  bool fault_telemetry_ = false;
+  std::uint32_t fault_hop_limit_ = 0;
+  std::size_t next_fault_ = 0;  // cursor into the schedule's event list
+  std::unique_ptr<fault::FaultAwareRouting> fault_routing_;
+  // Liveness masks recomputed per epoch: per directed link / per router.
+  std::vector<std::uint8_t> link_down_, router_down_;
+  // Backoff queue: retransmission due-cycle -> packet pool index.
+  std::multimap<std::uint64_t, std::uint32_t> retx_queue_;
+  // Packets found unroutable during route computation; killed after the
+  // router loop (compute_route cannot unwind its caller's buffer state).
+  std::vector<std::uint32_t> pending_kills_;
+  std::vector<graph::Vertex> fault_hop_scratch_;
+  std::vector<std::uint16_t> fault_port_scratch_;
+  std::uint64_t fault_events_applied_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+  std::uint64_t retransmits_done_ = 0;
+  std::uint64_t packets_lost_ = 0;
+  std::uint64_t measured_lost_ = 0;
+  std::uint64_t max_recovery_latency_ = 0;
 };
 
 }  // namespace polarstar::sim

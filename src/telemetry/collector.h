@@ -27,7 +27,35 @@ struct SimParams;
 struct PacketRecord;
 }  // namespace polarstar::sim
 
+namespace polarstar::fault {
+struct FaultEvent;
+}  // namespace polarstar::fault
+
 namespace polarstar::telemetry {
+
+/// What a live fault did to one packet (the per-packet fault hook's verb).
+enum class PacketFaultKind : std::uint8_t {
+  /// In-flight flits were dropped by a link/router failure; the source
+  /// will retransmit unless the retry budget is exhausted.
+  kDropped,
+  /// The packet re-entered its source queue after a backoff timeout.
+  kRetransmitted,
+  /// Retry budget exhausted or destination unreachable: given up.
+  kLost,
+};
+
+/// Short label for tables and trace marks ("drop", "retransmit", "lost").
+inline const char* to_string(PacketFaultKind kind) {
+  switch (kind) {
+    case PacketFaultKind::kDropped:
+      return "drop";
+    case PacketFaultKind::kRetransmitted:
+      return "retransmit";
+    case PacketFaultKind::kLost:
+      return "lost";
+  }
+  return "?";
+}
 
 /// Why an output link port moved no flit this cycle even though at least
 /// one buffered packet wanted it. Ports with no waiting traffic are "empty"
@@ -134,6 +162,10 @@ class Collector {
     /// a concrete collector may see packets outside its own filter and
     /// must re-check PacketFilter::matches if it cares.
     PacketFilter packets;
+    /// Fault-injection hooks (on_fault / on_packet_fault). Fault events
+    /// are rare, so these are unfiltered: every schedule event and every
+    /// affected packet is reported when subscribed.
+    bool faults = false;
   };
 
   virtual ~Collector() = default;
@@ -219,6 +251,24 @@ class Collector {
                                  std::uint64_t arrival_cycle,
                                  std::uint64_t cycle) {
     (void)pkt, (void)arrival_cycle, (void)cycle;
+  }
+
+  // ---- Fault-injection hooks (caps().faults) -------------------------
+  // Fired by a Simulation driving a fault::FaultSchedule; never fired on a
+  // fault-free run.
+
+  /// A schedule event was applied at `cycle` (== ev.cycle, unless the
+  /// schedule predates the run's first cycle).
+  virtual void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) {
+    (void)ev, (void)cycle;
+  }
+
+  /// A live fault hit `pkt`: its flits were dropped, it re-entered its
+  /// source queue, or it was given up as lost (see PacketFaultKind). `pkt`
+  /// is only valid for the duration of the call.
+  virtual void on_packet_fault(const sim::PacketRecord& pkt,
+                               PacketFaultKind kind, std::uint64_t cycle) {
+    (void)pkt, (void)kind, (void)cycle;
   }
 
   /// Called once after the last cycle. `cycles` is the final cycle count;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "fault/schedule.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 
@@ -226,6 +227,53 @@ void UgalCollector::finish(Summary& out) const {
   }
 }
 
+// --------------------------------------------------------------- faults ---
+
+void FaultCollector::on_run_begin(const sim::Network& /*net*/,
+                                  const sim::SimParams& /*prm*/,
+                                  std::uint64_t /*measure_begin*/,
+                                  std::uint64_t /*measure_end*/) {
+  sum_ = FaultSummary{};
+}
+
+void FaultCollector::on_fault(const fault::FaultEvent& ev,
+                              std::uint64_t /*cycle*/) {
+  ++sum_.events;
+  switch (ev.kind) {
+    case fault::EventKind::kLinkDown:
+      ++sum_.link_down;
+      break;
+    case fault::EventKind::kRouterDown:
+      ++sum_.router_down;
+      break;
+    case fault::EventKind::kLinkUp:
+    case fault::EventKind::kRouterUp:
+      ++sum_.repairs;
+      break;
+  }
+}
+
+void FaultCollector::on_packet_fault(const sim::PacketRecord& /*pkt*/,
+                                     PacketFaultKind kind,
+                                     std::uint64_t /*cycle*/) {
+  switch (kind) {
+    case PacketFaultKind::kDropped:
+      ++sum_.dropped_packets;
+      break;
+    case PacketFaultKind::kRetransmitted:
+      ++sum_.retransmits;
+      break;
+    case PacketFaultKind::kLost:
+      ++sum_.lost_packets;
+      break;
+  }
+}
+
+void FaultCollector::finish(Summary& out) const {
+  out.has_fault = true;
+  out.fault = sum_;
+}
+
 // ------------------------------------------------------------------ set ---
 
 CollectorSet::CollectorSet(std::vector<Collector*> members)
@@ -259,6 +307,7 @@ Collector::Caps CollectorSet::caps() const {
                     gcd64(merged.occupancy_period, m.occupancy_period));
     }
     merged.packets = PacketFilter::merge(merged.packets, m.packets);
+    merged.faults |= m.faults;
   }
   return merged;
 }
@@ -347,6 +396,21 @@ void CollectorSet::on_packet_ejected(const sim::PacketRecord& pkt,
     if (caps[i].packets.enabled()) {
       members_[i]->on_packet_ejected(pkt, arrival_cycle, cycle);
     }
+  }
+}
+
+void CollectorSet::on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].faults) members_[i]->on_fault(ev, cycle);
+  }
+}
+
+void CollectorSet::on_packet_fault(const sim::PacketRecord& pkt,
+                                   PacketFaultKind kind, std::uint64_t cycle) {
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].faults) members_[i]->on_packet_fault(pkt, kind, cycle);
   }
 }
 

@@ -175,6 +175,31 @@ class UgalCollector final : public Collector {
   std::int64_t valiant_extra_hops_ = 0;
 };
 
+/// Fault-injection counters: schedule events applied during the run (by
+/// kind) plus their per-packet consequences (drops, retransmits, losses).
+/// Cheap enough to attach unconditionally -- on a fault-free run no fault
+/// hook ever fires.
+class FaultCollector final : public Collector {
+ public:
+  Caps caps() const override {
+    Caps c;
+    c.faults = true;
+    return c;
+  }
+  void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
+                    std::uint64_t measure_begin,
+                    std::uint64_t measure_end) override;
+  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override;
+  void on_packet_fault(const sim::PacketRecord& pkt, PacketFaultKind kind,
+                       std::uint64_t cycle) override;
+  void finish(Summary& out) const override;
+
+  const FaultSummary& counters() const { return sum_; }
+
+ private:
+  FaultSummary sum_;
+};
+
 /// Fans every event out to a set of collectors (non-owning). caps() is the
 /// union of the members' caps; occupancy samples are delivered to each
 /// member on its own period grid.
@@ -205,6 +230,9 @@ class CollectorSet final : public Collector {
   void on_packet_ejected(const sim::PacketRecord& pkt,
                          std::uint64_t arrival_cycle,
                          std::uint64_t cycle) override;
+  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override;
+  void on_packet_fault(const sim::PacketRecord& pkt, PacketFaultKind kind,
+                       std::uint64_t cycle) override;
   void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
                   std::uint64_t measure_end) override;
   void finish(Summary& out) const override;
@@ -234,6 +262,7 @@ class FullCollector final : public Collector {
     set_.add(&occupancy);
     set_.add(&ugal);
     set_.add(&latency);
+    set_.add(&faults);
   }
 
   LinkHistogramCollector links;
@@ -241,6 +270,7 @@ class FullCollector final : public Collector {
   OccupancyCollector occupancy;
   UgalCollector ugal;
   LatencyHistogramCollector latency;
+  FaultCollector faults;
 
   Caps caps() const override { return set_.caps(); }
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
@@ -280,6 +310,13 @@ class FullCollector final : public Collector {
                          std::uint64_t arrival_cycle,
                          std::uint64_t cycle) override {
     set_.on_packet_ejected(pkt, arrival_cycle, cycle);
+  }
+  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override {
+    set_.on_fault(ev, cycle);
+  }
+  void on_packet_fault(const sim::PacketRecord& pkt, PacketFaultKind kind,
+                       std::uint64_t cycle) override {
+    set_.on_packet_fault(pkt, kind, cycle);
   }
   void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
                   std::uint64_t measure_end) override {

@@ -1,5 +1,6 @@
 #include "telemetry/packet_trace.h"
 
+#include "fault/schedule.h"
 #include "sim/simulation.h"
 
 namespace polarstar::telemetry {
@@ -11,8 +12,24 @@ void PacketTraceCollector::on_run_begin(const sim::Network& /*net*/,
                                         std::uint64_t /*measure_begin*/,
                                         std::uint64_t /*measure_end*/) {
   traces_.clear();
+  fault_marks_.clear();
   index_.clear();
   run_cycles_ = 0;
+}
+
+void PacketTraceCollector::on_fault(const fault::FaultEvent& ev,
+                                    std::uint64_t cycle) {
+  fault_marks_.push_back(
+      {cycle, fault::to_string(ev.kind), ev.a, ev.b});
+}
+
+void PacketTraceCollector::on_packet_fault(const sim::PacketRecord& pkt,
+                                           PacketFaultKind kind,
+                                           std::uint64_t cycle) {
+  // Packet-level marks only for our own sampled packets (schedule events
+  // above are always recorded -- they are rare and global).
+  if (!filter_.matches(pkt.id, pkt.src_endpoint, pkt.dst_endpoint)) return;
+  fault_marks_.push_back({cycle, to_string(kind), pkt.id, 0});
 }
 
 PacketTrace* PacketTraceCollector::find(std::uint64_t id) {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -63,11 +64,29 @@ struct PacketTrace {
   }
 };
 
+/// One failure instant observed during a run, for trace export and the
+/// trace tooling. Deliberately stringly-kinded (the canonical labels from
+/// fault::to_string / telemetry::to_string) so ps_io can consume these
+/// without linking ps_fault.
+struct FaultMarkRecord {
+  std::uint64_t cycle = 0;
+  /// "link-down", "link-up", "router-down", "router-up" for schedule
+  /// events; "drop", "retransmit", "lost" for per-packet fault marks.
+  std::string kind;
+  /// Schedule events: link endpoints (router events: a = router, b = 0).
+  /// Packet marks: a = packet id, b = 0.
+  std::uint64_t a = 0, b = 0;
+};
+
 /// Assembles the simulator's packet hooks into PacketTrace records. One
 /// instance per run; traces() preserves injection order. The collector
 /// re-checks its own filter on every event, so it composes correctly with
 /// other packet subscribers through a CollectorSet (whose merged filter may
 /// be broader).
+///
+/// Fault-aware: it also subscribes the fault caps, recording every schedule
+/// event plus drop/retransmit/lost marks for its own sampled packets, so
+/// the exported Perfetto trace pins failure instants onto the timeline.
 class PacketTraceCollector final : public Collector {
  public:
   explicit PacketTraceCollector(PacketFilter filter)
@@ -76,12 +95,16 @@ class PacketTraceCollector final : public Collector {
   Caps caps() const override {
     Caps c;
     c.packets = filter_;
+    c.faults = true;  // free on fault-free runs: the hooks never fire
     return c;
   }
 
   void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
                     std::uint64_t measure_begin,
                     std::uint64_t measure_end) override;
+  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override;
+  void on_packet_fault(const sim::PacketRecord& pkt, PacketFaultKind kind,
+                       std::uint64_t cycle) override;
   void on_packet_injected(const sim::PacketRecord& pkt,
                           std::uint64_t cycle) override;
   void on_packet_routed(const sim::PacketRecord& pkt, std::uint32_t router,
@@ -101,6 +124,13 @@ class PacketTraceCollector final : public Collector {
   const std::vector<PacketTrace>& traces() const { return traces_; }
   /// Moves the records out (collector is spent afterwards).
   std::vector<PacketTrace> take_traces() { return std::move(traces_); }
+  /// Failure instants in observation order (empty on fault-free runs).
+  const std::vector<FaultMarkRecord>& fault_marks() const {
+    return fault_marks_;
+  }
+  std::vector<FaultMarkRecord> take_fault_marks() {
+    return std::move(fault_marks_);
+  }
   /// Final cycle count of the observed run (span end for in-flight packets).
   std::uint64_t run_cycles() const { return run_cycles_; }
 
@@ -109,6 +139,7 @@ class PacketTraceCollector final : public Collector {
 
   PacketFilter filter_;
   std::vector<PacketTrace> traces_;
+  std::vector<FaultMarkRecord> fault_marks_;
   std::unordered_map<std::uint64_t, std::size_t> index_;  // id -> traces_ pos
   std::uint64_t run_cycles_ = 0;
 };

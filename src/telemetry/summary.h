@@ -66,6 +66,18 @@ struct TraceSummary {
   std::uint32_t sample_period = 0;    ///< id sampling period (0 = watch only)
 };
 
+/// Live fault-injection counters (FaultCollector): schedule events applied
+/// and their per-packet consequences over the whole run.
+struct FaultSummary {
+  std::uint64_t events = 0;  ///< schedule events applied (all kinds)
+  std::uint64_t link_down = 0;
+  std::uint64_t router_down = 0;
+  std::uint64_t repairs = 0;  ///< link-up + router-up events
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t lost_packets = 0;
+};
+
 struct Summary {
   bool has_link = false;
   bool has_stall = false;
@@ -73,16 +85,18 @@ struct Summary {
   bool has_occupancy = false;
   bool has_latency = false;
   bool has_trace = false;
+  bool has_fault = false;
   LinkLoadSummary link;
   StallSummary stall;
   UgalSummary ugal;
   OccupancySummary occupancy;
   LatencySummary latency;
   TraceSummary trace;
+  FaultSummary fault;
 
   bool any() const {
     return has_link || has_stall || has_ugal || has_occupancy || has_latency ||
-           has_trace;
+           has_trace || has_fault;
   }
 };
 

@@ -36,6 +36,21 @@ TEST(TableRouting, HopsDecreaseDistance) {
   EXPECT_GT(r.storage_entries(), 0u);
 }
 
+TEST(TableRouting, DisconnectedPairsReportUnreachable) {
+  // Two disjoint triangles: the table stores uint16 sentinels internally,
+  // but distance() must widen them to the canonical graph::kUnreachable
+  // (the fault layer compares against it to detect partitioned pairs).
+  auto graph = g::Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  routing::TableRouting r(graph);
+  EXPECT_EQ(r.distance(0, 1), 1u);
+  EXPECT_EQ(r.distance(0, 3), g::kUnreachable);
+  EXPECT_EQ(r.distance(5, 2), g::kUnreachable);
+  std::vector<g::Vertex> hops;
+  r.next_hops(0, 3, hops);
+  EXPECT_TRUE(hops.empty());
+}
+
 TEST(TableRouting, MatchesAnalyticOnPolarStar) {
   auto ps = std::make_shared<const polarstar::core::PolarStar>(
       polarstar::core::PolarStar::build(

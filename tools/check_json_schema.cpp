@@ -3,10 +3,11 @@
 //   check_json_schema <file.json> [...]   validate runner output files
 //   check_json_schema --selftest          validate a built-in example
 //
-// Accepts schema 3 (adds p50/p99.9 percentile columns and optional
-// "latency"/"trace" telemetry sub-blocks), schema 2 (object with
-// "schema"/"points", optional per-point "telemetry" blocks) and the legacy
-// schema-1 bare points array. Exits
+// Accepts schema 4 (adds per-point "fault" blocks and a "fault" telemetry
+// sub-block for availability sweeps), schema 3 (adds p50/p99.9 percentile
+// columns and optional "latency"/"trace" telemetry sub-blocks), schema 2
+// (object with "schema"/"points", optional per-point "telemetry" blocks)
+// and the legacy schema-1 bare points array. Exits
 // non-zero with a message on the first violation, so it slots into CI
 // after any bench run: POLARSTAR_JSON=out.json bench_... &&
 // check_json_schema out.json.
@@ -59,6 +60,24 @@ void check_point(const json::Value& p, std::size_t index, int schema) {
     require(p, "cycles", json::Value::Kind::kNumber);
     require(p, "measured_packets", json::Value::Kind::kNumber);
     require(p, "wall_seconds", json::Value::Kind::kNumber);
+    if (const json::Value* f = p.find("fault")) {
+      if (schema < 4) {
+        throw std::runtime_error("\"fault\" block requires schema 4");
+      }
+      if (!f->is_object()) throw std::runtime_error("fault not an object");
+      for (const char* k : {"events", "dropped", "retransmits", "lost",
+                            "measured_lost", "delivered_fraction"}) {
+        require(*f, k, json::Value::Kind::kNumber);
+      }
+      const double frac = f->find("delivered_fraction")->as_number();
+      if (frac < 0.0 || frac > 1.0) {
+        throw std::runtime_error("delivered_fraction outside [0, 1]");
+      }
+      if (f->find("measured_lost")->as_number() >
+          f->find("lost")->as_number()) {
+        throw std::runtime_error("measured_lost exceeds lost");
+      }
+    }
     if (const json::Value* t = p.find("telemetry")) {
       if (!t->is_object()) throw std::runtime_error("telemetry not an object");
       if (const json::Value* link = t->find("link")) {
@@ -116,6 +135,16 @@ void check_point(const json::Value& p, std::size_t index, int schema) {
           throw std::runtime_error("trace delivered exceeds sampled");
         }
       }
+      if (const json::Value* tf = t->find("fault")) {
+        if (schema < 4) {
+          throw std::runtime_error(
+              "telemetry \"fault\" block requires schema 4");
+        }
+        for (const char* k : {"events", "link_down", "router_down", "repairs",
+                              "dropped", "retransmits", "lost"}) {
+          require(*tf, k, json::Value::Kind::kNumber);
+        }
+      }
     }
   } catch (const std::exception& e) {
     throw std::runtime_error("point " + std::to_string(index) + ": " +
@@ -131,7 +160,7 @@ std::size_t check_document(const json::Value& doc) {
     points = &doc.as_array();  // legacy schema 1: bare points array
   } else if (doc.is_object()) {
     const auto& v = require(doc, "schema", json::Value::Kind::kNumber);
-    if (v.as_number() != 2.0 && v.as_number() != 3.0) {
+    if (v.as_number() != 2.0 && v.as_number() != 3.0 && v.as_number() != 4.0) {
       throw std::runtime_error("unsupported schema " +
                                std::to_string(v.as_number()));
     }
@@ -169,6 +198,24 @@ constexpr const char* kSelftestDoc = R"({
 ]
 })";
 
+// A schema-4 availability point carries both fault blocks.
+constexpr const char* kSelftestDocV4 = R"({
+"schema": 4,
+"points": [
+  {"sweep": "avail", "case": "PS-IQ f=0.02", "pattern": "uniform",
+   "mode": "min-adaptive", "load": 0.15, "stable": true, "deadlock": false,
+   "avg_latency": 9.1, "p50_latency": 8, "p99_latency": 22,
+   "p999_latency": 35, "avg_hops": 2.5, "accepted_flit_rate": 0.148,
+   "cycles": 7600, "measured_packets": 500, "wall_seconds": 0.2,
+   "fault": {"events": 23, "dropped": 152, "retransmits": 100, "lost": 12,
+             "measured_lost": 4, "delivered_fraction": 0.9917},
+   "telemetry": {
+     "fault": {"events": 23, "link_down": 11, "router_down": 1,
+               "repairs": 0, "dropped": 152, "retransmits": 100,
+               "lost": 12}}}
+]
+})";
+
 // A schema-2 document (no percentile columns) must stay valid.
 constexpr const char* kSelftestDocV2 = R"({
 "schema": 2,
@@ -191,7 +238,8 @@ int main(int argc, char** argv) {
   try {
     if (std::string(argv[1]) == "--selftest") {
       const std::size_t n = check_document(json::parse(kSelftestDoc)) +
-                            check_document(json::parse(kSelftestDocV2));
+                            check_document(json::parse(kSelftestDocV2)) +
+                            check_document(json::parse(kSelftestDocV4));
       std::printf("selftest: %zu point(s) valid\n", n);
       return 0;
     }

@@ -6,13 +6,16 @@
 // doubles as a validity check) and prints, per trace group ("process"),
 // a per-hop table of head-flit router occupancy: how long packets spent
 // at their 1st, 2nd, ... router, split out of the same spans Perfetto
-// renders. Exits non-zero on malformed input.
+// renders. Groups with fault instant events (cat "fault") additionally
+// get a chronological fault-event table. Exits non-zero on malformed
+// input.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/json.h"
@@ -27,11 +30,19 @@ struct HopStats {
   double dur_max = 0.0;
 };
 
+struct FaultMark {
+  std::uint64_t cycle = 0;
+  std::string kind;  // event name with the "fault: " prefix stripped
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
 struct GroupStats {
   std::string name;
   std::uint64_t spans = 0;      // async "b" events == sampled packets
   std::uint64_t delivered = 0;  // async spans flagged delivered
   std::map<std::uint64_t, HopStats> hops;
+  std::vector<FaultMark> faults;  // instant "i" events, cat "fault"
 };
 
 const json::Value& require(const json::Value& obj, const std::string& key) {
@@ -70,6 +81,19 @@ void summarize(const std::string& path) {
       ++h.count;
       h.dur_sum += dur;
       h.dur_max = std::max(h.dur_max, dur);
+    } else if (ph == "i") {
+      std::string name = require(ev, "name").as_string();
+      const json::Value* cat = ev.find("cat");
+      if (cat == nullptr || cat->as_string() != "fault") {
+        throw std::runtime_error("unexpected instant event \"" + name + "\"");
+      }
+      if (name.rfind("fault: ", 0) == 0) name.erase(0, 7);
+      const auto& args = require(ev, "args");
+      g.faults.push_back(
+          {static_cast<std::uint64_t>(require(ev, "ts").as_number()),
+           std::move(name),
+           static_cast<std::uint64_t>(require(args, "a").as_number()),
+           static_cast<std::uint64_t>(require(args, "b").as_number())});
     } else if (ph != "e") {
       throw std::runtime_error("unexpected event phase \"" + ph + "\"");
     }
@@ -80,15 +104,28 @@ void summarize(const std::string& path) {
     std::printf("\n%s -- %llu sampled packet(s), %llu delivered\n",
                 g.name.c_str(), static_cast<unsigned long long>(g.spans),
                 static_cast<unsigned long long>(g.delivered));
-    if (g.hops.empty()) continue;
-    std::printf("%5s %8s %10s %10s   head-flit router occupancy (cycles)\n",
-                "hop", "count", "avg", "max");
-    for (const auto& [hop, h] : g.hops) {
-      std::printf("%5llu %8llu %10.1f %10.0f\n",
-                  static_cast<unsigned long long>(hop),
-                  static_cast<unsigned long long>(h.count),
-                  h.count > 0 ? h.dur_sum / static_cast<double>(h.count) : 0.0,
-                  h.dur_max);
+    if (!g.hops.empty()) {
+      std::printf("%5s %8s %10s %10s   head-flit router occupancy (cycles)\n",
+                  "hop", "count", "avg", "max");
+      for (const auto& [hop, h] : g.hops) {
+        std::printf(
+            "%5llu %8llu %10.1f %10.0f\n",
+            static_cast<unsigned long long>(hop),
+            static_cast<unsigned long long>(h.count),
+            h.count > 0 ? h.dur_sum / static_cast<double>(h.count) : 0.0,
+            h.dur_max);
+      }
+    }
+    if (!g.faults.empty()) {
+      std::printf("%llu fault event(s):\n%8s  %-12s %8s %8s\n",
+                  static_cast<unsigned long long>(g.faults.size()), "cycle",
+                  "kind", "a", "b");
+      for (const FaultMark& f : g.faults) {
+        std::printf("%8llu  %-12s %8llu %8llu\n",
+                    static_cast<unsigned long long>(f.cycle), f.kind.c_str(),
+                    static_cast<unsigned long long>(f.a),
+                    static_cast<unsigned long long>(f.b));
+      }
     }
   }
 }
