@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,18 @@ class FaultAwareRouting final : public routing::MinimalRouting {
   /// endpoint routers are alive. (u, v) may be given in either order.
   bool link_alive(graph::Vertex u, graph::Vertex v) const;
   bool router_alive(graph::Vertex r) const { return router_dead_[r] == 0; }
+
+  /// The survivor table's minimal next hops for the current epoch (the
+  /// fallback branch of next_hops()). Valid only while degraded(). Exposed
+  /// so a caller that already holds the pristine base candidates -- the
+  /// simulator's flattened route-port tables -- can run the
+  /// strict-distance-decrease filter itself and only consult the table
+  /// when the filter empties, skipping the virtual base_->next_hops()
+  /// re-derivation per hop. Must stay in lockstep with next_hops().
+  std::span<const graph::Vertex> survivor_next_hops(graph::Vertex cur,
+                                                    graph::Vertex dst) const {
+    return hops_->next_hops(cur, dst);
+  }
 
  private:
   static graph::Edge canon(graph::Vertex u, graph::Vertex v) {

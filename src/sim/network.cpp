@@ -22,20 +22,40 @@ Network::Network(std::shared_ptr<const topo::Topology> topo,
   total_link_ports_ = port_base_[n_];
 
   reverse_port_.resize(total_link_ports_);
+  link_neighbor_.resize(total_link_ports_);
+  link_router_.resize(total_link_ports_);
   for (Vertex r = 0; r < n_; ++r) {
     auto nb = topo_->g.neighbors(r);
     for (std::uint32_t p = 0; p < nb.size(); ++p) {
       reverse_port_[port_base_[r] + p] =
           static_cast<std::uint16_t>(port_toward(nb[p], r));
+      link_neighbor_[port_base_[r] + p] = nb[p];
+      link_router_[port_base_[r] + p] = r;
     }
   }
+  peer_port_.resize(total_link_ports_);
+  for (std::size_t link = 0; link < total_link_ports_; ++link) {
+    peer_port_[link] =
+        static_cast<std::uint32_t>(port_base_[link_neighbor_[link]]) +
+        reverse_port_[link];
+  }
 
-  // Flatten minimal next hops into port candidate lists.
+  // Flatten minimal next hops into port candidate lists, and distances
+  // into one uint16 matrix (the DistanceMatrix narrowing convention:
+  // graph::kUnreachable <-> 0xFFFF; no pristine diameter comes near it).
   route_ranges_.resize(static_cast<std::size_t>(n_) * n_);
+  dist_.resize(static_cast<std::size_t>(n_) * n_);
   std::vector<Vertex> hops;
   for (Vertex s = 0; s < n_; ++s) {
     for (Vertex d = 0; d < n_; ++d) {
       const std::size_t idx = static_cast<std::size_t>(s) * n_ + d;
+      const std::uint32_t dist = routing_->distance(s, d);
+      if (dist != graph::kUnreachable && dist >= 0xFFFFu) {
+        throw std::logic_error("Network: routing distance overflows uint16");
+      }
+      dist_[idx] = dist == graph::kUnreachable
+                       ? std::uint16_t{0xFFFFu}
+                       : static_cast<std::uint16_t>(dist);
       const auto begin = static_cast<std::uint32_t>(route_ports_.size());
       if (s != d) {
         hops.clear();

@@ -1,10 +1,15 @@
 // Static per-topology precomputation for the flit-level simulator: port
-// numbering (link ports first, then injection/ejection per endpoint slot)
-// and flattened minimal-route port tables derived from a MinimalRouting.
+// numbering (link ports first, then injection/ejection per endpoint slot),
+// flattened minimal-route port tables and a flattened distance matrix
+// derived from a MinimalRouting, plus per-directed-link neighbor/peer/owner
+// arrays so the cycle loop never chases the shared_ptr/virtual routing
+// chain per hop.
 //
-// The route table is a *simulator acceleration*: the storage the paper
-// compares is reported by MinimalRouting::storage_entries(), not by this
-// cache.
+// The route and distance tables are a *simulator acceleration*: the
+// storage the paper compares is reported by
+// MinimalRouting::storage_entries(), not by this cache. Every flattened
+// answer is bit-identical to the wrapped MinimalRouting's (the `perf`
+// ctest label asserts it).
 #pragma once
 
 #include <cstdint>
@@ -73,8 +78,27 @@ class Network {
     return {route_ports_.data() + b, route_ports_.data() + e};
   }
 
+  /// Pristine hop distance, resolved once at construction into a flat
+  /// uint16 array (0xFFFF = graph::kUnreachable, the DistanceMatrix
+  /// convention); bit-identical to routing().distance() but one load
+  /// instead of a virtual call into the analytic case analysis.
   std::uint32_t distance(graph::Vertex src, graph::Vertex dst) const {
-    return routing_->distance(src, dst);
+    const std::uint16_t d = dist_[static_cast<std::size_t>(src) * n_ + dst];
+    return d == 0xFFFFu ? graph::kUnreachable : d;
+  }
+
+  /// Neighbor at the far end of the directed link (one load; equals
+  /// neighbor_at(r, port) for link == link_index(r, port)).
+  graph::Vertex link_neighbor(std::size_t link) const {
+    return link_neighbor_[link];
+  }
+  /// Flat directed-link index of the reverse direction: for link ==
+  /// link_index(r, port) this is link_index(neighbor, reverse_port), i.e.
+  /// the input-port index credits/buffers at the far end are keyed by.
+  std::size_t peer_port(std::size_t link) const { return peer_port_[link]; }
+  /// Router that owns the directed link (the r of link_index(r, port)).
+  graph::Vertex link_router(std::size_t link) const {
+    return link_router_[link];
   }
 
   /// Flat index of the directed link (r, port); used for credit state.
@@ -91,6 +115,10 @@ class Network {
   std::vector<std::size_t> port_base_;          // size n+1
   std::size_t total_link_ports_ = 0;
   std::vector<std::uint16_t> reverse_port_;     // per directed link
+  std::vector<graph::Vertex> link_neighbor_;    // per directed link
+  std::vector<std::uint32_t> peer_port_;        // per directed link
+  std::vector<graph::Vertex> link_router_;      // per directed link
+  std::vector<std::uint16_t> dist_;             // n x n, 0xFFFF = unreachable
   std::vector<std::pair<std::uint32_t, std::uint32_t>> route_ranges_;
   std::vector<std::uint16_t> route_ports_;
 };

@@ -1,8 +1,10 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <span>
+#include <stdexcept>
 
 #include "fault/fault_routing.h"
 #include "fault/schedule.h"
@@ -189,6 +191,11 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     link_down_.assign(net.total_link_ports(), 0);
     router_down_.assign(net.num_routers(), 0);
   }
+  if (prm_.num_vcs == 0 || prm_.num_vcs > 32) {
+    throw std::invalid_argument(
+        "Simulation: num_vcs must be in [1, 32] (the VC occupancy index is "
+        "one 32-bit mask per link port)");
+  }
   const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
   buf_store_.resize(nbuf * prm_.vc_buffer_flits);
   buf_head_.assign(nbuf, 0);
@@ -199,7 +206,9 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
 
   const auto& topo = net.topology();
   const std::uint64_t eps = topo.num_endpoints();
-  inj_queue_.resize(eps);
+  inj_head_.assign(eps, kNilNode);
+  inj_tail_.assign(eps, kNilNode);
+  inj_count_.assign(eps, 0);
   inj_sent_.assign(eps, 0);
   inj_state_.assign(eps, {});
   out_rr_ej_.assign(eps, 0);
@@ -208,30 +217,113 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
   arrivals_.resize(prm_.link_latency + prm_.router_latency + 1);
   credit_returns_.resize(prm_.credit_latency + 1);
 
-  std::uint32_t max_out = 0;
+  std::uint32_t max_out = 0, max_in = 0;
   for (Vertex r = 0; r < net.num_routers(); ++r) {
-    max_out = std::max(max_out, net.num_link_ports(r) + topo.conc[r]);
+    const std::uint32_t deg = net.num_link_ports(r);
+    max_out = std::max(max_out, deg + topo.conc[r]);
+    max_in = std::max(max_in, deg * prm_.num_vcs + topo.conc[r]);
   }
-  req_scratch_.resize(max_out);
+  req_stride_ = max_in;
+  req_store_.resize(static_cast<std::size_t>(max_out) * req_stride_);
+  req_count_.assign(max_out, 0);
   inport_used_.assign(max_out, 0);
   if (stall_telemetry_) {
     out_want_credit_.assign(max_out, 0);
     out_want_vc_.assign(max_out, 0);
     out_granted_.assign(max_out, 0);
   }
+
+  // Flat lookups: endpoint->router, downstream receive-buffer bases, and
+  // the buffer->link/vc-bit/router inverses behind the occupancy index.
+  ep_router_.resize(eps);
+  for (std::uint64_t ep = 0; ep < eps; ++ep) {
+    ep_router_[ep] = topo.router_of_endpoint(ep);
+  }
+  recv_buf_base_.resize(net.total_link_ports());
+  for (std::size_t link = 0; link < net.total_link_ports(); ++link) {
+    recv_buf_base_[link] =
+        static_cast<std::uint32_t>(net.peer_port(link) * prm_.num_vcs);
+  }
+  buf_link_.resize(nbuf);
+  buf_vc_bit_.resize(nbuf);
+  buf_router_.resize(nbuf);
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    buf_link_[b] = static_cast<std::uint32_t>(b / prm_.num_vcs);
+    buf_vc_bit_[b] = 1u << (b % prm_.num_vcs);
+    buf_router_[b] = net.link_router(buf_link_[b]);
+  }
+  port_mask_.assign(net.total_link_ports(), 0);
+  router_work_.assign(net.num_routers(), 0);
+
+  // Bind the cycle loop once: reference mode wins, then the telemetry /
+  // fault gates pick the instantiation with dead hook sites compiled out.
+  const bool tel = collector_ != nullptr;
+  if (prm_.reference_impl) {
+    step_fn_ = &Simulation::step_reference;
+  } else if (tel && has_faults_) {
+    step_fn_ = &Simulation::step_impl<true, true>;
+  } else if (tel) {
+    step_fn_ = &Simulation::step_impl<true, false>;
+  } else if (has_faults_) {
+    step_fn_ = &Simulation::step_impl<false, true>;
+  } else {
+    step_fn_ = &Simulation::step_impl<false, false>;
+  }
 }
 
 void Simulation::buffer_push(std::size_t b, Flit f) {
   const std::uint32_t cap = prm_.vc_buffer_flits;
   assert(buf_size_[b] < cap);
-  buf_store_[b * cap + (buf_head_[b] + buf_size_[b]) % cap] = f;
-  ++buf_size_[b];
+  std::uint32_t pos = static_cast<std::uint32_t>(buf_head_[b]) + buf_size_[b];
+  if (pos >= cap) pos -= cap;  // head, size < cap: one conditional subtract
+  buf_store_[b * cap + pos] = f;
+  if (buf_size_[b]++ == 0) {
+    port_mask_[buf_link_[b]] |= buf_vc_bit_[b];
+    ++router_work_[buf_router_[b]];
+  }
 }
 
 void Simulation::buffer_pop(std::size_t b) {
-  buf_head_[b] = static_cast<std::uint16_t>((buf_head_[b] + 1) %
-                                            prm_.vc_buffer_flits);
-  --buf_size_[b];
+  std::uint32_t h = static_cast<std::uint32_t>(buf_head_[b]) + 1;
+  if (h == prm_.vc_buffer_flits) h = 0;
+  buf_head_[b] = static_cast<std::uint16_t>(h);
+  if (--buf_size_[b] == 0) {
+    port_mask_[buf_link_[b]] &= ~buf_vc_bit_[b];
+    --router_work_[buf_router_[b]];
+  }
+}
+
+void Simulation::inj_push(std::uint64_t ep, std::uint32_t pkt_idx) {
+  std::uint32_t node;
+  if (inj_free_head_ != kNilNode) {
+    node = inj_free_head_;
+    inj_free_head_ = inj_pool_[node].next;
+  } else {
+    node = static_cast<std::uint32_t>(inj_pool_.size());
+    inj_pool_.emplace_back();
+  }
+  inj_pool_[node] = {pkt_idx, kNilNode};
+  if (inj_head_[ep] == kNilNode) {
+    inj_head_[ep] = node;
+    ++router_work_[ep_router_[ep]];
+  } else {
+    inj_pool_[inj_tail_[ep]].next = node;
+  }
+  inj_tail_[ep] = node;
+  ++inj_count_[ep];
+}
+
+void Simulation::inj_pop_front(std::uint64_t ep) {
+  const std::uint32_t node = inj_head_[ep];
+  assert(node != kNilNode);
+  inj_head_[ep] = inj_pool_[node].next;
+  inj_pool_[node].next = inj_free_head_;
+  inj_free_head_ = node;
+  if (inj_head_[ep] == kNilNode) {
+    inj_tail_[ep] = kNilNode;
+    --router_work_[ep_router_[ep]];
+  }
+  --inj_count_[ep];
 }
 
 std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
@@ -249,9 +341,8 @@ std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
   pk.id = next_packet_id_++;
   pk.src_endpoint = src_ep;
   pk.dst_endpoint = dst_ep;
-  const auto& topo = net_->topology();
-  pk.src_router = topo.router_of_endpoint(src_ep);
-  pk.dst_router = topo.router_of_endpoint(dst_ep);
+  pk.src_router = ep_router_[src_ep];
+  pk.dst_router = ep_router_[dst_ep];
   pk.birth_cycle = cycle_;
   pk.tag = tag;
   pk.flits = static_cast<std::uint16_t>(prm_.packet_flits);
@@ -260,8 +351,13 @@ std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
   ++live_packets_;
 
   if (prm_.path_mode == PathMode::kUgal && pk.src_router != pk.dst_router) {
-    auto occ = [this](Vertex r, Vertex next) { return occupancy(r, next); };
-    auto choice = ugal_.select(pk.src_router, pk.dst_router, occ, rng_);
+    routing::PathChoice choice;
+    if (prm_.reference_impl) {
+      auto occ = [this](Vertex r, Vertex next) { return occupancy(r, next); };
+      choice = ugal_.select(pk.src_router, pk.dst_router, occ, rng_);
+    } else {
+      choice = ugal_select_fast(pk.src_router, pk.dst_router);
+    }
     pk.valiant = choice.valiant;
     pk.intermediate = choice.intermediate;
     if (ugal_telemetry_) {
@@ -300,7 +396,7 @@ void Simulation::enqueue_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
     lose_packet(idx);  // the source NIC's router is down: nothing to inject
     return;
   }
-  inj_queue_[src_ep].push_back(idx);
+  inj_push(src_ep, idx);
 }
 
 double Simulation::occupancy(Vertex r, Vertex next) const {
@@ -313,6 +409,62 @@ double Simulation::occupancy(Vertex r, Vertex next) const {
     occupied += prm_.vc_buffer_flits - credits_[b];
   }
   return occupied;  // absolute flits: the classic UGAL-L queue estimate
+}
+
+double Simulation::occupancy_by_port(std::size_t link) const {
+  const std::size_t base = recv_buf_base_[link];
+  double occupied = 0;
+  for (std::uint32_t vc = 0; vc < prm_.num_vcs; ++vc) {
+    occupied += prm_.vc_buffer_flits - credits_[base + vc];
+  }
+  return occupied;
+}
+
+double Simulation::path_cost_fast(Vertex src, Vertex toward,
+                                  std::uint32_t hops) const {
+  if (src == toward) return hops;
+  // First-hop queue estimate: min over minimal first hops, in the same
+  // candidate order as MinimalRouting::next_hops (the Network flattened
+  // them in that order) and the same double accumulation as
+  // UgalSelector::cost.
+  const auto ports = net_->route_ports(src, toward);
+  const std::size_t pb = net_->port_base(src);
+  double q = 0;
+  if (!ports.empty()) {
+    q = occupancy_by_port(pb + ports[0]);
+    for (std::size_t i = 1; i < ports.size(); ++i) {
+      q = std::min(q, occupancy_by_port(pb + ports[i]));
+    }
+  }
+  return static_cast<double>(hops) * (1.0 + q);
+}
+
+routing::PathChoice Simulation::ugal_select_fast(Vertex src, Vertex dst) {
+  const std::uint32_t h_min = net_->distance(src, dst);
+  routing::PathChoice best{false, 0, h_min};
+  const double min_cost = path_cost_fast(src, dst, h_min);
+  double best_cost = min_cost;
+  std::uint32_t evaluated = 0;
+  const std::uint32_t n = net_->num_routers();
+  for (std::uint32_t i = 0; i < prm_.ugal_candidates; ++i) {
+    const Vertex mid = static_cast<Vertex>(rng_() % n);
+    if (mid == src || mid == dst) continue;
+    ++evaluated;
+    const std::uint32_t hops =
+        net_->distance(src, mid) + net_->distance(mid, dst);
+    const double c = path_cost_fast(src, mid, hops);
+    if (c < best_cost) {
+      best_cost = c;
+      best.valiant = true;
+      best.intermediate = mid;
+      best.hops = hops;
+    }
+  }
+  best.min_hops = h_min;
+  best.candidates_evaluated = evaluated;
+  best.min_cost = min_cost;
+  best.cost = best_cost;
+  return best;
 }
 
 bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
@@ -340,13 +492,40 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
   std::span<const std::uint16_t> ports;
   if (faults_active_) {
     if (pk.hops >= fault_hop_limit_) return false;  // walked too far: drop
-    fault_hop_scratch_.clear();
-    fault_routing_->next_hops(r, target, fault_hop_scratch_);
-    if (fault_hop_scratch_.empty()) return false;  // target unreachable
-    fault_port_scratch_.clear();
-    for (Vertex h : fault_hop_scratch_) {
-      fault_port_scratch_.push_back(
-          static_cast<std::uint16_t>(net_->port_toward(r, h)));
+    if (prm_.reference_impl) {
+      fault_hop_scratch_.clear();
+      fault_routing_->next_hops(r, target, fault_hop_scratch_);
+      if (fault_hop_scratch_.empty()) return false;  // target unreachable
+      fault_port_scratch_.clear();
+      for (Vertex h : fault_hop_scratch_) {
+        fault_port_scratch_.push_back(
+            static_cast<std::uint16_t>(net_->port_toward(r, h)));
+      }
+    } else {
+      // Fast path: run FaultAwareRouting::next_hops' strict-distance-
+      // decrease filter directly over the flattened pristine candidates
+      // (same base scheme, same order), keeping ports instead of mapping
+      // vertex -> port per hop. link_down_ is the per-epoch link_alive
+      // mask; distance() is the survivor distance under degradation.
+      // Bit-identical to the reference branch -- `ctest -L perf` diffs it.
+      const std::uint32_t d_cur = fault_routing_->distance(r, target);
+      const std::size_t pb = net_->port_base(r);
+      fault_port_scratch_.clear();
+      for (std::uint16_t p : net_->route_ports(r, target)) {
+        if (link_down_[pb + p] != 0) continue;
+        const Vertex h = net_->link_neighbor(pb + p);
+        if (fault_routing_->distance(h, target) < d_cur) {
+          fault_port_scratch_.push_back(p);
+        }
+      }
+      if (fault_port_scratch_.empty()) {
+        // Base scheme routes into a hole: survivor-minimal next hops.
+        for (Vertex h : fault_routing_->survivor_next_hops(r, target)) {
+          fault_port_scratch_.push_back(
+              static_cast<std::uint16_t>(net_->port_toward(r, h)));
+        }
+        if (fault_port_scratch_.empty()) return false;  // unreachable
+      }
     }
     ports = fault_port_scratch_;
   } else {
@@ -364,12 +543,11 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
     out = ports[flow_path_hash(pk.src_router, target, r) % ports.size()];
   } else {
     // Adaptive: the candidate with the most downstream credits on ovc.
+    const std::size_t pb = net_->port_base(r);
     std::uint16_t best = ports[0];
     int best_credit = -1;
     for (std::uint16_t p : ports) {
-      const Vertex nbr = net_->neighbor_at(r, p);
-      const std::uint32_t rev = net_->reverse_port(r, p);
-      const int c = credits_[buffer_index(nbr, rev, ovc)];
+      const int c = credits_[recv_buf_base_[pb + p] + ovc];
       if (c > best_credit) {
         best_credit = c;
         best = p;
@@ -468,7 +646,10 @@ void Simulation::process_faults() {
     }
     const std::uint64_t ep0 = topo.first_endpoint(r);
     for (std::uint32_t s = 0; s < topo.conc[r]; ++s) {
-      for (std::uint32_t idx : inj_queue_[ep0 + s]) victims.push_back(idx);
+      for (std::uint32_t nd = inj_head_[ep0 + s]; nd != kNilNode;
+           nd = inj_pool_[nd].next) {
+        victims.push_back(inj_pool_[nd].pkt);
+      }
     }
   }
 
@@ -553,18 +734,52 @@ void Simulation::purge_packets(std::vector<std::uint32_t>& victims) {
       vc_state_[b].active = false;
     }
   }
-  // Injection queues (a victim mid-injection resets its sent counter).
-  for (std::size_t ep = 0; ep < inj_queue_.size(); ++ep) {
-    auto& q = inj_queue_[ep];
-    if (q.empty()) continue;
-    const bool front_victim = is_victim[q.front()] != 0;
-    q.erase(std::remove_if(q.begin(), q.end(),
-                           [&](std::uint32_t idx) { return is_victim[idx]; }),
-            q.end());
+  // Injection queues (a victim mid-injection resets its sent counter):
+  // relink each pooled FIFO keeping survivors in order, returning victim
+  // nodes to the free list.
+  for (std::size_t ep = 0; ep < inj_head_.size(); ++ep) {
+    std::uint32_t node = inj_head_[ep];
+    if (node == kNilNode) continue;
+    const bool front_victim = is_victim[inj_pool_[node].pkt] != 0;
+    std::uint32_t head = kNilNode, tail = kNilNode, count = 0;
+    while (node != kNilNode) {
+      const std::uint32_t next = inj_pool_[node].next;
+      if (is_victim[inj_pool_[node].pkt]) {
+        inj_pool_[node].next = inj_free_head_;
+        inj_free_head_ = node;
+      } else {
+        if (head == kNilNode) {
+          head = node;
+        } else {
+          inj_pool_[tail].next = node;
+        }
+        inj_pool_[node].next = kNilNode;
+        tail = node;
+        ++count;
+      }
+      node = next;
+    }
+    inj_head_[ep] = head;
+    inj_tail_[ep] = tail;
+    inj_count_[ep] = count;
     if (front_victim) {
       inj_sent_[ep] = 0;
       inj_state_[ep].active = false;
     }
+  }
+
+  // The purge edited buffers and queues wholesale: rebuild the occupancy
+  // index (cold path, once per fault batch).
+  std::fill(port_mask_.begin(), port_mask_.end(), 0u);
+  std::fill(router_work_.begin(), router_work_.end(), 0u);
+  for (std::size_t b = 0; b < buf_size_.size(); ++b) {
+    if (buf_size_[b] != 0) {
+      port_mask_[buf_link_[b]] |= buf_vc_bit_[b];
+      ++router_work_[buf_router_[b]];
+    }
+  }
+  for (std::size_t ep = 0; ep < inj_head_.size(); ++ep) {
+    if (inj_head_[ep] != kNilNode) ++router_work_[ep_router_[ep]];
   }
 }
 
@@ -622,7 +837,7 @@ void Simulation::process_retransmits() {
     if (pk.valiant && !fault_routing_->router_alive(pk.intermediate)) {
       pk.valiant = false;  // stale UGAL choice; go minimal on the survivors
     }
-    inj_queue_[pk.src_endpoint].push_back(idx);
+    inj_push(pk.src_endpoint, idx);
   }
 }
 
@@ -637,19 +852,28 @@ bool Simulation::fault_progress_pending() const {
   return next_fault_ < prm_.faults->events().size();
 }
 
-void Simulation::step() {
+template <bool kTel, bool kFaults>
+void Simulation::step_impl() {
   // 0. Live faults: apply due schedule events (dropping casualties), then
   // re-enqueue packets whose retransmission backoff expired.
-  if (has_faults_) {
+  if constexpr (kFaults) {
     process_faults();
     process_retransmits();
   }
 
   // 1. Deliver link arrivals and credit returns scheduled for this cycle.
-  auto& slot = arrivals_[cycle_ % arrivals_.size()];
+  // The rings are latency+1 deep, so this cycle's send slot is the one
+  // just before the deliver slot -- computed once, no per-flit modulo.
+  const std::size_t arr_slot = cycle_ % arrivals_.size();
+  const std::size_t arr_push =
+      arr_slot == 0 ? arrivals_.size() - 1 : arr_slot - 1;
+  auto& slot = arrivals_[arr_slot];
   for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
   slot.clear();
-  auto& credit_slot = credit_returns_[cycle_ % credit_returns_.size()];
+  const std::size_t cred_slot = cycle_ % credit_returns_.size();
+  const std::size_t cred_push =
+      cred_slot == 0 ? credit_returns_.size() - 1 : cred_slot - 1;
+  auto& credit_slot = credit_returns_[cred_slot];
   for (std::uint32_t b : credit_slot) ++credits_[b];
   credit_slot.clear();
 
@@ -658,6 +882,237 @@ void Simulation::step() {
 
   // 3. Per-router separable allocation + switch traversal.
   const auto& topo = net_->topology();
+  const std::uint32_t num_vcs = prm_.num_vcs;
+  moved_this_cycle_ = 0;
+  const Vertex n = net_->num_routers();
+  for (Vertex r = 0; r < n; ++r) {
+    // No buffered flit and no queued packet anywhere at this router: the
+    // generic body would collect nothing, grant nothing, and report
+    // nothing -- skip it whole.
+    if (router_work_[r] == 0) continue;
+    if constexpr (kFaults) {
+      if (faults_active_ && router_down_[r] != 0) continue;  // dead router
+    }
+    const std::size_t pb = net_->port_base(r);
+    const std::uint32_t deg = net_->num_link_ports(r);
+    const std::uint32_t conc = topo.conc[r];
+    const std::uint32_t nout = deg + conc;
+
+    // Collect feasible requests per output.
+    bool any = false;
+    for (std::uint32_t o = 0; o < nout; ++o) req_count_[o] = 0;
+    if constexpr (kTel) {
+      if (stall_telemetry_) {
+        for (std::uint32_t o = 0; o < nout; ++o) {
+          out_want_credit_[o] = out_want_vc_[o] = out_granted_[o] = 0;
+        }
+      }
+    }
+
+    auto consider = [&](std::uint32_t input_key, std::uint32_t inport,
+                        std::uint32_t pkt, std::uint16_t out, std::uint8_t ovc,
+                        std::uint16_t seq) {
+      if (out < deg) {
+        const std::size_t recv = recv_buf_base_[pb + out] + ovc;
+        if (credits_[recv] == 0) {
+          if constexpr (kTel) {
+            if (stall_telemetry_) out_want_credit_[out] = 1;
+          }
+          return;
+        }
+        const std::uint32_t owner = out_owner_[recv];
+        // Head: VC must be free or already ours. Body: must follow its head.
+        if (seq == 0 ? (owner != 0 && owner != pkt + 1) : (owner != pkt + 1)) {
+          if constexpr (kTel) {
+            if (stall_telemetry_) out_want_vc_[out] = 1;
+          }
+          return;
+        }
+      }
+      req_store_[out * req_stride_ + req_count_[out]++] = {
+          input_key, pkt, static_cast<std::uint16_t>(inport), ovc};
+      any = true;
+    };
+
+    for (std::uint32_t port = 0; port < deg; ++port) {
+      // Occupancy mask: visit only non-empty VCs, lowest first (the same
+      // order the generic VC scan produces).
+      std::uint32_t m = port_mask_[pb + port];
+      while (m != 0) {
+        const auto vc = static_cast<std::uint32_t>(std::countr_zero(m));
+        m &= m - 1;
+        const std::size_t b = (pb + port) * num_vcs + vc;
+        const Flit f = buffer_front(b);
+        VcState& st = vc_state_[b];
+        if (!st.active) {
+          // A head flit must be at the front (wormhole order).
+          if (!compute_route(f.pkt, r, st.out_port, st.out_vc)) {
+            pending_kills_.push_back(f.pkt);  // unroutable: killed end of step
+            continue;
+          }
+          st.active = true;
+        }
+        consider(static_cast<std::uint32_t>(b), port, f.pkt, st.out_port,
+                 st.out_vc, f.seq);
+      }
+    }
+    const std::uint64_t ep0 = topo.first_endpoint(r);
+    for (std::uint32_t s = 0; s < conc; ++s) {
+      const std::uint64_t ep = ep0 + s;
+      const std::uint32_t head = inj_head_[ep];
+      if (head == kNilNode) continue;
+      const std::uint32_t pkt = inj_pool_[head].pkt;
+      VcState& st = inj_state_[ep];
+      if (!st.active) {
+        if (!compute_route(pkt, r, st.out_port, st.out_vc)) {
+          pending_kills_.push_back(pkt);
+          continue;
+        }
+        st.active = true;
+      }
+      consider(kInjectionFlag | static_cast<std::uint32_t>(ep), deg + s, pkt,
+               st.out_port, st.out_vc, inj_sent_[ep]);
+    }
+    if (!any) {
+      // Nothing reached arbitration; blocked inputs may still want ports.
+      if constexpr (kTel) {
+        if (stall_telemetry_) report_output_stalls(r, deg);
+      }
+      continue;
+    }
+
+    // Grant: per output, round-robin over requesters; an input port moves
+    // at most one flit per cycle.
+    for (std::uint32_t o = 0; o < nout; ++o) inport_used_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) {
+      const std::uint32_t k = req_count_[o];
+      if (k == 0) continue;
+      const Request* reqs = &req_store_[o * req_stride_];
+      std::uint16_t& rr =
+          o < deg ? out_rr_link_[pb + o] : out_rr_ej_[ep0 + (o - deg)];
+      std::uint32_t winner = k;
+      std::uint32_t cand = rr % k;  // same probe sequence as (rr + i) % k
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const std::uint32_t inport = reqs[cand].inport;
+        if (!inport_used_[inport]) {
+          winner = cand;
+          inport_used_[inport] = 1;
+          rr = static_cast<std::uint16_t>((cand + 1) % k);
+          break;
+        }
+        if (++cand == k) cand = 0;
+      }
+      if (winner == k) continue;
+      const Request& req = reqs[winner];
+      const std::uint32_t pkt_idx = req.pkt;
+      PacketRecord& pk = packets_[pkt_idx];
+
+      // Pop the flit from its input.
+      Flit f;
+      if (req.input_key & kInjectionFlag) {
+        const std::uint64_t ep = req.input_key & ~kInjectionFlag;
+        f = {pkt_idx, inj_sent_[ep]};
+        ++inj_sent_[ep];
+        if (f.seq + 1u == pk.flits) {
+          inj_pop_front(ep);
+          inj_sent_[ep] = 0;
+          inj_state_[ep].active = false;
+        }
+      } else {
+        const std::size_t b = req.input_key;
+        f = buffer_front(b);
+        buffer_pop(b);
+        if (prm_.credit_latency == 0) {
+          ++credits_[b];  // idealized instantaneous credit return
+        } else {
+          credit_returns_[cred_push].push_back(static_cast<std::uint32_t>(b));
+        }
+        if (f.seq + 1u == pk.flits) vc_state_[b].active = false;
+      }
+
+      // Forward.
+      if (o < deg) {
+        const std::size_t recv = recv_buf_base_[pb + o] + req.ovc;
+        if (f.seq == 0) {
+          out_owner_[recv] = pkt_idx + 1;
+          ++pk.hops;
+          if constexpr (kTel) {
+            if (packet_telemetry_ && traced_[pkt_idx]) {
+              collector_->on_packet_hop(pk, r, o, req.ovc,
+                                        trace_arrival_[pkt_idx], cycle_);
+              // Head flit lands at the neighbour after link + router
+              // latency; the next hop's wait is measured from that arrival.
+              trace_arrival_[pkt_idx] =
+                  cycle_ + prm_.link_latency + prm_.router_latency;
+            }
+          }
+        }
+        if (f.seq + 1u == pk.flits) out_owner_[recv] = 0;
+        --credits_[recv];
+        arrivals_[arr_push].push_back({static_cast<std::uint32_t>(recv), f});
+        if constexpr (kTel) {
+          if (link_telemetry_) collector_->on_link_flit(pb + o, cycle_);
+        }
+      } else {
+        finalize_flit(pkt_idx, r);
+      }
+      if constexpr (kTel) {
+        if (stall_telemetry_) out_granted_[o] = 1;
+      }
+      ++moved_this_cycle_;
+    }
+    if constexpr (kTel) {
+      if (stall_telemetry_) report_output_stalls(r, deg);
+    }
+  }
+
+  if constexpr (kFaults) {
+    if (!pending_kills_.empty()) process_pending_kills();
+  }
+
+  bool progress = moved_this_cycle_ > 0 || live_packets_ == 0;
+  if constexpr (kFaults) {
+    // Pending retransmission backoffs and unapplied schedule events (e.g. a
+    // repair that will unblock traffic) count as progress, not deadlock.
+    progress = progress || fault_progress_pending();
+  }
+  if (progress) {
+    last_progress_cycle_ = cycle_;
+  } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
+    deadlock_ = true;
+  }
+  if constexpr (kTel) {
+    if (occupancy_period_ != 0 && cycle_ % occupancy_period_ == 0) {
+      collector_->on_occupancy_sample(
+          cycle_, {std::span<const std::uint16_t>(buf_size_), prm_.num_vcs});
+    }
+  }
+  if (prm_.paranoid_checks) check_invariants();
+  ++cycle_;
+}
+
+// The pre-optimization cycle loop, preserved as the differential-testing
+// twin (SimParams::reference_impl): full router/VC scans instead of the
+// occupancy masks, receive-buffer indexes and arbitration input ports
+// recomputed the long way, modulo ring arithmetic, every gate a runtime
+// branch. Must stay semantically frozen -- tests/test_perf_equivalence.cpp
+// diffs entire runs against step_impl.
+void Simulation::step_reference() {
+  if (has_faults_) {
+    process_faults();
+    process_retransmits();
+  }
+
+  auto& slot = arrivals_[cycle_ % arrivals_.size()];
+  for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
+  slot.clear();
+  auto& credit_slot = credit_returns_[cycle_ % credit_returns_.size()];
+  for (std::uint32_t b : credit_slot) ++credits_[b];
+  credit_slot.clear();
+
+  source_->tick(*this);
+
+  const auto& topo = net_->topology();
   moved_this_cycle_ = 0;
   for (Vertex r = 0; r < net_->num_routers(); ++r) {
     if (faults_active_ && router_down_[r] != 0) continue;  // dead: no switch
@@ -665,17 +1120,16 @@ void Simulation::step() {
     const std::uint32_t conc = topo.conc[r];
     const std::uint32_t nout = deg + conc;
 
-    // Collect feasible requests per output.
     bool any = false;
-    for (std::uint32_t o = 0; o < nout; ++o) req_scratch_[o].clear();
+    for (std::uint32_t o = 0; o < nout; ++o) req_count_[o] = 0;
     if (stall_telemetry_) {
       for (std::uint32_t o = 0; o < nout; ++o) {
         out_want_credit_[o] = out_want_vc_[o] = out_granted_[o] = 0;
       }
     }
 
-    auto consider = [&](std::uint32_t input_key, std::uint32_t pkt,
-                        std::uint16_t out, std::uint8_t ovc,
+    auto consider = [&](std::uint32_t input_key, std::uint32_t inport,
+                        std::uint32_t pkt, std::uint16_t out, std::uint8_t ovc,
                         std::uint16_t seq) {
       if (out < deg) {
         const Vertex nbr = net_->neighbor_at(r, out);
@@ -698,7 +1152,8 @@ void Simulation::step() {
           }
         }
       }
-      req_scratch_[out].push_back({input_key, pkt, ovc});
+      req_store_[out * req_stride_ + req_count_[out]++] = {
+          input_key, pkt, static_cast<std::uint16_t>(inport), ovc};
       any = true;
     };
 
@@ -709,22 +1164,21 @@ void Simulation::step() {
         const Flit f = buffer_front(b);
         VcState& st = vc_state_[b];
         if (!st.active) {
-          // A head flit must be at the front (wormhole order).
           if (!compute_route(f.pkt, r, st.out_port, st.out_vc)) {
-            pending_kills_.push_back(f.pkt);  // unroutable: killed end of step
+            pending_kills_.push_back(f.pkt);
             continue;
           }
           st.active = true;
         }
-        consider(static_cast<std::uint32_t>(b), f.pkt, st.out_port, st.out_vc,
-                 f.seq);
+        consider(static_cast<std::uint32_t>(b), port, f.pkt, st.out_port,
+                 st.out_vc, f.seq);
       }
     }
     const std::uint64_t ep0 = topo.first_endpoint(r);
     for (std::uint32_t s = 0; s < conc; ++s) {
       const std::uint64_t ep = ep0 + s;
-      if (inj_queue_[ep].empty()) continue;
-      const std::uint32_t pkt = inj_queue_[ep].front();
+      if (inj_head_[ep] == kNilNode) continue;
+      const std::uint32_t pkt = inj_pool_[inj_head_[ep]].pkt;
       VcState& st = inj_state_[ep];
       if (!st.active) {
         if (!compute_route(pkt, r, st.out_port, st.out_vc)) {
@@ -733,28 +1187,27 @@ void Simulation::step() {
         }
         st.active = true;
       }
-      consider(kInjectionFlag | static_cast<std::uint32_t>(ep), pkt,
+      consider(kInjectionFlag | static_cast<std::uint32_t>(ep), deg + s, pkt,
                st.out_port, st.out_vc, inj_sent_[ep]);
     }
     if (!any) {
-      // Nothing reached arbitration; blocked inputs may still want ports.
       if (stall_telemetry_) report_output_stalls(r, deg);
       continue;
     }
 
-    // Grant: per output, round-robin over requesters; an input port moves
-    // at most one flit per cycle.
     for (std::uint32_t o = 0; o < nout; ++o) inport_used_[o] = 0;
     for (std::uint32_t o = 0; o < nout; ++o) {
-      auto& reqs = req_scratch_[o];
-      if (reqs.empty()) continue;
+      const std::uint32_t k = req_count_[o];
+      if (k == 0) continue;
+      const Request* reqs = &req_store_[o * req_stride_];
       std::uint16_t& rr = o < deg ? out_rr_link_[net_->link_index(r, o)]
                                   : out_rr_ej_[ep0 + (o - deg)];
-      const std::size_t k = reqs.size();
       std::size_t winner = k;
       for (std::size_t i = 0; i < k; ++i) {
         const std::size_t cand = (rr + i) % k;
         const std::uint32_t key = reqs[cand].input_key;
+        // Recomputed from the input key (not Request::inport) on purpose:
+        // the reference twin cross-checks the stored field's derivation.
         const std::uint32_t inport =
             key & kInjectionFlag
                 ? deg + static_cast<std::uint32_t>((key & ~kInjectionFlag) - ep0)
@@ -772,14 +1225,13 @@ void Simulation::step() {
       const std::uint32_t pkt_idx = req.pkt;
       PacketRecord& pk = packets_[pkt_idx];
 
-      // Pop the flit from its input.
       Flit f;
       if (req.input_key & kInjectionFlag) {
         const std::uint64_t ep = req.input_key & ~kInjectionFlag;
         f = {pkt_idx, inj_sent_[ep]};
         ++inj_sent_[ep];
         if (f.seq + 1u == pk.flits) {
-          inj_queue_[ep].pop_front();
+          inj_pop_front(ep);
           inj_sent_[ep] = 0;
           inj_state_[ep].active = false;
         }
@@ -788,7 +1240,7 @@ void Simulation::step() {
         f = buffer_front(b);
         buffer_pop(b);
         if (prm_.credit_latency == 0) {
-          ++credits_[b];  // idealized instantaneous credit return
+          ++credits_[b];
         } else {
           credit_returns_[(cycle_ + prm_.credit_latency) %
                           credit_returns_.size()]
@@ -797,7 +1249,6 @@ void Simulation::step() {
         if (f.seq + 1u == pk.flits) vc_state_[b].active = false;
       }
 
-      // Forward.
       if (o < deg) {
         const Vertex nbr = net_->neighbor_at(r, o);
         const std::uint32_t rev = net_->reverse_port(r, o);
@@ -808,8 +1259,6 @@ void Simulation::step() {
           if (packet_telemetry_ && traced_[pkt_idx]) {
             collector_->on_packet_hop(pk, r, o, req.ovc,
                                       trace_arrival_[pkt_idx], cycle_);
-            // Head flit lands at the neighbour after link + router latency;
-            // the next hop's wait is measured from that arrival.
             trace_arrival_[pkt_idx] =
                 cycle_ + prm_.link_latency + prm_.router_latency;
           }
@@ -835,8 +1284,6 @@ void Simulation::step() {
 
   if (moved_this_cycle_ > 0 || live_packets_ == 0 ||
       (has_faults_ && fault_progress_pending())) {
-    // Pending retransmission backoffs and unapplied schedule events (e.g. a
-    // repair that will unblock traffic) count as progress, not deadlock.
     last_progress_cycle_ = cycle_;
   } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
     deadlock_ = true;
@@ -858,7 +1305,7 @@ void Simulation::report_output_stalls(Vertex r, std::uint32_t deg) {
   for (std::uint32_t o = 0; o < deg; ++o) {
     if (out_granted_[o]) continue;
     telemetry::StallCause cause;
-    if (!req_scratch_[o].empty()) {
+    if (req_count_[o] != 0) {
       cause = telemetry::StallCause::kArbitrationLost;
     } else if (out_want_credit_[o]) {
       cause = telemetry::StallCause::kCreditStarved;
@@ -909,6 +1356,35 @@ void Simulation::check_invariants() const {
       nbuf * static_cast<std::size_t>(cap)) {
     throw std::logic_error("sim invariant: credit conservation violated");
   }
+
+  // Occupancy index consistency: every port mask bit mirrors its buffer's
+  // emptiness, injection FIFO counts match their lists, and router work
+  // equals non-empty buffers plus non-empty injection queues.
+  std::vector<std::uint32_t> work(router_work_.size(), 0);
+  for (std::size_t b = 0; b < nbuf; ++b) {
+    const bool bit = (port_mask_[buf_link_[b]] & buf_vc_bit_[b]) != 0;
+    if (bit != (buf_size_[b] != 0)) {
+      throw std::logic_error("sim invariant: VC occupancy mask out of sync");
+    }
+    if (buf_size_[b] != 0) ++work[buf_router_[b]];
+  }
+  for (std::size_t ep = 0; ep < inj_head_.size(); ++ep) {
+    std::uint32_t count = 0;
+    for (std::uint32_t nd = inj_head_[ep]; nd != kNilNode;
+         nd = inj_pool_[nd].next) {
+      ++count;
+      if (count > inj_pool_.size()) {
+        throw std::logic_error("sim invariant: injection FIFO cycle");
+      }
+    }
+    if (count != inj_count_[ep]) {
+      throw std::logic_error("sim invariant: injection FIFO count mismatch");
+    }
+    if (count != 0) ++work[ep_router_[ep]];
+  }
+  if (work != router_work_) {
+    throw std::logic_error("sim invariant: router work counter out of sync");
+  }
 }
 
 SimResult Simulation::collect(std::uint64_t cycles) {
@@ -942,7 +1418,7 @@ SimResult Simulation::collect(std::uint64_t cycles) {
                              (static_cast<double>(eps) * window);
   }
   std::uint64_t maxq = 0;
-  for (const auto& q : inj_queue_) maxq = std::max<std::uint64_t>(maxq, q.size());
+  for (std::uint32_t c : inj_count_) maxq = std::max<std::uint64_t>(maxq, c);
   res.max_source_queue = maxq;
   if (has_faults_) {
     res.fault_events = fault_events_applied_;

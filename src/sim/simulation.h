@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <random>
@@ -87,6 +86,13 @@ struct SimParams {
   /// diameter; packets over budget are dropped and retransmitted). Also
   /// clamps the VC index. 0 = num_vcs * 4.
   std::uint32_t fault_hop_limit = 0;
+  /// Testing escape hatch: route every per-hop/per-packet query through the
+  /// generic reference implementations (routing::UgalSelector over the
+  /// virtual MinimalRouting, FaultAwareRouting::next_hops, the fully gated
+  /// step loop) instead of the flattened fast paths resolved at
+  /// construction. Outputs are bit-identical either way -- `ctest -L perf`
+  /// asserts it. Slow; never set outside tests.
+  bool reference_impl = false;
 };
 
 struct PacketRecord {
@@ -239,6 +245,28 @@ class Simulation {
                            std::uint64_t tag);
   void free_packet(std::uint32_t idx);
 
+  // Pooled per-endpoint injection queues: singly linked FIFOs over one
+  // shared node pool with a free list, so steady-state push/pop never
+  // allocates (a deque per endpoint did).
+  static constexpr std::uint32_t kNilNode = 0xFFFFFFFFu;
+  struct InjNode {
+    std::uint32_t pkt;
+    std::uint32_t next;
+  };
+  void inj_push(std::uint64_t ep, std::uint32_t pkt_idx);
+  void inj_pop_front(std::uint64_t ep);
+
+  // UGAL-L fast path: bit-identical replica of routing::UgalSelector's
+  // select()/cost() (same RNG consumption, same double accumulation order)
+  // over the Network's flattened distance/route-port tables and this
+  // simulation's credit state. `ctest -L perf` diffs it against the
+  // reference selector; any edit here must keep routing/ugal.h in lockstep.
+  routing::PathChoice ugal_select_fast(graph::Vertex src, graph::Vertex dst);
+  double path_cost_fast(graph::Vertex src, graph::Vertex toward,
+                        std::uint32_t hops) const;
+  // occupancy() resolved to a directed link index (= port_base(r) + port).
+  double occupancy_by_port(std::size_t link) const;
+
   // Route the head flit of packet pkt_idx at router r; fills out/ovc.
   // Fault-free a minimal next hop always exists and this returns true;
   // under faults it returns false when no live route remains (or the hop
@@ -246,7 +274,23 @@ class Simulation {
   bool compute_route(std::uint32_t pkt_idx, graph::Vertex r,
                      std::uint16_t& out, std::uint8_t& ovc);
 
-  void step();                 // one full cycle
+  // One full cycle. Dispatches through step_fn_, bound at construction:
+  // the template parameters hoist the telemetry and fault cap-gates out of
+  // the inner loops, so a collector-free fault-free run executes
+  // step_impl<false, false> with no hook branches at all. The runtime
+  // flags (stall_telemetry_, faults_active_, ...) are still consulted
+  // inside the if-constexpr arms, so step_impl<true, true> stays exactly
+  // the generic code. paranoid_checks stays a runtime branch in every
+  // instantiation (tests enable it without a collector).
+  void step() { (this->*step_fn_)(); }
+  template <bool kTel, bool kFaults>
+  void step_impl();
+  // The pre-optimization cycle loop, kept verbatim (adapted only to the
+  // pooled queue storage): scans every router/VC instead of the work
+  // masks, recomputes receive-buffer indexes and arbitration input ports
+  // the long way, and uses modulo ring arithmetic. Selected by
+  // SimParams::reference_impl; the `perf` test label diffs the two.
+  void step_reference();
   // Fault machinery (only called when has_faults_).
   void process_faults();       // apply due schedule events, kill casualties
   // Removes every flit of the given packets from buffers, arrivals and
@@ -319,8 +363,11 @@ class Simulation {
   // 0 = free (packet pool index + 1 otherwise).
   std::vector<std::uint32_t> out_owner_;
 
-  // Injection: per endpoint.
-  std::vector<std::deque<std::uint32_t>> inj_queue_;
+  // Injection: per endpoint (pooled linked FIFOs, see InjNode).
+  std::vector<InjNode> inj_pool_;
+  std::uint32_t inj_free_head_ = kNilNode;
+  std::vector<std::uint32_t> inj_head_, inj_tail_;
+  std::vector<std::uint32_t> inj_count_;
   std::vector<std::uint16_t> inj_sent_;  // flits of head packet already sent
   std::vector<VcState> inj_state_;
 
@@ -335,20 +382,44 @@ class Simulation {
   std::vector<std::uint16_t> out_rr_ej_;
   std::vector<std::uint64_t> ej_base_;  // first ejection-rr index per router
 
-  // Scratch for allocation.
+  // Scratch for allocation: a flat request store, req_stride_ slots per
+  // output port (enough for every input of the widest router), with
+  // per-output counts -- resetting a router's requests is nout stores.
   struct Request {
     std::uint32_t input_key;  // link-buffer index | 0x80000000 + endpoint
     std::uint32_t pkt;
+    std::uint16_t inport;     // arbitration input-port index at this router
     std::uint8_t ovc;
   };
-  std::vector<std::vector<Request>> req_scratch_;  // per output port
+  std::vector<Request> req_store_;
+  std::vector<std::uint32_t> req_count_;  // per output port
+  std::size_t req_stride_ = 0;
   std::vector<std::uint8_t> inport_used_;
   // Stall-attribution scratch (touched only when stall_telemetry_): per
   // output port, was a flit blocked before arbitration this cycle, and did
   // arbitration grant the port.
   std::vector<std::uint8_t> out_want_credit_, out_want_vc_, out_granted_;
 
-  routing::UgalSelector ugal_;
+  routing::UgalSelector ugal_;  // reference selector (reference_impl mode)
+
+  // Flat lookup tables resolved once at construction so the cycle loop
+  // never re-derives them (binary searches, divisions, pointer chases).
+  std::vector<graph::Vertex> ep_router_;     // endpoint -> router
+  std::vector<std::uint32_t> recv_buf_base_; // directed link -> first
+                                             // downstream input-buffer index
+  std::vector<std::uint32_t> buf_link_;      // buffer -> directed link
+  std::vector<std::uint32_t> buf_vc_bit_;    // buffer -> 1 << vc
+  std::vector<graph::Vertex> buf_router_;    // buffer -> owning router
+  // Occupancy index: bit per non-empty VC buffer of each directed link
+  // (num_vcs <= 32 enforced at construction), plus a per-router count of
+  // non-empty link-VC buffers and non-empty injection queues. A router
+  // with zero work is skipped whole by the optimized step loop (provably
+  // emits nothing, moves nothing, reports nothing).
+  std::vector<std::uint32_t> port_mask_;
+  std::vector<std::uint32_t> router_work_;
+
+  using StepFn = void (Simulation::*)();
+  StepFn step_fn_ = nullptr;
 
   // ---- Live fault injection (inert unless has_faults_) ----
   bool has_faults_ = false;      // a schedule was attached
