@@ -1,0 +1,100 @@
+#include "partition/shard_assign.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace polarstar::partition {
+
+namespace {
+
+using graph::Vertex;
+
+std::uint64_t router_weight(const sim::Network& net, Vertex r) {
+  return net.num_link_ports(r) + net.topology().conc[r];
+}
+
+// Bisects the subgraph induced on `verts` and assigns the halves to shard
+// ranges [first, first + parts/2) and [first + parts/2, first + parts),
+// recursing until every range is a single shard.
+void split(const sim::Network& net, const BisectionOptions& opts,
+           const std::vector<Vertex>& verts, std::uint32_t parts,
+           std::uint32_t first, std::uint64_t salt,
+           std::vector<std::uint32_t>& assignment) {
+  if (parts == 1) {
+    for (Vertex v : verts) assignment[v] = first;
+    return;
+  }
+  // Induced subgraph on local ids (the order of `verts`).
+  const auto n = static_cast<Vertex>(verts.size());
+  std::vector<Vertex> local(net.num_routers(), n);
+  for (Vertex i = 0; i < n; ++i) local[verts[i]] = i;
+  std::vector<graph::Edge> edges;
+  std::vector<std::uint64_t> weights(n);
+  const auto& g = net.topology().g;
+  for (Vertex i = 0; i < n; ++i) {
+    weights[i] = router_weight(net, verts[i]);
+    for (Vertex nbr : g.neighbors(verts[i])) {
+      const Vertex j = local[nbr];
+      if (j != n && i < j) edges.emplace_back(i, j);
+    }
+  }
+  auto sub_opts = opts;
+  sub_opts.seed = opts.seed + salt;  // decorrelate sibling bisections
+  const BisectionResult cut =
+      bisect(graph::Graph::from_edges(n, edges), weights, sub_opts);
+  std::vector<Vertex> sides[2];
+  for (Vertex i = 0; i < n; ++i) {
+    sides[cut.side[i]].push_back(verts[i]);
+  }
+  const std::uint32_t half = parts / 2;
+  // A degenerate empty side cannot seed `half` nonempty shards; rebalance
+  // by stealing from the populated one (never happens for the graphs the
+  // bisector is built for, but an assignment must always be legal).
+  for (int s = 0; s < 2; ++s) {
+    while (sides[s].size() < half) {
+      sides[s].push_back(sides[1 - s].back());
+      sides[1 - s].pop_back();
+    }
+  }
+  split(net, opts, sides[0], half, first, 2 * salt + 1, assignment);
+  split(net, opts, sides[1], half, first + half, 2 * salt + 2, assignment);
+}
+
+}  // namespace
+
+sim::ShardPlan shard_plan_from_partition(const sim::Network& net,
+                                         std::uint32_t shards,
+                                         const BisectionOptions& opts) {
+  const std::uint32_t n = net.num_routers();
+  if (shards == 0 || (shards & (shards - 1)) != 0 || shards > n) {
+    throw std::invalid_argument(
+        "shard_plan_from_partition: shards must be a power of two in [1, "
+        "num_routers], got " +
+        std::to_string(shards));
+  }
+  std::vector<Vertex> all(n);
+  for (Vertex r = 0; r < n; ++r) all[r] = r;
+  std::vector<std::uint32_t> assignment(n, 0);
+  split(net, opts, all, shards, 0, 0, assignment);
+  sim::ShardPlan plan = sim::ShardPlan::from_assignment(net, assignment, shards);
+  // The bisector guarantees each split within balance_tolerance; compounded
+  // over log2(shards) halvings that bounds the whole plan.
+  std::uint32_t levels = 0;
+  for (std::uint32_t s = shards; s > 1; s /= 2) ++levels;
+  const double bound =
+      std::pow(1.0 + opts.balance_tolerance, static_cast<double>(levels)) +
+      0.05;  // slack for integer vertex weights on small shards
+  if (plan.balance(net) > bound) {
+    throw std::logic_error(
+        "shard_plan_from_partition: partition balance " +
+        std::to_string(plan.balance(net)) + " exceeds bound " +
+        std::to_string(bound));
+  }
+  return plan;
+}
+
+}  // namespace polarstar::partition

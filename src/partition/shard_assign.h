@@ -1,0 +1,34 @@
+// Cut-minimizing router -> shard assignment for the sharded cycle engine.
+//
+// ShardPlan::contiguous balances switch work but ignores the wiring, so on
+// an expander-like PolarStar graph nearly every link crosses a shard
+// boundary. This helper instead recursively bisects the router graph with
+// partition::bisect (vertex weights = per-router switch work, the same
+// weight contiguous balances), halving until `shards` parts remain -- the
+// same machinery as the Fig 12/13 bisection analyses, pointed at mailbox
+// traffic instead of bisection bandwidth. Results are bit-identical to any
+// other plan (the engine's contract); only the cross-shard link fraction
+// -- and with it mailbox pressure -- changes.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partitioner.h"
+#include "sim/shard_plan.h"
+
+namespace polarstar::sim {
+class Network;
+}
+
+namespace polarstar::partition {
+
+/// Builds a ShardPlan for `net` by recursive balanced bisection. `shards`
+/// must be a power of two in [1, num_routers] (throws
+/// std::invalid_argument otherwise). Throws std::logic_error if the
+/// refined partition's balance exceeds (1 + balance_tolerance)^levels --
+/// the bisector's own guarantee, compounded per halving.
+sim::ShardPlan shard_plan_from_partition(const sim::Network& net,
+                                         std::uint32_t shards,
+                                         const BisectionOptions& opts = {});
+
+}  // namespace polarstar::partition

@@ -1,5 +1,6 @@
 #include "runlab/runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
@@ -95,8 +96,13 @@ class ProgressMeter {
 // deterministic as the simulation itself. `trace` is the case's effective
 // flight-recorder filter (the runner may have applied its default).
 void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
-               ProgressMeter& meter, CaseResult& out) {
+               unsigned num_shards, ProgressMeter& meter, CaseResult& out) {
   const auto chain_start = std::chrono::steady_clock::now();
+  // The runner owns shard resolution: every point gets the budgeted shard
+  // count (the case's explicit request, clamped), so a Simulation under
+  // the runner never reads POLARSTAR_SHARDS on its own unclamped.
+  sim::SimParams params = c.params;
+  params.num_shards = num_shards;
   out.points.resize(c.loads.size());
   bool saturated = false;
   std::size_t ran = 0;
@@ -110,7 +116,7 @@ void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
     p.result = run_point({.net = c.net.get(),
                           .pattern = c.pattern,
                           .load = c.loads[j],
-                          .params = c.params,
+                          .params = params,
                           .pattern_seed = c.pattern_seed,
                           .collector = collector.get(),
                           .trace = trace,
@@ -240,8 +246,19 @@ sim::SimResult run_point(const sim::Network& net, sim::Pattern pattern,
                     .trace = {}});
 }
 
+ExperimentRunner::WorkerBudget ExperimentRunner::plan_budget(
+    unsigned num_threads) {
+  WorkerBudget b;
+  b.total = num_threads != 0 ? num_threads : configured_threads();
+  if (b.total == 0) b.total = 1;
+  b.shards = std::min(sim::resolve_num_shards(0), b.total);
+  if (b.shards == 0) b.shards = 1;
+  b.chains = std::max(1u, b.total / b.shards);
+  return b;
+}
+
 ExperimentRunner::ExperimentRunner(unsigned num_threads)
-    : pool_(num_threads) {
+    : budget_(plan_budget(num_threads)), pool_(budget_.chains) {
   if (const char* v = std::getenv("POLARSTAR_JSON")) json_path_ = v;
   if (const char* v = std::getenv("POLARSTAR_TRACE")) trace_path_ = v;
   if (const char* v = std::getenv("POLARSTAR_PROGRESS")) {
@@ -279,9 +296,15 @@ std::vector<CaseResult> ExperimentRunner::run(
   std::vector<CaseResult> results(cases.size());
   std::vector<std::exception_ptr> errors(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
-    pool_.submit([&cases, &trace, &meter, &results, &errors, i] {
+    // A case's explicit shard request wins but stays inside the budget;
+    // unset (0) means the runner's POLARSTAR_SHARDS-derived default.
+    const unsigned shards =
+        cases[i].params.num_shards != 0
+            ? std::min(cases[i].params.num_shards, budget_.total)
+            : budget_.shards;
+    pool_.submit([&cases, &trace, &meter, &results, &errors, shards, i] {
       try {
-        run_chain(cases[i], trace[i], meter, results[i]);
+        run_chain(cases[i], trace[i], shards, meter, results[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }

@@ -120,7 +120,20 @@ class ExperimentRunner {
   /// when a trace path is configured (1 in 64 packets by id).
   static constexpr std::uint32_t kDefaultTracePeriod = 64;
 
-  /// 0 = POLARSTAR_THREADS, falling back to hardware_concurrency.
+  /// How one runner splits its thread budget between concurrent load
+  /// chains and shards within each chain's Simulation. The budget is
+  /// shared: chains x shards never exceeds `total`, so
+  /// POLARSTAR_THREADS=16 with POLARSTAR_SHARDS=4 runs 4 chains of
+  /// 4-shard simulations instead of oversubscribing 16x4 threads.
+  struct WorkerBudget {
+    unsigned total = 1;   ///< thread budget (ctor arg or POLARSTAR_THREADS)
+    unsigned shards = 1;  ///< shards per point (POLARSTAR_SHARDS, clamped)
+    unsigned chains = 1;  ///< concurrent chains = max(1, total / shards)
+  };
+
+  /// 0 = POLARSTAR_THREADS, falling back to hardware_concurrency. The
+  /// budget is split per WorkerBudget; sharding never changes results
+  /// (bit-identical at any shard count), only the parallelism shape.
   explicit ExperimentRunner(unsigned num_threads = 0);
   /// Flushes pending JSON and traces (see set_json_path / set_trace_path)
   /// before tearing the pool down.
@@ -136,6 +149,7 @@ class ExperimentRunner {
                               const std::vector<SweepCase>& cases);
 
   unsigned num_threads() const { return pool_.size(); }
+  const WorkerBudget& worker_budget() const { return budget_; }
 
   /// Where results are written as JSON. Initialised from POLARSTAR_JSON at
   /// construction; empty disables emission. Override before run() in tests.
@@ -172,6 +186,9 @@ class ExperimentRunner {
     bool faulted = false;  // case carried a fault schedule
   };
 
+  static WorkerBudget plan_budget(unsigned num_threads);
+
+  WorkerBudget budget_;  // before pool_: its chains value sizes the pool
   ThreadPool pool_;
   std::string json_path_, trace_path_;
   std::ostream* progress_ = nullptr;

@@ -1,0 +1,132 @@
+#include "sim/shard_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "sim/network.h"
+
+namespace polarstar::sim {
+
+namespace {
+
+std::uint64_t router_weight(const Network& net, graph::Vertex r) {
+  return net.num_link_ports(r) + net.topology().conc[r];
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::contiguous(const Network& net, std::uint32_t shards) {
+  const std::uint32_t n = net.num_routers();
+  ShardPlan plan;
+  plan.num_shards = std::clamp<std::uint32_t>(shards, 1, std::max(n, 1u));
+  plan.shard_of_router.assign(n, 0);
+  plan.routers.resize(plan.num_shards);
+  std::uint64_t total = 0;
+  for (graph::Vertex r = 0; r < n; ++r) total += router_weight(net, r);
+  // Walk the routers once, cutting to the next shard whenever the running
+  // weight crosses the next ideal boundary k * total / shards -- while
+  // leaving enough routers for every remaining shard to get at least one.
+  std::uint64_t acc = 0;
+  std::uint32_t s = 0;
+  for (graph::Vertex r = 0; r < n; ++r) {
+    const std::uint64_t boundary =
+        (static_cast<std::uint64_t>(s) + 1) * total / plan.num_shards;
+    if (s + 1 < plan.num_shards && acc >= boundary &&
+        n - r >= plan.num_shards - s) {
+      ++s;
+    }
+    plan.shard_of_router[r] = s;
+    plan.routers[s].push_back(r);
+    acc += router_weight(net, r);
+  }
+  // Tail guarantee: if the weight walk never reached the last shards (heavy
+  // prefix), hand them the trailing routers one each.
+  for (std::uint32_t t = plan.num_shards; t-- > 0;) {
+    if (!plan.routers[t].empty()) continue;
+    for (std::uint32_t u = t; u-- > 0;) {
+      if (plan.routers[u].size() > 1) {
+        const graph::Vertex moved = plan.routers[u].back();
+        plan.routers[u].pop_back();
+        plan.routers[t].insert(plan.routers[t].begin(), moved);
+        plan.shard_of_router[moved] = t;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::from_assignment(const Network& net,
+                                     std::span<const std::uint32_t> assignment,
+                                     std::uint32_t shards) {
+  const std::uint32_t n = net.num_routers();
+  if (assignment.size() != n) {
+    throw std::invalid_argument(
+        "ShardPlan::from_assignment: assignment size " +
+        std::to_string(assignment.size()) + " != num_routers " +
+        std::to_string(n));
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("ShardPlan::from_assignment: zero shards");
+  }
+  ShardPlan plan;
+  plan.num_shards = shards;
+  plan.shard_of_router.assign(assignment.begin(), assignment.end());
+  plan.routers.resize(shards);
+  for (graph::Vertex r = 0; r < n; ++r) {
+    if (assignment[r] >= shards) {
+      throw std::invalid_argument(
+          "ShardPlan::from_assignment: router " + std::to_string(r) +
+          " assigned to shard " + std::to_string(assignment[r]) +
+          " >= num_shards " + std::to_string(shards));
+    }
+    plan.routers[assignment[r]].push_back(r);  // r ascending => list sorted
+  }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (plan.routers[s].empty()) {
+      throw std::invalid_argument("ShardPlan::from_assignment: shard " +
+                                  std::to_string(s) + " is empty");
+    }
+  }
+  return plan;
+}
+
+double ShardPlan::cross_shard_link_fraction(const Network& net) const {
+  const std::size_t links = net.total_link_ports();
+  if (links == 0 || num_shards <= 1) return 0.0;
+  std::size_t cross = 0;
+  for (std::size_t link = 0; link < links; ++link) {
+    if (shard_of_router[net.link_router(link)] !=
+        shard_of_router[net.link_neighbor(link)]) {
+      ++cross;
+    }
+  }
+  return static_cast<double>(cross) / static_cast<double>(links);
+}
+
+double ShardPlan::balance(const Network& net) const {
+  std::uint64_t total = 0, heaviest = 0;
+  for (const auto& rs : routers) {
+    std::uint64_t w = 0;
+    for (graph::Vertex r : rs) w += router_weight(net, r);
+    total += w;
+    heaviest = std::max(heaviest, w);
+  }
+  if (total == 0) return 1.0;
+  const double ideal =
+      static_cast<double>(total) / static_cast<double>(num_shards);
+  return static_cast<double>(heaviest) / ideal;
+}
+
+std::uint32_t resolve_num_shards(std::uint32_t requested) {
+  if (requested != 0) return requested;
+  if (const char* v = std::getenv("POLARSTAR_SHARDS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) return static_cast<std::uint32_t>(parsed);
+  }
+  return 1;
+}
+
+}  // namespace polarstar::sim

@@ -1,0 +1,63 @@
+// Router -> worker-shard assignment for the sharded cycle engine.
+//
+// A ShardPlan carves the routers of one Network into `num_shards` disjoint
+// sets. Each simulated cycle, every shard executes the router loop over its
+// own routers (in ascending router order) on its own worker thread;
+// cross-shard flit exchange goes through fixed-order mailboxes and every
+// side effect with a canonical global order is staged and replayed at the
+// end-of-cycle barrier, so results are bit-identical for ANY plan and ANY
+// shard count (see DESIGN.md "Sharded deterministic core").
+//
+// The default plan is a contiguous split balanced by per-router switch work
+// (link ports + endpoints). Lower cross-shard link fractions -- fewer
+// mailbox hops -- come from a partitioner-driven assignment; see
+// partition::shard_plan_from_partition.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::sim {
+
+class Network;
+
+struct ShardPlan {
+  std::uint32_t num_shards = 1;
+  /// Router -> shard, size num_routers, every value < num_shards.
+  std::vector<std::uint32_t> shard_of_router;
+  /// Per shard, its routers in ascending order (the per-cycle iteration
+  /// order; ascending order per shard is what makes the staged-replay merge
+  /// reproduce the serial router order for any assignment).
+  std::vector<std::vector<graph::Vertex>> routers;
+
+  /// Contiguous balanced split: routers [0, n) cut into `shards` runs with
+  /// near-equal total switch work (link ports + endpoints per router).
+  /// `shards` is clamped to [1, num_routers].
+  static ShardPlan contiguous(const Network& net, std::uint32_t shards);
+
+  /// Plan from an explicit router -> shard map (e.g. a partitioner run).
+  /// Throws std::invalid_argument when the assignment's size does not match
+  /// the network, names a shard >= `shards`, or leaves a shard empty.
+  static ShardPlan from_assignment(const Network& net,
+                                   std::span<const std::uint32_t> assignment,
+                                   std::uint32_t shards);
+
+  /// Directed links whose two routers land on different shards, as a
+  /// fraction of all directed links (the mailbox traffic proxy; 0 when
+  /// num_shards == 1).
+  double cross_shard_link_fraction(const Network& net) const;
+
+  /// Heaviest shard's switch work over the ideal per-shard average
+  /// (>= 1.0; 1.0 = perfectly balanced).
+  double balance(const Network& net) const;
+};
+
+/// Effective shard count for SimParams::num_shards: the value itself when
+/// nonzero, else POLARSTAR_SHARDS from the environment (positive integer),
+/// else 1.
+std::uint32_t resolve_num_shards(std::uint32_t requested);
+
+}  // namespace polarstar::sim

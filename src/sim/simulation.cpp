@@ -1,10 +1,12 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "fault/fault_routing.h"
 #include "fault/schedule.h"
@@ -151,7 +153,76 @@ const char* to_string(PathMode mode, MinSelect sel) {
   return sel == MinSelect::kAdaptive ? "min-adaptive" : "min";
 }
 
+// Persistent worker team for the sharded cycle engine: num_shards - 1
+// threads plus the calling thread (which always executes shard 0, keeping
+// the serial phases and shard 0 on one core). Dispatch is a seqlock-style
+// epoch counter: run() publishes the task, bumps the epoch and waits for
+// the completion count; workers block in std::atomic::wait between phases,
+// so an idle team costs nothing and a one-core host is never spun against.
+// The release/acquire pairs on epoch_ and pending_ order every shard's
+// phase writes before the next serial phase reads them (TSan-checked by
+// the `shard` suite under -DPOLARSTAR_SANITIZE=thread).
+class Simulation::ShardTeam {
+ public:
+  ShardTeam(Simulation* sim, std::uint32_t shards) : sim_(sim) {
+    threads_.reserve(shards - 1);
+    for (std::uint32_t s = 1; s < shards; ++s) {
+      threads_.emplace_back([this, s] { worker(s); });
+    }
+  }
+
+  ~ShardTeam() {
+    exit_.store(true, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void run(ShardTask task) {
+    task_ = task;
+    pending_.store(static_cast<std::uint32_t>(threads_.size()),
+                   std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+    (sim_->*task)(0);
+    for (std::uint32_t p = pending_.load(std::memory_order_acquire); p != 0;
+         p = pending_.load(std::memory_order_acquire)) {
+      pending_.wait(p, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  void worker(std::uint32_t shard) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      epoch_.wait(seen, std::memory_order_acquire);
+      seen = epoch_.load(std::memory_order_acquire);
+      if (exit_.load(std::memory_order_relaxed)) return;
+      (sim_->*task_)(shard);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pending_.notify_one();
+      }
+    }
+  }
+
+  Simulation* sim_;
+  ShardTask task_ = nullptr;  // written before the epoch release, read after
+                              // the worker's acquire: ordered, no atomic
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint32_t> pending_{0};
+  std::atomic<bool> exit_{false};
+  std::vector<std::thread> threads_;
+};
+
 Simulation::~Simulation() = default;
+
+void Simulation::run_sharded(ShardTask task) {
+  if (team_) {
+    team_->run(task);
+  } else {
+    (this->*task)(0);
+  }
+}
 
 Simulation::Simulation(const Network& net, const SimParams& prm,
                        TrafficSource& source, telemetry::Collector* collector)
@@ -196,6 +267,21 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
         "Simulation: num_vcs must be in [1, 32] (the VC occupancy index is "
         "one 32-bit mask per link port)");
   }
+  // Resolve the shard plan. reference_impl stays the serial oracle: the
+  // sharded engine must match it bit for bit at every shard count, so the
+  // reference itself never shards.
+  if (prm_.reference_impl) {
+    plan_ = ShardPlan::contiguous(net, 1);
+  } else if (prm_.shard_plan != nullptr) {
+    if (prm_.shard_plan->shard_of_router.size() != net.num_routers()) {
+      throw std::invalid_argument(
+          "Simulation: shard_plan does not match the network");
+    }
+    plan_ = *prm_.shard_plan;
+  } else {
+    plan_ = ShardPlan::contiguous(net, resolve_num_shards(prm_.num_shards));
+  }
+  num_shards_ = plan_.num_shards;
   const std::size_t nbuf = net.total_link_ports() * prm_.num_vcs;
   buf_store_.resize(nbuf * prm_.vc_buffer_flits);
   buf_head_.assign(nbuf, 0);
@@ -214,8 +300,11 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
   out_rr_ej_.assign(eps, 0);
   out_rr_link_.assign(net.total_link_ports(), 0);
 
-  arrivals_.resize(prm_.link_latency + prm_.router_latency + 1);
-  credit_returns_.resize(prm_.credit_latency + 1);
+  arr_depth_ = prm_.link_latency + prm_.router_latency + 1;
+  cred_depth_ = prm_.credit_latency + 1;
+  arrivals_.resize(static_cast<std::size_t>(num_shards_) * num_shards_ *
+                   arr_depth_);
+  credit_returns_.resize(static_cast<std::size_t>(num_shards_) * cred_depth_);
 
   std::uint32_t max_out = 0, max_in = 0;
   for (Vertex r = 0; r < net.num_routers(); ++r) {
@@ -224,13 +313,16 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     max_in = std::max(max_in, deg * prm_.num_vcs + topo.conc[r]);
   }
   req_stride_ = max_in;
-  req_store_.resize(static_cast<std::size_t>(max_out) * req_stride_);
-  req_count_.assign(max_out, 0);
-  inport_used_.assign(max_out, 0);
-  if (stall_telemetry_) {
-    out_want_credit_.assign(max_out, 0);
-    out_want_vc_.assign(max_out, 0);
-    out_granted_.assign(max_out, 0);
+  shard_scratch_.resize(num_shards_);
+  for (ShardScratch& sc : shard_scratch_) {
+    sc.req_store.resize(static_cast<std::size_t>(max_out) * req_stride_);
+    sc.req_count.assign(max_out, 0);
+    sc.inport_used.assign(max_out, 0);
+    if (stall_telemetry_) {
+      sc.out_want_credit.assign(max_out, 0);
+      sc.out_want_vc.assign(max_out, 0);
+      sc.out_granted.assign(max_out, 0);
+    }
   }
 
   // Flat lookups: endpoint->router, downstream receive-buffer bases, and
@@ -262,13 +354,18 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     step_fn_ = &Simulation::step_reference;
   } else if (tel && has_faults_) {
     step_fn_ = &Simulation::step_impl<true, true>;
+    route_task_ = &Simulation::route_shard<true, true>;
   } else if (tel) {
     step_fn_ = &Simulation::step_impl<true, false>;
+    route_task_ = &Simulation::route_shard<true, false>;
   } else if (has_faults_) {
     step_fn_ = &Simulation::step_impl<false, true>;
+    route_task_ = &Simulation::route_shard<false, true>;
   } else {
     step_fn_ = &Simulation::step_impl<false, false>;
+    route_task_ = &Simulation::route_shard<false, false>;
   }
+  if (num_shards_ > 1) team_ = std::make_unique<ShardTeam>(this, num_shards_);
 }
 
 void Simulation::buffer_push(std::size_t b, Flit f) {
@@ -313,17 +410,27 @@ void Simulation::inj_push(std::uint64_t ep, std::uint32_t pkt_idx) {
   ++inj_count_[ep];
 }
 
-void Simulation::inj_pop_front(std::uint64_t ep) {
+void Simulation::inj_pop_front(std::uint64_t ep,
+                               std::vector<std::uint32_t>& freed) {
   const std::uint32_t node = inj_head_[ep];
   assert(node != kNilNode);
   inj_head_[ep] = inj_pool_[node].next;
-  inj_pool_[node].next = inj_free_head_;
-  inj_free_head_ = node;
+  freed.push_back(node);  // spliced onto the free list at the barrier
   if (inj_head_[ep] == kNilNode) {
     inj_tail_[ep] = kNilNode;
     --router_work_[ep_router_[ep]];
   }
   --inj_count_[ep];
+}
+
+void Simulation::splice_freed_inj_nodes() {
+  for (ShardScratch& sc : shard_scratch_) {
+    for (std::uint32_t node : sc.freed_inj) {
+      inj_pool_[node].next = inj_free_head_;
+      inj_free_head_ = node;
+    }
+    sc.freed_inj.clear();
+  }
 }
 
 std::uint32_t Simulation::new_packet(std::uint64_t src_ep, std::uint64_t dst_ep,
@@ -468,7 +575,8 @@ routing::PathChoice Simulation::ugal_select_fast(Vertex src, Vertex dst) {
 }
 
 bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
-                               std::uint16_t& out, std::uint8_t& ovc) {
+                               std::uint16_t& out, std::uint8_t& ovc,
+                               ShardScratch& sc, bool staged) {
   PacketRecord& pk = packets_[pkt_idx];
   if (pk.valiant && !pk.phase2 && r == pk.intermediate) pk.phase2 = true;
   if (faults_active_ && pk.valiant && !pk.phase2 &&
@@ -485,7 +593,14 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
         deg + (pk.dst_endpoint - net_->topology().first_endpoint(r)));
     ovc = 0;
     if (packet_telemetry_ && traced_[pkt_idx]) {
-      collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/true, cycle_);
+      if (staged) {
+        sc.snaps.push_back(pk);
+        sc.events.push_back({StagedEvent::Kind::kRouted, ovc, /*flag=*/1, out,
+                             r, static_cast<std::uint32_t>(sc.snaps.size() - 1),
+                             0});
+      } else {
+        collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/true, cycle_);
+      }
     }
     return true;
   }
@@ -493,12 +608,12 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
   if (faults_active_) {
     if (pk.hops >= fault_hop_limit_) return false;  // walked too far: drop
     if (prm_.reference_impl) {
-      fault_hop_scratch_.clear();
-      fault_routing_->next_hops(r, target, fault_hop_scratch_);
-      if (fault_hop_scratch_.empty()) return false;  // target unreachable
-      fault_port_scratch_.clear();
-      for (Vertex h : fault_hop_scratch_) {
-        fault_port_scratch_.push_back(
+      sc.fault_hops.clear();
+      fault_routing_->next_hops(r, target, sc.fault_hops);
+      if (sc.fault_hops.empty()) return false;  // target unreachable
+      sc.fault_ports.clear();
+      for (Vertex h : sc.fault_hops) {
+        sc.fault_ports.push_back(
             static_cast<std::uint16_t>(net_->port_toward(r, h)));
       }
     } else {
@@ -510,24 +625,24 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
       // Bit-identical to the reference branch -- `ctest -L perf` diffs it.
       const std::uint32_t d_cur = fault_routing_->distance(r, target);
       const std::size_t pb = net_->port_base(r);
-      fault_port_scratch_.clear();
+      sc.fault_ports.clear();
       for (std::uint16_t p : net_->route_ports(r, target)) {
         if (link_down_[pb + p] != 0) continue;
         const Vertex h = net_->link_neighbor(pb + p);
         if (fault_routing_->distance(h, target) < d_cur) {
-          fault_port_scratch_.push_back(p);
+          sc.fault_ports.push_back(p);
         }
       }
-      if (fault_port_scratch_.empty()) {
+      if (sc.fault_ports.empty()) {
         // Base scheme routes into a hole: survivor-minimal next hops.
         for (Vertex h : fault_routing_->survivor_next_hops(r, target)) {
-          fault_port_scratch_.push_back(
+          sc.fault_ports.push_back(
               static_cast<std::uint16_t>(net_->port_toward(r, h)));
         }
-        if (fault_port_scratch_.empty()) return false;  // unreachable
+        if (sc.fault_ports.empty()) return false;  // unreachable
       }
     }
-    ports = fault_port_scratch_;
+    ports = sc.fault_ports;
   } else {
     ports = net_->route_ports(r, target);
     assert(!ports.empty());
@@ -556,7 +671,14 @@ bool Simulation::compute_route(std::uint32_t pkt_idx, Vertex r,
     out = best;
   }
   if (packet_telemetry_ && traced_[pkt_idx]) {
-    collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/false, cycle_);
+    if (staged) {
+      sc.snaps.push_back(pk);
+      sc.events.push_back({StagedEvent::Kind::kRouted, ovc, /*flag=*/0, out, r,
+                           static_cast<std::uint32_t>(sc.snaps.size() - 1),
+                           0});
+    } else {
+      collector_->on_packet_routed(pk, r, out, ovc, /*eject=*/false, cycle_);
+    }
   }
   return true;
 }
@@ -842,9 +964,17 @@ void Simulation::process_retransmits() {
 }
 
 void Simulation::process_pending_kills() {
-  purge_packets(pending_kills_);
-  for (std::uint32_t v : pending_kills_) drop_packet(v);
-  pending_kills_.clear();
+  // Merge the per-shard kill lists; purge_packets sorts and dedupes, so the
+  // merge order never shows (drops happen in ascending packet-pool order).
+  kill_merge_.clear();
+  for (ShardScratch& sc : shard_scratch_) {
+    kill_merge_.insert(kill_merge_.end(), sc.pending_kills.begin(),
+                       sc.pending_kills.end());
+    sc.pending_kills.clear();
+  }
+  if (kill_merge_.empty()) return;
+  purge_packets(kill_merge_);
+  for (std::uint32_t v : kill_merge_) drop_packet(v);
 }
 
 bool Simulation::fault_progress_pending() const {
@@ -852,40 +982,53 @@ bool Simulation::fault_progress_pending() const {
   return next_fault_ < prm_.faults->events().size();
 }
 
-template <bool kTel, bool kFaults>
-void Simulation::step_impl() {
-  // 0. Live faults: apply due schedule events (dropping casualties), then
-  // re-enqueue packets whose retransmission backoff expired.
-  if constexpr (kFaults) {
-    process_faults();
-    process_retransmits();
+// Phase 1 body: deliver this cycle's arrivals addressed to `shard` (one
+// mailbox per sender shard, drained in ascending sender order -- the order
+// is free to pick because every arrival in a slot targets a distinct
+// buffer) plus the shard's own credit-return slot.
+void Simulation::deliver_shard(std::uint32_t shard) {
+  const std::size_t arr_slot = cycle_ % arr_depth_;
+  for (std::uint32_t src = 0; src < num_shards_; ++src) {
+    auto& slot =
+        arrivals_[(static_cast<std::size_t>(src) * num_shards_ + shard) *
+                      arr_depth_ +
+                  arr_slot];
+    for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
+    slot.clear();
   }
-
-  // 1. Deliver link arrivals and credit returns scheduled for this cycle.
-  // The rings are latency+1 deep, so this cycle's send slot is the one
-  // just before the deliver slot -- computed once, no per-flit modulo.
-  const std::size_t arr_slot = cycle_ % arrivals_.size();
-  const std::size_t arr_push =
-      arr_slot == 0 ? arrivals_.size() - 1 : arr_slot - 1;
-  auto& slot = arrivals_[arr_slot];
-  for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
-  slot.clear();
-  const std::size_t cred_slot = cycle_ % credit_returns_.size();
-  const std::size_t cred_push =
-      cred_slot == 0 ? credit_returns_.size() - 1 : cred_slot - 1;
-  auto& credit_slot = credit_returns_[cred_slot];
+  auto& credit_slot =
+      credit_returns_[static_cast<std::size_t>(shard) * cred_depth_ +
+                      cycle_ % cred_depth_];
   for (std::uint32_t b : credit_slot) ++credits_[b];
   credit_slot.clear();
+}
 
-  // 2. Traffic generation.
-  source_->tick(*this);
-
-  // 3. Per-router separable allocation + switch traversal.
+// Phase 3 body: separable allocation + switch traversal over the shard's
+// routers in ascending order. Everything the phase writes is either owned
+// by the shard (its routers' buffers, VC state, injection queues, RR
+// pointers, occupancy index entries) or a cell no other shard touches this
+// phase (the downstream credits_/out_owner_ of the shard's own output
+// links: their unique writer AND unique phase-3 reader is this shard).
+// Side effects with a canonical order -- credit returns, deliveries,
+// collector hooks, unroutable-packet kills, freed injection nodes -- are
+// staged into the shard's mailboxes/ShardScratch and applied at the
+// barrier, which is what makes the result independent of the plan.
+template <bool kTel, bool kFaults>
+void Simulation::route_shard(std::uint32_t shard) {
+  ShardScratch& sc = shard_scratch_[shard];
   const auto& topo = net_->topology();
   const std::uint32_t num_vcs = prm_.num_vcs;
-  moved_this_cycle_ = 0;
-  const Vertex n = net_->num_routers();
-  for (Vertex r = 0; r < n; ++r) {
+  // The rings are latency+1 deep, so this cycle's send slot is the one
+  // just before the deliver slot -- computed once, no per-flit modulo.
+  const std::size_t arr_slot = cycle_ % arr_depth_;
+  const std::size_t arr_push = arr_slot == 0 ? arr_depth_ - 1 : arr_slot - 1;
+  const std::size_t cred_slot = cycle_ % cred_depth_;
+  const std::size_t cred_push =
+      cred_slot == 0 ? cred_depth_ - 1 : cred_slot - 1;
+  auto& cred_out =
+      credit_returns_[static_cast<std::size_t>(shard) * cred_depth_ +
+                      cred_push];
+  for (Vertex r : plan_.routers[shard]) {
     // No buffered flit and no queued packet anywhere at this router: the
     // generic body would collect nothing, grant nothing, and report
     // nothing -- skip it whole.
@@ -900,11 +1043,11 @@ void Simulation::step_impl() {
 
     // Collect feasible requests per output.
     bool any = false;
-    for (std::uint32_t o = 0; o < nout; ++o) req_count_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) sc.req_count[o] = 0;
     if constexpr (kTel) {
       if (stall_telemetry_) {
         for (std::uint32_t o = 0; o < nout; ++o) {
-          out_want_credit_[o] = out_want_vc_[o] = out_granted_[o] = 0;
+          sc.out_want_credit[o] = sc.out_want_vc[o] = sc.out_granted[o] = 0;
         }
       }
     }
@@ -916,7 +1059,7 @@ void Simulation::step_impl() {
         const std::size_t recv = recv_buf_base_[pb + out] + ovc;
         if (credits_[recv] == 0) {
           if constexpr (kTel) {
-            if (stall_telemetry_) out_want_credit_[out] = 1;
+            if (stall_telemetry_) sc.out_want_credit[out] = 1;
           }
           return;
         }
@@ -924,12 +1067,12 @@ void Simulation::step_impl() {
         // Head: VC must be free or already ours. Body: must follow its head.
         if (seq == 0 ? (owner != 0 && owner != pkt + 1) : (owner != pkt + 1)) {
           if constexpr (kTel) {
-            if (stall_telemetry_) out_want_vc_[out] = 1;
+            if (stall_telemetry_) sc.out_want_vc[out] = 1;
           }
           return;
         }
       }
-      req_store_[out * req_stride_ + req_count_[out]++] = {
+      sc.req_store[out * req_stride_ + sc.req_count[out]++] = {
           input_key, pkt, static_cast<std::uint16_t>(inport), ovc};
       any = true;
     };
@@ -946,8 +1089,9 @@ void Simulation::step_impl() {
         VcState& st = vc_state_[b];
         if (!st.active) {
           // A head flit must be at the front (wormhole order).
-          if (!compute_route(f.pkt, r, st.out_port, st.out_vc)) {
-            pending_kills_.push_back(f.pkt);  // unroutable: killed end of step
+          if (!compute_route(f.pkt, r, st.out_port, st.out_vc, sc,
+                             /*staged=*/true)) {
+            sc.pending_kills.push_back(f.pkt);  // unroutable: killed at barrier
             continue;
           }
           st.active = true;
@@ -964,8 +1108,9 @@ void Simulation::step_impl() {
       const std::uint32_t pkt = inj_pool_[head].pkt;
       VcState& st = inj_state_[ep];
       if (!st.active) {
-        if (!compute_route(pkt, r, st.out_port, st.out_vc)) {
-          pending_kills_.push_back(pkt);
+        if (!compute_route(pkt, r, st.out_port, st.out_vc, sc,
+                           /*staged=*/true)) {
+          sc.pending_kills.push_back(pkt);
           continue;
         }
         st.active = true;
@@ -976,27 +1121,27 @@ void Simulation::step_impl() {
     if (!any) {
       // Nothing reached arbitration; blocked inputs may still want ports.
       if constexpr (kTel) {
-        if (stall_telemetry_) report_output_stalls(r, deg);
+        if (stall_telemetry_) report_output_stalls(r, deg, sc, /*staged=*/true);
       }
       continue;
     }
 
     // Grant: per output, round-robin over requesters; an input port moves
     // at most one flit per cycle.
-    for (std::uint32_t o = 0; o < nout; ++o) inport_used_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) sc.inport_used[o] = 0;
     for (std::uint32_t o = 0; o < nout; ++o) {
-      const std::uint32_t k = req_count_[o];
+      const std::uint32_t k = sc.req_count[o];
       if (k == 0) continue;
-      const Request* reqs = &req_store_[o * req_stride_];
+      const Request* reqs = &sc.req_store[o * req_stride_];
       std::uint16_t& rr =
           o < deg ? out_rr_link_[pb + o] : out_rr_ej_[ep0 + (o - deg)];
       std::uint32_t winner = k;
       std::uint32_t cand = rr % k;  // same probe sequence as (rr + i) % k
       for (std::uint32_t i = 0; i < k; ++i) {
         const std::uint32_t inport = reqs[cand].inport;
-        if (!inport_used_[inport]) {
+        if (!sc.inport_used[inport]) {
           winner = cand;
-          inport_used_[inport] = 1;
+          sc.inport_used[inport] = 1;
           rr = static_cast<std::uint16_t>((cand + 1) % k);
           break;
         }
@@ -1007,14 +1152,16 @@ void Simulation::step_impl() {
       const std::uint32_t pkt_idx = req.pkt;
       PacketRecord& pk = packets_[pkt_idx];
 
-      // Pop the flit from its input.
+      // Pop the flit from its input. Credits return through the ring even
+      // at credit_latency == 0 (barrier semantics: the freed slot becomes
+      // visible next cycle, never mid-loop).
       Flit f;
       if (req.input_key & kInjectionFlag) {
         const std::uint64_t ep = req.input_key & ~kInjectionFlag;
         f = {pkt_idx, inj_sent_[ep]};
         ++inj_sent_[ep];
         if (f.seq + 1u == pk.flits) {
-          inj_pop_front(ep);
+          inj_pop_front(ep, sc.freed_inj);
           inj_sent_[ep] = 0;
           inj_state_[ep].active = false;
         }
@@ -1022,11 +1169,7 @@ void Simulation::step_impl() {
         const std::size_t b = req.input_key;
         f = buffer_front(b);
         buffer_pop(b);
-        if (prm_.credit_latency == 0) {
-          ++credits_[b];  // idealized instantaneous credit return
-        } else {
-          credit_returns_[cred_push].push_back(static_cast<std::uint32_t>(b));
-        }
+        cred_out.push_back(static_cast<std::uint32_t>(b));
         if (f.seq + 1u == pk.flits) vc_state_[b].active = false;
       }
 
@@ -1038,8 +1181,12 @@ void Simulation::step_impl() {
           ++pk.hops;
           if constexpr (kTel) {
             if (packet_telemetry_ && traced_[pkt_idx]) {
-              collector_->on_packet_hop(pk, r, o, req.ovc,
-                                        trace_arrival_[pkt_idx], cycle_);
+              sc.snaps.push_back(pk);
+              sc.events.push_back(
+                  {StagedEvent::Kind::kHop, req.ovc, 0,
+                   static_cast<std::uint16_t>(o), r,
+                   static_cast<std::uint32_t>(sc.snaps.size() - 1),
+                   trace_arrival_[pkt_idx]});
               // Head flit lands at the neighbour after link + router
               // latency; the next hop's wait is measured from that arrival.
               trace_arrival_[pkt_idx] =
@@ -1049,26 +1196,164 @@ void Simulation::step_impl() {
         }
         if (f.seq + 1u == pk.flits) out_owner_[recv] = 0;
         --credits_[recv];
-        arrivals_[arr_push].push_back({static_cast<std::uint32_t>(recv), f});
+        const std::uint32_t peer =
+            plan_.shard_of_router[buf_router_[recv]];
+        arrivals_[(static_cast<std::size_t>(shard) * num_shards_ + peer) *
+                      arr_depth_ +
+                  arr_push]
+            .push_back({static_cast<std::uint32_t>(recv), f});
         if constexpr (kTel) {
-          if (link_telemetry_) collector_->on_link_flit(pb + o, cycle_);
+          if (link_telemetry_) {
+            sc.events.push_back({StagedEvent::Kind::kLink, 0, 0, 0, r,
+                                 static_cast<std::uint32_t>(pb + o), 0});
+          }
         }
       } else {
-        finalize_flit(pkt_idx, r);
+        sc.finals.push_back({r, pkt_idx});  // delivery bookkeeping at barrier
       }
       if constexpr (kTel) {
-        if (stall_telemetry_) out_granted_[o] = 1;
+        if (stall_telemetry_) sc.out_granted[o] = 1;
       }
-      ++moved_this_cycle_;
+      ++sc.moved;
     }
     if constexpr (kTel) {
-      if (stall_telemetry_) report_output_stalls(r, deg);
+      if (stall_telemetry_) report_output_stalls(r, deg, sc, /*staged=*/true);
     }
   }
+}
 
-  if constexpr (kFaults) {
-    if (!pending_kills_.empty()) process_pending_kills();
+void Simulation::replay_event(const StagedEvent& e, const ShardScratch& sc) {
+  switch (e.kind) {
+    case StagedEvent::Kind::kRouted:
+      collector_->on_packet_routed(sc.snaps[e.idx], e.router, e.port, e.ovc,
+                                   e.flag != 0, cycle_);
+      break;
+    case StagedEvent::Kind::kHop:
+      collector_->on_packet_hop(sc.snaps[e.idx], e.router, e.port, e.ovc,
+                                e.aux, cycle_);
+      break;
+    case StagedEvent::Kind::kLink:
+      collector_->on_link_flit(e.idx, cycle_);
+      break;
+    case StagedEvent::Kind::kStall:
+      collector_->on_output_stall(
+          e.router, e.port, static_cast<telemetry::StallCause>(e.flag),
+          cycle_);
+      break;
   }
+}
+
+// K-way merge of the per-shard hook streams by router index. Each shard's
+// stream is ascending in router (its router list is ascending) and routers
+// are uniquely owned, so always draining the smallest-router head
+// reproduces the order a serial sweep would have produced -- for any
+// ShardPlan, contiguous or not.
+void Simulation::replay_staged_events() {
+  if (num_shards_ == 1) {
+    ShardScratch& sc = shard_scratch_[0];
+    for (const StagedEvent& e : sc.events) replay_event(e, sc);
+    sc.events.clear();
+    sc.snaps.clear();
+    return;
+  }
+  merge_cur_.assign(num_shards_, 0);
+  for (;;) {
+    std::uint32_t best = num_shards_;
+    Vertex best_router = 0;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      const auto& ev = shard_scratch_[s].events;
+      if (merge_cur_[s] >= ev.size()) continue;
+      const Vertex r = ev[merge_cur_[s]].router;
+      if (best == num_shards_ || r < best_router) {
+        best = s;
+        best_router = r;
+      }
+    }
+    if (best == num_shards_) break;
+    ShardScratch& sc = shard_scratch_[best];
+    std::size_t& cur = merge_cur_[best];
+    while (cur < sc.events.size() && sc.events[cur].router == best_router) {
+      replay_event(sc.events[cur], sc);
+      ++cur;
+    }
+  }
+  for (ShardScratch& sc : shard_scratch_) {
+    sc.events.clear();
+    sc.snaps.clear();
+  }
+}
+
+// Same merge for the deferred delivery bookkeeping. finalize_flit may
+// re-enter the packet pool and the injection queues (on_delivered), so it
+// must run serially and in canonical order -- delivered counters, latency
+// accumulation order, pool-index reuse and any traffic a motif engine
+// enqueues all reproduce the serial sweep exactly.
+void Simulation::replay_finalizes() {
+  if (num_shards_ == 1) {
+    ShardScratch& sc = shard_scratch_[0];
+    for (const FinalizeRec& fr : sc.finals) finalize_flit(fr.pkt, fr.router);
+    sc.finals.clear();
+    return;
+  }
+  merge_cur_.assign(num_shards_, 0);
+  for (;;) {
+    std::uint32_t best = num_shards_;
+    Vertex best_router = 0;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      const auto& fs = shard_scratch_[s].finals;
+      if (merge_cur_[s] >= fs.size()) continue;
+      const Vertex r = fs[merge_cur_[s]].router;
+      if (best == num_shards_ || r < best_router) {
+        best = s;
+        best_router = r;
+      }
+    }
+    if (best == num_shards_) break;
+    ShardScratch& sc = shard_scratch_[best];
+    std::size_t& cur = merge_cur_[best];
+    while (cur < sc.finals.size() && sc.finals[cur].router == best_router) {
+      finalize_flit(sc.finals[cur].pkt, sc.finals[cur].router);
+      ++cur;
+    }
+  }
+  for (ShardScratch& sc : shard_scratch_) sc.finals.clear();
+}
+
+template <bool kTel, bool kFaults>
+void Simulation::step_impl() {
+  // Phase 0 (serial) -- live faults: apply due schedule events (dropping
+  // casualties), then re-enqueue packets whose retransmission backoff
+  // expired.
+  if constexpr (kFaults) {
+    process_faults();
+    process_retransmits();
+  }
+
+  // Phase 1 (parallel) -- deliver link arrivals and credit returns
+  // scheduled for this cycle, each shard draining its own mailboxes.
+  run_sharded(&Simulation::deliver_shard);
+
+  // Phase 2 (serial) -- traffic generation: one legacy RNG stream, shared
+  // by injection and UGAL path selection, so sharding never moves a random
+  // draw.
+  source_->tick(*this);
+
+  // Phase 3 (parallel) -- per-router separable allocation + switch
+  // traversal over each shard's routers; ordered side effects staged.
+  run_sharded(route_task_);
+
+  // Phase 4 (serial barrier) -- replay the staged streams in canonical
+  // ascending-router order, then the cycle bookkeeping.
+  if constexpr (kTel) replay_staged_events();
+  replay_finalizes();
+  splice_freed_inj_nodes();
+  moved_this_cycle_ = 0;
+  for (ShardScratch& sc : shard_scratch_) {
+    moved_this_cycle_ += sc.moved;
+    sc.moved = 0;
+  }
+
+  if constexpr (kFaults) process_pending_kills();
 
   bool progress = moved_this_cycle_ > 0 || live_packets_ == 0;
   if constexpr (kFaults) {
@@ -1103,6 +1388,8 @@ void Simulation::step_reference() {
     process_retransmits();
   }
 
+  // reference_impl forces num_shards == 1, so the flattened mailbox array
+  // is a plain ring of arr_depth_ slots and plain modulo math addresses it.
   auto& slot = arrivals_[cycle_ % arrivals_.size()];
   for (const Arrival& a : slot) buffer_push(a.buffer, a.flit);
   slot.clear();
@@ -1112,6 +1399,7 @@ void Simulation::step_reference() {
 
   source_->tick(*this);
 
+  ShardScratch& sc = shard_scratch_[0];
   const auto& topo = net_->topology();
   moved_this_cycle_ = 0;
   for (Vertex r = 0; r < net_->num_routers(); ++r) {
@@ -1121,10 +1409,10 @@ void Simulation::step_reference() {
     const std::uint32_t nout = deg + conc;
 
     bool any = false;
-    for (std::uint32_t o = 0; o < nout; ++o) req_count_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) sc.req_count[o] = 0;
     if (stall_telemetry_) {
       for (std::uint32_t o = 0; o < nout; ++o) {
-        out_want_credit_[o] = out_want_vc_[o] = out_granted_[o] = 0;
+        sc.out_want_credit[o] = sc.out_want_vc[o] = sc.out_granted[o] = 0;
       }
     }
 
@@ -1136,23 +1424,23 @@ void Simulation::step_reference() {
         const std::uint32_t rev = net_->reverse_port(r, out);
         const std::size_t recv = buffer_index(nbr, rev, ovc);
         if (credits_[recv] == 0) {
-          if (stall_telemetry_) out_want_credit_[out] = 1;
+          if (stall_telemetry_) sc.out_want_credit[out] = 1;
           return;
         }
         const std::uint32_t owner = out_owner_[recv];
         if (seq == 0) {
           if (owner != 0 && owner != pkt + 1) {  // VC held by another
-            if (stall_telemetry_) out_want_vc_[out] = 1;
+            if (stall_telemetry_) sc.out_want_vc[out] = 1;
             return;
           }
         } else {
           if (owner != pkt + 1) {  // body must follow its head
-            if (stall_telemetry_) out_want_vc_[out] = 1;
+            if (stall_telemetry_) sc.out_want_vc[out] = 1;
             return;
           }
         }
       }
-      req_store_[out * req_stride_ + req_count_[out]++] = {
+      sc.req_store[out * req_stride_ + sc.req_count[out]++] = {
           input_key, pkt, static_cast<std::uint16_t>(inport), ovc};
       any = true;
     };
@@ -1164,8 +1452,9 @@ void Simulation::step_reference() {
         const Flit f = buffer_front(b);
         VcState& st = vc_state_[b];
         if (!st.active) {
-          if (!compute_route(f.pkt, r, st.out_port, st.out_vc)) {
-            pending_kills_.push_back(f.pkt);
+          if (!compute_route(f.pkt, r, st.out_port, st.out_vc, sc,
+                             /*staged=*/false)) {
+            sc.pending_kills.push_back(f.pkt);
             continue;
           }
           st.active = true;
@@ -1181,8 +1470,9 @@ void Simulation::step_reference() {
       const std::uint32_t pkt = inj_pool_[inj_head_[ep]].pkt;
       VcState& st = inj_state_[ep];
       if (!st.active) {
-        if (!compute_route(pkt, r, st.out_port, st.out_vc)) {
-          pending_kills_.push_back(pkt);
+        if (!compute_route(pkt, r, st.out_port, st.out_vc, sc,
+                           /*staged=*/false)) {
+          sc.pending_kills.push_back(pkt);
           continue;
         }
         st.active = true;
@@ -1191,15 +1481,15 @@ void Simulation::step_reference() {
                st.out_port, st.out_vc, inj_sent_[ep]);
     }
     if (!any) {
-      if (stall_telemetry_) report_output_stalls(r, deg);
+      if (stall_telemetry_) report_output_stalls(r, deg, sc, /*staged=*/false);
       continue;
     }
 
-    for (std::uint32_t o = 0; o < nout; ++o) inport_used_[o] = 0;
+    for (std::uint32_t o = 0; o < nout; ++o) sc.inport_used[o] = 0;
     for (std::uint32_t o = 0; o < nout; ++o) {
-      const std::uint32_t k = req_count_[o];
+      const std::uint32_t k = sc.req_count[o];
       if (k == 0) continue;
-      const Request* reqs = &req_store_[o * req_stride_];
+      const Request* reqs = &sc.req_store[o * req_stride_];
       std::uint16_t& rr = o < deg ? out_rr_link_[net_->link_index(r, o)]
                                   : out_rr_ej_[ep0 + (o - deg)];
       std::size_t winner = k;
@@ -1213,9 +1503,9 @@ void Simulation::step_reference() {
                 ? deg + static_cast<std::uint32_t>((key & ~kInjectionFlag) - ep0)
                 : static_cast<std::uint32_t>(key / prm_.num_vcs -
                                              net_->port_base(r));
-        if (!inport_used_[inport]) {
+        if (!sc.inport_used[inport]) {
           winner = cand;
-          inport_used_[inport] = 1;
+          sc.inport_used[inport] = 1;
           rr = static_cast<std::uint16_t>((cand + 1) % k);
           break;
         }
@@ -1231,7 +1521,7 @@ void Simulation::step_reference() {
         f = {pkt_idx, inj_sent_[ep]};
         ++inj_sent_[ep];
         if (f.seq + 1u == pk.flits) {
-          inj_pop_front(ep);
+          inj_pop_front(ep, sc.freed_inj);
           inj_sent_[ep] = 0;
           inj_state_[ep].active = false;
         }
@@ -1239,13 +1529,11 @@ void Simulation::step_reference() {
         const std::size_t b = req.input_key;
         f = buffer_front(b);
         buffer_pop(b);
-        if (prm_.credit_latency == 0) {
-          ++credits_[b];
-        } else {
-          credit_returns_[(cycle_ + prm_.credit_latency) %
-                          credit_returns_.size()]
-              .push_back(static_cast<std::uint32_t>(b));
-        }
+        // Barrier semantics: even credit_latency == 0 returns through the
+        // ring (the one slot was drained this cycle; visible next cycle).
+        credit_returns_[(cycle_ + prm_.credit_latency) %
+                        credit_returns_.size()]
+            .push_back(static_cast<std::uint32_t>(b));
         if (f.seq + 1u == pk.flits) vc_state_[b].active = false;
       }
 
@@ -1272,15 +1560,17 @@ void Simulation::step_reference() {
           collector_->on_link_flit(net_->link_index(r, o), cycle_);
         }
       } else {
-        finalize_flit(pkt_idx, r);
+        sc.finals.push_back({r, pkt_idx});  // delivered at end-of-sweep
       }
-      if (stall_telemetry_) out_granted_[o] = 1;
+      if (stall_telemetry_) sc.out_granted[o] = 1;
       ++moved_this_cycle_;
     }
-    if (stall_telemetry_) report_output_stalls(r, deg);
+    if (stall_telemetry_) report_output_stalls(r, deg, sc, /*staged=*/false);
   }
 
-  if (has_faults_ && !pending_kills_.empty()) process_pending_kills();
+  replay_finalizes();
+  splice_freed_inj_nodes();
+  if (has_faults_) process_pending_kills();
 
   if (moved_this_cycle_ > 0 || live_packets_ == 0 ||
       (has_faults_ && fault_progress_pending())) {
@@ -1301,20 +1591,27 @@ void Simulation::step_reference() {
 // flits blocked upstream of arbitration on credits or VC ownership. Ports
 // with no waiting traffic are idle and not reported (the collector derives
 // idle from the window length). Ejection ports are excluded.
-void Simulation::report_output_stalls(Vertex r, std::uint32_t deg) {
+void Simulation::report_output_stalls(Vertex r, std::uint32_t deg,
+                                      ShardScratch& sc, bool staged) {
   for (std::uint32_t o = 0; o < deg; ++o) {
-    if (out_granted_[o]) continue;
+    if (sc.out_granted[o]) continue;
     telemetry::StallCause cause;
-    if (req_count_[o] != 0) {
+    if (sc.req_count[o] != 0) {
       cause = telemetry::StallCause::kArbitrationLost;
-    } else if (out_want_credit_[o]) {
+    } else if (sc.out_want_credit[o]) {
       cause = telemetry::StallCause::kCreditStarved;
-    } else if (out_want_vc_[o]) {
+    } else if (sc.out_want_vc[o]) {
       cause = telemetry::StallCause::kVcBlocked;
     } else {
       continue;  // empty: no buffered flit wanted this port
     }
-    collector_->on_output_stall(r, o, cause, cycle_);
+    if (staged) {
+      sc.events.push_back({StagedEvent::Kind::kStall, 0,
+                           static_cast<std::uint8_t>(cause),
+                           static_cast<std::uint16_t>(o), r, 0, 0});
+    } else {
+      collector_->on_output_stall(r, o, cause, cycle_);
+    }
   }
 }
 

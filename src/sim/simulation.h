@@ -23,6 +23,7 @@
 
 #include "routing/ugal.h"
 #include "sim/network.h"
+#include "sim/shard_plan.h"
 #include "telemetry/collector.h"
 #include "telemetry/packet_trace.h"
 #include "telemetry/summary.h"
@@ -86,6 +87,18 @@ struct SimParams {
   /// diameter; packets over budget are dropped and retransmitted). Also
   /// clamps the VC index. 0 = num_vcs * 4.
   std::uint32_t fault_hop_limit = 0;
+  /// Worker shards executing each cycle's router loop in parallel with
+  /// barrier-synchronous semantics. Results are bit-identical at ANY value
+  /// (the POLARSTAR_THREADS contract, extended inside one Simulation).
+  /// 0 = POLARSTAR_SHARDS from the environment, else 1. Clamped to the
+  /// router count. Ignored (forced serial) under reference_impl.
+  std::uint32_t num_shards = 0;
+  /// Optional explicit router->shard plan (non-owning; must outlive the
+  /// Simulation and match the Network). nullptr = ShardPlan::contiguous
+  /// over the resolved shard count; a partitioner-driven plan (see
+  /// partition::shard_plan_from_partition) reduces cross-shard mailbox
+  /// traffic without changing results.
+  const ShardPlan* shard_plan = nullptr;
   /// Testing escape hatch: route every per-hop/per-packet query through the
   /// generic reference implementations (routing::UgalSelector over the
   /// virtual MinimalRouting, FaultAwareRouting::next_hops, the fully gated
@@ -254,7 +267,10 @@ class Simulation {
     std::uint32_t next;
   };
   void inj_push(std::uint64_t ep, std::uint32_t pkt_idx);
-  void inj_pop_front(std::uint64_t ep);
+  // Unlinks the head node and parks it on `freed` instead of the shared
+  // free list: the router loop runs sharded, and the global free list is
+  // spliced once at the end-of-cycle barrier (see splice_freed_inj_nodes).
+  void inj_pop_front(std::uint64_t ep, std::vector<std::uint32_t>& freed);
 
   // UGAL-L fast path: bit-identical replica of routing::UgalSelector's
   // select()/cost() (same RNG consumption, same double accumulation order)
@@ -267,12 +283,67 @@ class Simulation {
   // occupancy() resolved to a directed link index (= port_base(r) + port).
   double occupancy_by_port(std::size_t link) const;
 
+  // ---- Sharded barrier-synchronous engine (see DESIGN.md) ----
+  // Every per-cycle side effect whose global order matters is staged per
+  // shard during the parallel router phase and replayed at the barrier in
+  // ascending-router order -- each shard iterates its routers ascending,
+  // so a K-way merge over the per-shard streams reproduces the serial
+  // order for any ShardPlan and any shard count.
+  struct FinalizeRec {
+    graph::Vertex router;
+    std::uint32_t pkt;
+  };
+  // One switch-allocation request: req_stride_ slots per output port
+  // (enough for every input of the widest router), with per-output counts
+  // -- resetting a router's requests is nout stores.
+  struct Request {
+    std::uint32_t input_key;  // link-buffer index | 0x80000000 + endpoint
+    std::uint32_t pkt;
+    std::uint16_t inport;     // arbitration input-port index at this router
+    std::uint8_t ovc;
+  };
+  // One deferred collector hook from the router loop. PacketRecord
+  // arguments are snapshotted at staging time (ShardScratch::snaps); the
+  // packet may mutate before the barrier replays the event.
+  struct StagedEvent {
+    enum class Kind : std::uint8_t { kRouted, kHop, kLink, kStall };
+    Kind kind;
+    std::uint8_t ovc;
+    std::uint8_t flag;  // kRouted: eject; kStall: StallCause
+    std::uint16_t port;
+    graph::Vertex router;
+    std::uint32_t idx;  // kRouted/kHop: snapshot index; kLink: link index
+    std::uint64_t aux;  // kHop: hop-wait arrival cycle
+  };
+  // Per-shard working state: allocation scratch (was shared members before
+  // the engine sharded) plus the staging buffers drained at the barrier.
+  struct ShardScratch {
+    // Allocation scratch, reused router to router within the shard.
+    std::vector<Request> req_store;
+    std::vector<std::uint32_t> req_count;
+    std::vector<std::uint8_t> inport_used;
+    std::vector<std::uint8_t> out_want_credit, out_want_vc, out_granted;
+    std::vector<graph::Vertex> fault_hops;
+    std::vector<std::uint16_t> fault_ports;
+    // Staged for the barrier.
+    std::vector<std::uint32_t> pending_kills;
+    std::vector<std::uint32_t> freed_inj;
+    std::vector<FinalizeRec> finals;
+    std::vector<StagedEvent> events;
+    std::vector<PacketRecord> snaps;
+    std::uint64_t moved = 0;
+  };
+
   // Route the head flit of packet pkt_idx at router r; fills out/ovc.
   // Fault-free a minimal next hop always exists and this returns true;
   // under faults it returns false when no live route remains (or the hop
   // budget is spent) and the caller queues the packet for a drop.
+  // `sc` supplies the fault scratch; `staged` defers the on_packet_routed
+  // hook into sc.events (parallel router loop) instead of firing it inline
+  // (serial reference loop).
   bool compute_route(std::uint32_t pkt_idx, graph::Vertex r,
-                     std::uint16_t& out, std::uint8_t& ovc);
+                     std::uint16_t& out, std::uint8_t& ovc, ShardScratch& sc,
+                     bool staged);
 
   // One full cycle. Dispatches through step_fn_, bound at construction:
   // the template parameters hoist the telemetry and fault cap-gates out of
@@ -285,6 +356,25 @@ class Simulation {
   void step() { (this->*step_fn_)(); }
   template <bool kTel, bool kFaults>
   void step_impl();
+
+  // Phase bodies the shard team executes (shard 0 on the calling thread).
+  // deliver_shard drains this cycle's arrival mailboxes addressed to the
+  // shard plus the shard's own credit-return ring slot; route_shard runs
+  // collection / arbitration / traversal over the shard's routers, staging
+  // every cross-cycle or ordered side effect into its ShardScratch.
+  void deliver_shard(std::uint32_t shard);
+  template <bool kTel, bool kFaults>
+  void route_shard(std::uint32_t shard);
+  // Barrier tail: replay the staged streams in canonical order, splice the
+  // freed injection nodes, sum the per-shard moved counters.
+  void replay_staged_events();
+  void replay_event(const StagedEvent& e, const ShardScratch& sc);
+  void replay_finalizes();
+  void splice_freed_inj_nodes();
+  // Runs `task` on every shard: through the worker team when num_shards_
+  // > 1, else directly on this thread.
+  using ShardTask = void (Simulation::*)(std::uint32_t);
+  void run_sharded(ShardTask task);
   // The pre-optimization cycle loop, kept verbatim (adapted only to the
   // pooled queue storage): scans every router/VC instead of the work
   // masks, recomputes receive-buffer indexes and arbitration input ports
@@ -302,8 +392,9 @@ class Simulation {
   void process_pending_kills();
   bool fault_progress_pending() const;  // work left besides in-network flits
   // Classify and report this cycle's non-moving output link ports of r
-  // (stall telemetry only).
-  void report_output_stalls(graph::Vertex r, std::uint32_t deg);
+  // (stall telemetry only); staged defers into sc.events.
+  void report_output_stalls(graph::Vertex r, std::uint32_t deg,
+                            ShardScratch& sc, bool staged);
   void finalize_flit(std::uint32_t pkt_idx, graph::Vertex r);
   void check_invariants() const;  // paranoid mode
 
@@ -371,10 +462,19 @@ class Simulation {
   std::vector<std::uint16_t> inj_sent_;  // flits of head packet already sent
   std::vector<VcState> inj_state_;
 
-  // Link pipeline.
-  std::vector<std::vector<Arrival>> arrivals_;  // ring by cycle % depth
-  // Delayed credit returns (buffer indexes), ring by cycle % depth.
+  // Link pipeline, shard-mailboxed. Arrivals live in one ring of depth
+  // arr_depth_ per (sender shard, receiver shard) pair, flattened as
+  // [(s * num_shards_ + t) * arr_depth_ + cycle % arr_depth_]: senders
+  // write without synchronisation, receivers drain their column in
+  // ascending sender order. Within one slot every arrival targets a
+  // distinct buffer (a directed link carries at most one flit per cycle),
+  // so the drain order cannot affect state. Credit returns are shard-local
+  // (a pop returns the credit to the popping router's own buffer):
+  // [s * cred_depth_ + cycle % cred_depth_]. With num_shards_ == 1 both
+  // collapse to the classic single rings.
+  std::vector<std::vector<Arrival>> arrivals_;
   std::vector<std::vector<std::uint32_t>> credit_returns_;
+  std::size_t arr_depth_ = 1, cred_depth_ = 1;
 
   // Per-output round-robin pointers, indexed by router-port (links) and
   // ejection slots.
@@ -382,23 +482,18 @@ class Simulation {
   std::vector<std::uint16_t> out_rr_ej_;
   std::vector<std::uint64_t> ej_base_;  // first ejection-rr index per router
 
-  // Scratch for allocation: a flat request store, req_stride_ slots per
-  // output port (enough for every input of the widest router), with
-  // per-output counts -- resetting a router's requests is nout stores.
-  struct Request {
-    std::uint32_t input_key;  // link-buffer index | 0x80000000 + endpoint
-    std::uint32_t pkt;
-    std::uint16_t inport;     // arbitration input-port index at this router
-    std::uint8_t ovc;
-  };
-  std::vector<Request> req_store_;
-  std::vector<std::uint32_t> req_count_;  // per output port
+  // Sharded engine: resolved plan, per-shard scratch (allocation state the
+  // pre-shard engine kept in shared members, plus the barrier staging
+  // buffers), and the persistent worker team (null when num_shards_ == 1).
+  std::uint32_t num_shards_ = 1;
+  ShardPlan plan_;
   std::size_t req_stride_ = 0;
-  std::vector<std::uint8_t> inport_used_;
-  // Stall-attribution scratch (touched only when stall_telemetry_): per
-  // output port, was a flit blocked before arbitration this cycle, and did
-  // arbitration grant the port.
-  std::vector<std::uint8_t> out_want_credit_, out_want_vc_, out_granted_;
+  std::vector<ShardScratch> shard_scratch_;
+  class ShardTeam;
+  std::unique_ptr<ShardTeam> team_;
+  ShardTask route_task_ = nullptr;  // route_shard<kTel, kFaults> binding
+  std::vector<std::uint32_t> kill_merge_;  // pending-kill merge scratch
+  std::vector<std::size_t> merge_cur_;     // replay-merge cursor scratch
 
   routing::UgalSelector ugal_;  // reference selector (reference_impl mode)
 
@@ -432,11 +527,6 @@ class Simulation {
   std::vector<std::uint8_t> link_down_, router_down_;
   // Backoff queue: retransmission due-cycle -> packet pool index.
   std::multimap<std::uint64_t, std::uint32_t> retx_queue_;
-  // Packets found unroutable during route computation; killed after the
-  // router loop (compute_route cannot unwind its caller's buffer state).
-  std::vector<std::uint32_t> pending_kills_;
-  std::vector<graph::Vertex> fault_hop_scratch_;
-  std::vector<std::uint16_t> fault_port_scratch_;
   std::uint64_t fault_events_applied_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t retransmits_done_ = 0;

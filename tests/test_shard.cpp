@@ -1,0 +1,367 @@
+// Determinism suite for the sharded cycle engine (`ctest -L shard`): one
+// sim::Simulation executing its cycles across N worker shards must be
+// *bit-identical* to the serial run -- whole SimResult, telemetry
+// summaries, schema-4 JSON and exported trace bytes, at shards 1/2/4,
+// under faults + UGAL, against SimParams::reference_impl, and for a
+// non-contiguous explicit ShardPlan. paranoid_checks rides along where
+// affordable so the credit-conservation and wormhole invariants are
+// validated every cycle while the barrier phases run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/polarstar.h"
+#include "fault/schedule.h"
+#include "io/trace_export.h"
+#include "routing/routing.h"
+#include "runlab/runner.h"
+#include "sim/network.h"
+#include "sim/shard_plan.h"
+#include "sim/simulation.h"
+#include "sim/traffic.h"
+#include "telemetry/collectors.h"
+#include "telemetry/packet_trace.h"
+
+namespace core = polarstar::core;
+namespace fault = polarstar::fault;
+namespace io = polarstar::io;
+namespace routing = polarstar::routing;
+namespace runlab = polarstar::runlab;
+namespace sim = polarstar::sim;
+namespace telemetry = polarstar::telemetry;
+namespace g = polarstar::graph;
+
+namespace {
+
+std::shared_ptr<const sim::Network> polarstar_net(core::PolarStarConfig cfg) {
+  auto ps =
+      std::make_shared<const core::PolarStar>(core::PolarStar::build(cfg));
+  return std::make_shared<sim::Network>(core::shared_topology(ps),
+                                        routing::make_polarstar_routing(ps));
+}
+
+sim::SimParams base_params() {
+  sim::SimParams prm;
+  prm.warmup_cycles = 200;
+  prm.measure_cycles = 500;
+  prm.drain_cycles = 20000;
+  prm.seed = 23;
+  return prm;
+}
+
+sim::SimResult run_shards(const sim::Network& net, sim::SimParams prm,
+                          std::uint32_t shards, double rate,
+                          telemetry::Collector* col = nullptr,
+                          const sim::ShardPlan* plan = nullptr) {
+  prm.num_shards = shards;
+  prm.shard_plan = plan;
+  sim::PatternSource src(net.topology(), sim::Pattern::kUniform, rate,
+                         prm.packet_flits, prm.seed);
+  sim::Simulation s(net, prm, src, col);
+  return s.run();
+}
+
+// Exact comparison, doubles included: a shard boundary must not perturb a
+// single bit of any aggregate.
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.measured_packets, b.measured_packets);
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.p50_packet_latency, b.p50_packet_latency);
+  EXPECT_EQ(a.p99_packet_latency, b.p99_packet_latency);
+  EXPECT_EQ(a.p999_packet_latency, b.p999_packet_latency);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.accepted_flit_rate, b.accepted_flit_rate);
+  EXPECT_EQ(a.stable, b.stable);
+  EXPECT_EQ(a.deadlock, b.deadlock);
+  EXPECT_EQ(a.max_source_queue, b.max_source_queue);
+  EXPECT_EQ(a.link_flits, b.link_flits);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.packets_lost, b.packets_lost);
+  EXPECT_EQ(a.measured_lost, b.measured_lost);
+  EXPECT_EQ(a.delivered_fraction, b.delivered_fraction);
+  EXPECT_EQ(a.max_recovery_latency, b.max_recovery_latency);
+}
+
+void expect_identical(const telemetry::Summary& a,
+                      const telemetry::Summary& b) {
+  EXPECT_EQ(a.has_link, b.has_link);
+  EXPECT_EQ(a.link.total_flits, b.link.total_flits);
+  EXPECT_EQ(a.link.avg_load, b.link.avg_load);
+  EXPECT_EQ(a.link.max_load, b.link.max_load);
+  EXPECT_EQ(a.link.max_avg_ratio, b.link.max_avg_ratio);
+  EXPECT_EQ(a.has_stall, b.has_stall);
+  EXPECT_EQ(a.stall.busy, b.stall.busy);
+  EXPECT_EQ(a.stall.credit_starved, b.stall.credit_starved);
+  EXPECT_EQ(a.stall.vc_blocked, b.stall.vc_blocked);
+  EXPECT_EQ(a.stall.arbitration_lost, b.stall.arbitration_lost);
+  EXPECT_EQ(a.stall.idle, b.stall.idle);
+  EXPECT_EQ(a.has_ugal, b.has_ugal);
+  EXPECT_EQ(a.ugal.decisions, b.ugal.decisions);
+  EXPECT_EQ(a.ugal.valiant, b.ugal.valiant);
+  EXPECT_EQ(a.ugal.minimal_no_better, b.ugal.minimal_no_better);
+  EXPECT_EQ(a.ugal.minimal_no_candidate, b.ugal.minimal_no_candidate);
+  EXPECT_EQ(a.ugal.avg_valiant_extra_hops, b.ugal.avg_valiant_extra_hops);
+  EXPECT_EQ(a.has_occupancy, b.has_occupancy);
+  EXPECT_EQ(a.occupancy.samples, b.occupancy.samples);
+  EXPECT_EQ(a.occupancy.peak_router_flits, b.occupancy.peak_router_flits);
+  EXPECT_EQ(a.occupancy.avg_router_flits, b.occupancy.avg_router_flits);
+  EXPECT_EQ(a.has_latency, b.has_latency);
+  EXPECT_EQ(a.latency.packets, b.latency.packets);
+  EXPECT_EQ(a.latency.p50, b.latency.p50);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.latency.p999, b.latency.p999);
+  EXPECT_EQ(a.has_fault, b.has_fault);
+  EXPECT_EQ(a.fault.events, b.fault.events);
+  EXPECT_EQ(a.fault.dropped_packets, b.fault.dropped_packets);
+  EXPECT_EQ(a.fault.retransmits, b.fault.retransmits);
+  EXPECT_EQ(a.fault.lost_packets, b.fault.lost_packets);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// wall_seconds is wall clock: the only JSON field allowed to differ
+// between runs of identical work.
+std::string strip_wall_seconds(std::string body) {
+  for (std::size_t pos = body.find("\"wall_seconds\": ");
+       pos != std::string::npos; pos = body.find("\"wall_seconds\": ", pos)) {
+    std::size_t end = pos;
+    while (end < body.size() && body[end] != ',' && body[end] != '}') ++end;
+    body.erase(pos, end - pos);
+  }
+  return body;
+}
+
+}  // namespace
+
+// Whole-SimResult equivalence at shards 1/2/4, plus against the serial
+// generic reference implementation (which forces one shard internally).
+TEST(ShardDeterminism, SimResultIdenticalAtAnyShardCount) {
+  const auto net =
+      polarstar_net({5, 3, core::SupernodeKind::kInductiveQuad, 2});
+  auto prm = base_params();
+  prm.paranoid_checks = true;  // validates invariants mid-barrier-phases
+  const auto s1 = run_shards(*net, prm, 1, 0.2);
+  const auto s2 = run_shards(*net, prm, 2, 0.2);
+  const auto s4 = run_shards(*net, prm, 4, 0.2);
+  expect_identical(s1, s2);
+  expect_identical(s1, s4);
+  auto ref_prm = prm;
+  ref_prm.reference_impl = true;
+  const auto ref = run_shards(*net, ref_prm, 4, 0.2);
+  expect_identical(s1, ref);
+  EXPECT_GT(s1.packets_delivered, 0u);
+}
+
+// The hard case: live faults + UGAL + flight recorder. Hook sequences,
+// retransmit timing and fault drops all cross the barrier phases; the
+// exported Chrome-trace documents must stay byte-identical.
+TEST(ShardDeterminism, UgalFaultTraceBytesIdentical) {
+  const auto net = polarstar_net({4, 4, core::SupernodeKind::kPaley, 3});
+  auto prm = base_params();
+  prm.path_mode = sim::PathMode::kUgal;
+  prm.num_vcs = 8;  // UGAL/Valiant path length bound
+  fault::ScheduleSpec spec;
+  spec.link_fail_fraction = 0.05;
+  spec.begin_cycle = 300;
+  spec.end_cycle = 301;
+  const auto sched =
+      fault::FaultSchedule::random(net->topology(), spec, /*seed=*/11);
+  prm.faults = &sched;
+  const auto render = [&](std::uint32_t shards, bool reference) {
+    auto p = prm;
+    p.reference_impl = reference;
+    telemetry::PacketFilter filter;
+    filter.sample_period = 16;
+    telemetry::PacketTraceCollector col(filter);
+    const auto res = run_shards(*net, p, shards, 0.2, &col);
+    EXPECT_GT(res.fault_events, 0u);
+    io::PacketTraceGroup group;
+    group.label = "shard-determinism";
+    group.run_cycles = res.cycles;
+    group.traces = col.take_traces();
+    group.faults = col.take_fault_marks();
+    std::ostringstream os;
+    io::write_chrome_trace(os, {&group, 1});
+    return os.str();
+  };
+  const std::string b1 = render(1, false);
+  EXPECT_FALSE(b1.empty());
+  EXPECT_EQ(b1, render(2, false));
+  EXPECT_EQ(b1, render(4, false));
+  EXPECT_EQ(b1, render(4, true));  // reference oracle agrees too
+}
+
+// Full telemetry attached: every collector aggregate must come out
+// identical, which pins the replayed hook *sequences*, not just totals.
+TEST(ShardDeterminism, TelemetrySummariesIdentical) {
+  const auto net = polarstar_net({4, 4, core::SupernodeKind::kPaley, 3});
+  auto prm = base_params();
+  prm.path_mode = sim::PathMode::kUgal;
+  prm.num_vcs = 8;
+  telemetry::FullCollector c1, c2, c4;
+  const auto s1 = run_shards(*net, prm, 1, 0.25, &c1);
+  const auto s2 = run_shards(*net, prm, 2, 0.25, &c2);
+  const auto s4 = run_shards(*net, prm, 4, 0.25, &c4);
+  expect_identical(s1, s2);
+  expect_identical(s1, s4);
+  expect_identical(s1.telemetry, s2.telemetry);
+  expect_identical(s1.telemetry, s4.telemetry);
+  EXPECT_TRUE(s1.telemetry.has_link);
+  EXPECT_TRUE(s1.telemetry.has_ugal);
+  EXPECT_TRUE(s1.telemetry.has_stall);
+}
+
+// Plan independence: an adversarial round-robin assignment (maximal
+// cross-shard link fraction, nothing contiguous about it) still matches
+// the serial run bit for bit.
+TEST(ShardDeterminism, NoncontiguousExplicitPlanIsIdentical) {
+  const auto net =
+      polarstar_net({5, 3, core::SupernodeKind::kInductiveQuad, 2});
+  const std::uint32_t n = net->num_routers();
+  std::vector<std::uint32_t> rr(n);
+  for (std::uint32_t r = 0; r < n; ++r) rr[r] = r % 3;
+  const auto plan = sim::ShardPlan::from_assignment(*net, rr, 3);
+  EXPECT_GT(plan.cross_shard_link_fraction(*net), 0.5);
+  auto prm = base_params();
+  const auto serial = run_shards(*net, prm, 1, 0.2);
+  const auto sharded = run_shards(*net, prm, 0, 0.2, nullptr, &plan);
+  expect_identical(serial, sharded);
+}
+
+// The runlab stack end to end: schema-4 JSON (modulo wall clock) and the
+// Perfetto trace file are byte-identical when every point runs 4-sharded,
+// fault block included.
+TEST(ShardDeterminism, RunlabJsonAndTraceBytesIdentical) {
+  const auto net =
+      polarstar_net({5, 3, core::SupernodeKind::kInductiveQuad, 2});
+  fault::ScheduleSpec spec;
+  spec.link_fail_fraction = 0.05;
+  spec.begin_cycle = 250;
+  spec.end_cycle = 251;
+  auto sched = std::make_shared<const fault::FaultSchedule>(
+      fault::FaultSchedule::random(net->topology(), spec, 3));
+
+  std::vector<runlab::SweepCase> cases;
+  runlab::SweepCase healthy;
+  healthy.name = "healthy";
+  healthy.net = net;
+  healthy.params = base_params();
+  healthy.loads = {0.1, 0.2};
+  healthy.stop_after_saturation = false;
+  cases.push_back(healthy);
+  runlab::SweepCase faulted = healthy;
+  faulted.name = "faulted";
+  faulted.faults = sched;
+  cases.push_back(faulted);
+
+  const std::string json1 = ::testing::TempDir() + "shard_s1.json";
+  const std::string json4 = ::testing::TempDir() + "shard_s4.json";
+  const std::string trace1 = ::testing::TempDir() + "shard_s1.trace";
+  const std::string trace4 = ::testing::TempDir() + "shard_s4.trace";
+  auto run_at = [&](std::uint32_t shards, const std::string& json,
+                    const std::string& trace) {
+    auto shard_cases = cases;
+    for (auto& c : shard_cases) c.params.num_shards = shards;
+    runlab::ExperimentRunner runner(4);
+    runner.set_json_path(json);
+    runner.set_trace_path(trace);
+    return runner.run("shard-equiv", shard_cases);
+  };
+  const auto r1 = run_at(1, json1, trace1);
+  const auto r4 = run_at(4, json4, trace4);
+
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_EQ(r1[i].points.size(), r4[i].points.size());
+    for (std::size_t j = 0; j < r1[i].points.size(); ++j) {
+      expect_identical(r1[i].points[j].result, r4[i].points[j].result);
+    }
+  }
+  EXPECT_GT(r1[1].points[0].result.fault_events, 0u);
+
+  const std::string b1 = strip_wall_seconds(read_file(json1));
+  const std::string b4 = strip_wall_seconds(read_file(json4));
+  EXPECT_EQ(b1, b4);
+  EXPECT_NE(b1.find("\"schema\": 4"), std::string::npos);
+  EXPECT_NE(b1.find("\"fault\": {"), std::string::npos);
+  EXPECT_EQ(read_file(trace1), read_file(trace4));
+  for (const auto& p : {json1, json4, trace1, trace4}) {
+    std::remove(p.c_str());
+  }
+}
+
+// Contiguous plans: disjoint cover in ascending order, near-even switch
+// work, shard count clamped to the router count.
+TEST(ShardPlan, ContiguousCoversBalancesAndClamps) {
+  const auto net =
+      polarstar_net({5, 3, core::SupernodeKind::kInductiveQuad, 2});
+  const std::uint32_t n = net->num_routers();
+  for (std::uint32_t shards : {1u, 2u, 4u, 7u}) {
+    const auto plan = sim::ShardPlan::contiguous(*net, shards);
+    ASSERT_EQ(plan.num_shards, shards);
+    ASSERT_EQ(plan.shard_of_router.size(), n);
+    ASSERT_EQ(plan.routers.size(), shards);
+    std::uint32_t seen = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      ASSERT_FALSE(plan.routers[s].empty());
+      for (std::size_t i = 0; i < plan.routers[s].size(); ++i) {
+        const g::Vertex r = plan.routers[s][i];
+        EXPECT_EQ(plan.shard_of_router[r], s);
+        if (i > 0) EXPECT_LT(plan.routers[s][i - 1], r);
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, n);
+    // Balanced by construction: the heaviest shard stays within 2x of the
+    // ideal even for awkward shard counts.
+    EXPECT_LT(plan.balance(*net), 2.0);
+  }
+  // More shards than routers: clamped, one router each is still legal.
+  const auto big = sim::ShardPlan::contiguous(*net, n + 100);
+  EXPECT_EQ(big.num_shards, n);
+  EXPECT_EQ(sim::ShardPlan::contiguous(*net, 0).num_shards, 1u);
+}
+
+TEST(ShardPlan, FromAssignmentValidates) {
+  const auto net =
+      polarstar_net({5, 3, core::SupernodeKind::kInductiveQuad, 2});
+  const std::uint32_t n = net->num_routers();
+  std::vector<std::uint32_t> bad_size(n - 1, 0);
+  EXPECT_THROW(sim::ShardPlan::from_assignment(*net, bad_size, 1),
+               std::invalid_argument);
+  std::vector<std::uint32_t> out_of_range(n, 0);
+  out_of_range[0] = 2;
+  EXPECT_THROW(sim::ShardPlan::from_assignment(*net, out_of_range, 2),
+               std::invalid_argument);
+  std::vector<std::uint32_t> hole(n, 0);  // shard 1 of 2 left empty
+  EXPECT_THROW(sim::ShardPlan::from_assignment(*net, hole, 2),
+               std::invalid_argument);
+  EXPECT_NO_THROW(sim::ShardPlan::from_assignment(*net, hole, 1));
+}
+
+TEST(ShardPlan, ResolveNumShardsReadsEnvironment) {
+  EXPECT_EQ(sim::resolve_num_shards(3), 3u);
+  ::setenv("POLARSTAR_SHARDS", "4", 1);
+  EXPECT_EQ(sim::resolve_num_shards(0), 4u);
+  EXPECT_EQ(sim::resolve_num_shards(2), 2u);  // explicit request wins
+  ::setenv("POLARSTAR_SHARDS", "not-a-number", 1);
+  EXPECT_EQ(sim::resolve_num_shards(0), 1u);
+  ::unsetenv("POLARSTAR_SHARDS");
+  EXPECT_EQ(sim::resolve_num_shards(0), 1u);
+}
