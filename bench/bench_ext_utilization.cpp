@@ -2,9 +2,8 @@
 // actually go? Splits measured link loads into intra-supernode (local) and
 // inter-supernode (global) links -- supporting §9.6's explanation that
 // PS-IQ's larger share of global links absorbs the supernode-paired
-// pattern. The loads now come from a telemetry::LinkHistogramCollector
-// (the deprecated SimResult::link_flits path reports the same counts);
-// the full collector bundle additionally yields the load-balance ratio,
+// pattern. The loads come from a telemetry::LinkHistogramCollector; the
+// full collector bundle additionally yields the load-balance ratio,
 // stall attribution, and UGAL decision tables below.
 #include <cstdio>
 
@@ -40,10 +39,10 @@ int main() {
     prm.min_select = nt.all_minpaths ? sim::MinSelect::kAdaptive
                                      : sim::MinSelect::kSingleHash;
     const auto& t = nt.topology();
-    sim::PatternSource src(t, sim::Pattern::kAdversarial, 0.08,
-                           prm.packet_flits, 23);
+    auto src = sim::make_pattern_source(t, sim::Pattern::kAdversarial, 0.08,
+                                        prm.packet_flits, 23);
     telemetry::FullCollector tel;
-    sim::Simulation s(*nt.net, prm, src, &tel);
+    sim::Simulation s(*nt.net, prm, *src, &tel);
     auto res = s.run();
     const auto& flits = tel.links.totals();
     double loc_sum = 0, loc_max = 0, glob_sum = 0, glob_max = 0;

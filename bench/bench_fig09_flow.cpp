@@ -59,10 +59,10 @@ int main() {
         void tick(sim::Simulation&) override {}
       } null;
       sim::Simulation probe(*nt.net, prm, null);
-      sim::PatternSource pattern(nt.topology(), p, 1.0, 4, 11);
+      auto pattern = sim::make_pattern_source(nt.topology(), p, 1.0, 4, 11);
       std::vector<std::uint64_t> dst(nt.topology().num_endpoints());
       for (std::uint64_t e = 0; e < dst.size(); ++e) {
-        dst[e] = pattern.destination(e, probe);
+        dst[e] = pattern->destination(e, probe);
       }
       auto res = sim::max_min_rates(nt.topology(), nt.net->routing(),
                                     [&](std::uint64_t e) { return dst[e]; });

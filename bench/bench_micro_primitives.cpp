@@ -94,8 +94,9 @@ static void BM_SimulatorCycles(benchmark::State& state) {
     prm.warmup_cycles = 0;
     prm.measure_cycles = 300;
     prm.drain_cycles = 0;
-    sim::PatternSource src(ps->topology(), sim::Pattern::kUniform, 0.3, 4, 1);
-    sim::Simulation s(net, prm, src);
+    auto src = sim::make_pattern_source(ps->topology(), sim::Pattern::kUniform,
+                                        0.3, 4, 1);
+    sim::Simulation s(net, prm, *src);
     auto res = s.run();
     benchmark::DoNotOptimize(res.packets_delivered);
   }

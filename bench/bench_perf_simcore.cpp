@@ -52,9 +52,9 @@ Measurement measure(const Workload& w, unsigned reps) {
     sim::SimParams prm = w.params;
     prm.num_shards = w.num_shards;
     if (w.faults) prm.faults = w.faults.get();
-    sim::PatternSource src(w.net->topology(), w.pattern, w.load,
-                           prm.packet_flits, prm.seed);
-    sim::Simulation simulation(*w.net, prm, src);
+    auto src = sim::make_pattern_source(w.net->topology(), w.pattern, w.load,
+                                        prm.packet_flits, prm.seed);
+    sim::Simulation simulation(*w.net, prm, *src);
     const auto start = std::chrono::steady_clock::now();
     const sim::SimResult res = simulation.run();
     const double secs =

@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
     const auto sched = fault::FaultSchedule::random(*topo, spec, 77);
     prm.faults = &sched;
     const auto res =
-        runlab::run_point({.net = &net, .load = 0.15, .params = prm});
+        runlab::run_point(
+            {.net = &net, .load = 0.15, .params = prm, .trace = {}});
     std::printf(
         "live 5%% link failures: delivered %.4f, latency %.1f, "
         "%llu drops, %llu retransmits, %llu lost\n\n",

@@ -64,9 +64,10 @@ int main(int argc, char** argv) {
   sim::SimParams prm;
   prm.warmup_cycles = 500;
   prm.measure_cycles = 1500;
-  sim::PatternSource traffic(ps->topology(), sim::Pattern::kUniform, 0.3,
-                             prm.packet_flits, /*seed=*/42);
-  sim::Simulation simulation(net, prm, traffic);
+  auto traffic = sim::make_pattern_source(ps->topology(),
+                                          sim::Pattern::kUniform, 0.3,
+                                          prm.packet_flits, /*seed=*/42);
+  sim::Simulation simulation(net, prm, *traffic);
   auto res = simulation.run();
   std::cout << "uniform traffic @ 0.3 flits/cycle/endpoint:\n"
             << "  avg packet latency: " << res.avg_packet_latency

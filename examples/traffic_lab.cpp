@@ -28,21 +28,12 @@ int main(int argc, char** argv) {
   const std::string mode_name = argc > 3 ? argv[3] : "min";
   const double load = argc > 4 ? std::atof(argv[4]) : 0.3;
 
-  sim::Pattern pattern;
-  if (pattern_name == "uniform") {
-    pattern = sim::Pattern::kUniform;
-  } else if (pattern_name == "permutation") {
-    pattern = sim::Pattern::kPermutation;
-  } else if (pattern_name == "shuffle") {
-    pattern = sim::Pattern::kBitShuffle;
-  } else if (pattern_name == "reverse") {
-    pattern = sim::Pattern::kBitReverse;
-  } else if (pattern_name == "adversarial") {
-    pattern = sim::Pattern::kAdversarial;
-  } else {
+  const auto parsed = sim::pattern_from_string(pattern_name);
+  if (!parsed) {
     std::cerr << "unknown pattern " << pattern_name << "\n";
     return 1;
   }
+  const sim::Pattern pattern = *parsed;
 
   auto topo = std::make_shared<const topo::Topology>(
       analysis::build_table3(topo_name));
@@ -77,8 +68,9 @@ int main(int argc, char** argv) {
     prm.num_vcs = 8;
   }
   sim::Network net(topo, route);
-  sim::PatternSource traffic(*topo, pattern, load, prm.packet_flits, 7);
-  sim::Simulation s(net, prm, traffic);
+  auto traffic = sim::make_pattern_source(*topo, pattern, load,
+                                          prm.packet_flits, 7);
+  sim::Simulation s(net, prm, *traffic);
   auto res = s.run();
 
   std::cout << pattern_name << " @ " << load << " load, " << mode_name

@@ -95,6 +95,13 @@ void write_chrome_trace(std::ostream& os,
          << ",\"args\":{\"a\":" << f.a << ",\"b\":" << f.b << "}}";
     }
 
+    // Workload scenario marks: same rendering, category "mark".
+    for (const TraceMark& m : grp.marks) {
+      sink.begin(m.label.c_str(), "i", pid);
+      os << ",\"cat\":\"mark\",\"tid\":0,\"s\":\"p\",\"ts\":" << m.cycle
+         << "}";
+    }
+
     for (const telemetry::PacketTrace& t : grp.traces) {
       const std::string pkt_name = "pkt " + std::to_string(t.id);
       const std::uint64_t end =

@@ -30,6 +30,15 @@
 
 namespace polarstar::io {
 
+/// A labeled scenario instant (workload burst start, collective phase
+/// boundary, ...). Deliberately a plain io-local struct -- like the
+/// stringly-kinded FaultMarkRecord, it keeps ps_io free of upper-layer
+/// dependencies; the runner converts workload::Mark into these.
+struct TraceMark {
+  std::uint64_t cycle = 0;
+  std::string label;
+};
+
 /// One simulated point's worth of flight records.
 struct PacketTraceGroup {
   std::string label;             ///< process name in the trace viewer
@@ -39,6 +48,9 @@ struct PacketTraceGroup {
   /// "i" instant events named by their kind, so schedule events and
   /// drop/retransmit/lost marks pin onto the timeline. Usually empty.
   std::vector<telemetry::FaultMarkRecord> faults;
+  /// Scenario timeline marks: rendered like fault instants under category
+  /// "mark". Usually empty.
+  std::vector<TraceMark> marks;
 };
 
 /// Writes the Trace Event Format document. Exactly one async "b" event is

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "telemetry/collectors.h"
+#include "workload/workload.h"
 
 namespace polarstar::runlab {
 
@@ -115,6 +116,7 @@ void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
     if (c.make_collector) collector = c.make_collector(j);
     p.result = run_point({.net = c.net.get(),
                           .pattern = c.pattern,
+                          .workload = c.workload.get(),
                           .load = c.loads[j],
                           .params = params,
                           .pattern_seed = c.pattern_seed,
@@ -212,12 +214,23 @@ sim::SimResult run_point(const PointSpec& spec) {
   }
   const std::uint64_t seed =
       spec.pattern_seed == kSameSeed ? spec.params.seed : spec.pattern_seed;
-  sim::PatternSource src(spec.net->topology(), spec.pattern, spec.load,
-                         spec.params.packet_flits, seed);
+  // One creation path for both kinds of traffic: workload cases
+  // instantiate their scenario, pattern cases go through the factory.
+  std::unique_ptr<sim::TrafficSource> src;
+  if (spec.workload != nullptr) {
+    src = spec.workload->instantiate(
+        workload::Context{.topo = &spec.net->topology(),
+                          .load = spec.load,
+                          .packet_flits = spec.params.packet_flits,
+                          .seed = seed});
+  } else {
+    src = sim::make_pattern_source(spec.net->topology(), spec.pattern,
+                                   spec.load, spec.params.packet_flits, seed);
+  }
   sim::SimParams params = spec.params;
   if (spec.faults != nullptr) params.faults = spec.faults;
   if (!spec.trace.enabled()) {
-    sim::Simulation simulation(*spec.net, params, src, spec.collector);
+    sim::Simulation simulation(*spec.net, params, *src, spec.collector);
     return simulation.run();
   }
   // Flight recorder rides along with whatever collector the caller gave;
@@ -227,7 +240,7 @@ sim::SimResult run_point(const PointSpec& spec) {
   telemetry::CollectorSet set;
   set.add(&tracer);
   if (spec.collector != nullptr) set.add(spec.collector);
-  sim::Simulation simulation(*spec.net, params, src, &set);
+  sim::Simulation simulation(*spec.net, params, *src, &set);
   sim::SimResult res = simulation.run();
   res.packet_traces = tracer.take_traces();
   res.fault_marks = tracer.take_fault_marks();
@@ -318,13 +331,17 @@ std::vector<CaseResult> ExperimentRunner::run(
   // spec order no matter how the chains were scheduled.
   if (!json_path_.empty()) {
     for (std::size_t i = 0; i < cases.size(); ++i) {
+      const auto* wl = cases[i].workload.get();
       for (const auto& p : results[i].points) {
         if (!p.ran) continue;
-        records_.push_back({label, cases[i].name, cases[i].pattern,
+        records_.push_back({label, cases[i].name,
+                            wl != nullptr ? wl->name()
+                                          : sim::to_string(cases[i].pattern),
                             sim::to_string(cases[i].params.path_mode,
                                            cases[i].params.min_select),
                             p.load, p.result, p.wall_seconds,
-                            cases[i].faults != nullptr});
+                            cases[i].faults != nullptr, wl != nullptr,
+                            wl != nullptr ? wl->describe() : std::string{}});
       }
     }
   }
@@ -333,13 +350,30 @@ std::vector<CaseResult> ExperimentRunner::run(
   if (!trace_path_.empty()) {
     for (std::size_t i = 0; i < cases.size(); ++i) {
       if (!trace[i].enabled()) continue;
+      const auto* wl = cases[i].workload.get();
       for (const auto& p : results[i].points) {
         if (!p.ran) continue;
         std::ostringstream name;
         name << label << "/" << cases[i].name << " @ " << p.load;
+        // Workload timeline marks, clipped to the run's actual length.
+        std::vector<io::TraceMark> marks;
+        if (wl != nullptr) {
+          const std::uint64_t seed = cases[i].pattern_seed == kSameSeed
+                                         ? cases[i].params.seed
+                                         : cases[i].pattern_seed;
+          for (const auto& m : wl->marks(
+                   workload::Context{.topo = &cases[i].net->topology(),
+                                     .load = p.load,
+                                     .packet_flits =
+                                         cases[i].params.packet_flits,
+                                     .seed = seed,
+                                     .horizon = p.result.cycles})) {
+            marks.push_back({m.cycle, m.label});
+          }
+        }
         trace_groups_.push_back({name.str(), p.result.cycles,
                                  p.result.packet_traces,
-                                 p.result.fault_marks});
+                                 p.result.fault_marks, std::move(marks)});
       }
     }
   }
@@ -350,14 +384,15 @@ void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  // Schema 4: top-level object {"schema": 4, "points": [...]}. Over schema
-  // 3 a point simulated under a live fault schedule carries a top-level
-  // "fault" object (events / dropped / retransmits / lost / measured_lost /
-  // delivered_fraction) and the "telemetry" sub-object may carry a "fault"
-  // counter block. Schema 3 added p50/p99.9 latency percentiles plus the
-  // "latency" and "trace" telemetry blocks; schema 1 was the bare points
-  // array without telemetry. See EXPERIMENTS.md.
-  os << "{\n\"schema\": 4,\n\"points\": [\n";
+  // Schema 5: top-level object {"schema": 5, "points": [...]}. Over schema
+  // 4 a point driven by a workload::Workload carries a "workload" object
+  // ({"name", optional "detail"}) and its "pattern" field holds the
+  // workload name. Schema 4 added the per-point "fault" object (events /
+  // dropped / retransmits / lost / measured_lost / delivered_fraction) and
+  // the "fault" telemetry counter block; schema 3 added p50/p99.9 latency
+  // percentiles plus the "latency" and "trace" telemetry blocks; schema 1
+  // was the bare points array without telemetry. See EXPERIMENTS.md.
+  os << "{\n\"schema\": 5,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -365,8 +400,9 @@ void ExperimentRunner::flush_json() {
     json_escape(os, r.sweep);
     os << "\", \"case\": \"";
     json_escape(os, r.name);
-    os << "\", \"pattern\": \"" << sim::to_string(r.pattern)
-       << "\", \"mode\": \"" << r.mode
+    os << "\", \"pattern\": \"";
+    json_escape(os, r.pattern);
+    os << "\", \"mode\": \"" << r.mode
        << "\", \"load\": " << r.load << ", \"stable\": "
        << (res.stable ? "true" : "false")
        << ", \"deadlock\": " << (res.deadlock ? "true" : "false")
@@ -379,6 +415,17 @@ void ExperimentRunner::flush_json() {
        << ", \"cycles\": " << res.cycles
        << ", \"measured_packets\": " << res.measured_packets
        << ", \"wall_seconds\": " << r.wall_seconds;
+    if (r.has_workload) {
+      os << ", \"workload\": {\"name\": \"";
+      json_escape(os, r.pattern);
+      os << "\"";
+      if (!r.workload_detail.empty()) {
+        os << ", \"detail\": \"";
+        json_escape(os, r.workload_detail);
+        os << "\"";
+      }
+      os << "}";
+    }
     if (r.faulted) {
       os << ", \"fault\": {\"events\": " << res.fault_events
          << ", \"dropped\": " << res.packets_dropped

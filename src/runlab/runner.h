@@ -1,8 +1,9 @@
 // Parallel experiment runner for latency-vs-load sweeps.
 //
 // A sweep is a list of SweepCases, each pairing a shared-ownership
-// sim::Network with a traffic pattern, simulation parameters and an
-// ascending load chain. The unit of scheduling is the whole chain, not the
+// sim::Network with traffic (a synthetic pattern, or any
+// workload::Workload scenario), simulation parameters and an ascending
+// load chain. The unit of scheduling is the whole chain, not the
 // point: points within a chain are sequential because the paper-style
 // early exit ("stop after the first saturated load") makes later points
 // depend on earlier outcomes, while distinct chains never share mutable
@@ -30,6 +31,10 @@
 #include "sim/traffic.h"
 #include "telemetry/collector.h"
 
+namespace polarstar::workload {
+class Workload;
+}  // namespace polarstar::workload
+
 namespace polarstar::runlab {
 
 /// Sentinel for pattern_seed: seed the traffic pattern from params.seed
@@ -43,6 +48,13 @@ struct SweepCase {
   std::string name;
   std::shared_ptr<const sim::Network> net;
   sim::Pattern pattern = sim::Pattern::kUniform;
+  /// Scenario traffic: when set, the case runs this workload instead of
+  /// `pattern` (each point instantiates a fresh source at that point's
+  /// load/seed). Shared-ownership like the network; the immutable workload
+  /// serves many concurrent chains. JSON points of a workload case carry
+  /// the schema-5 "workload" block, and the workload's timeline marks land
+  /// in the exported Perfetto trace.
+  std::shared_ptr<const workload::Workload> workload;
   /// Load-independent knobs (seed, VC count, path mode, windows...).
   sim::SimParams params;
   /// Offered loads, ascending (flits per endpoint per cycle).
@@ -67,7 +79,7 @@ struct SweepCase {
   /// Live fault schedule applied to every point of this case (availability
   /// sweeps). Shared-ownership like the network: the immutable schedule is
   /// safely driven by many concurrent Simulations, and JSON points of a
-  /// faulted case carry the schema-4 "fault" block.
+  /// faulted case carry the per-point "fault" block.
   std::shared_ptr<const fault::FaultSchedule> faults;
 };
 
@@ -79,6 +91,9 @@ struct SweepCase {
 struct PointSpec {
   const sim::Network* net = nullptr;
   sim::Pattern pattern = sim::Pattern::kUniform;
+  /// When set, overrides `pattern`: the point's source comes from
+  /// workload->instantiate (non-owning; must outlive the call).
+  const workload::Workload* workload = nullptr;
   double load = 0.0;
   sim::SimParams params;
   /// kSameSeed = use params.seed.
@@ -178,12 +193,16 @@ class ExperimentRunner {
  private:
   struct Record {
     std::string sweep, name;
-    sim::Pattern pattern;
+    /// Pattern name, or the workload's name for workload cases (the JSON
+    /// "pattern" field stays required and meaningful either way).
+    std::string pattern;
     std::string mode;  // "min", "min-adaptive" or "ugal"
     double load;
     sim::SimResult result;
     double wall_seconds;
-    bool faulted = false;  // case carried a fault schedule
+    bool faulted = false;       // case carried a fault schedule
+    bool has_workload = false;  // emit the schema-5 "workload" block
+    std::string workload_detail;
   };
 
   static WorkerBudget plan_budget(unsigned num_threads);

@@ -18,134 +18,6 @@ using graph::Vertex;
 
 namespace {
 constexpr std::uint32_t kInjectionFlag = 0x80000000u;
-
-/// Internal adapter behind the deprecated SimParams::record_link_utilization:
-/// reproduces the historical SimResult::link_flits counts (per directed
-/// link, measurement window only) through the collector mechanism. It
-/// deliberately skips finish() so it never surfaces in SimResult::telemetry.
-class LegacyLinkCollector final : public telemetry::Collector {
- public:
-  Caps caps() const override {
-    Caps c;
-    c.link_flits = true;
-    return c;
-  }
-
-  void on_run_begin(const Network& net, const SimParams& /*prm*/,
-                    std::uint64_t measure_begin,
-                    std::uint64_t measure_end) override {
-    measure_begin_ = measure_begin;
-    measure_end_ = measure_end;
-    counts_.assign(net.total_link_ports(), 0);
-  }
-
-  void on_link_flit(std::size_t link_index, std::uint64_t cycle) override {
-    if (cycle >= measure_begin_ && cycle < measure_end_) ++counts_[link_index];
-  }
-
-  const std::vector<std::uint64_t>& counts() const { return counts_; }
-
- private:
-  std::uint64_t measure_begin_ = 0, measure_end_ = ~0ull;
-  std::vector<std::uint64_t> counts_;
-};
-
-/// Fans events out to the caller's collector plus the legacy adapter when
-/// both are present (each member still only receives what its caps ask for
-/// implicitly -- unsubscribed hooks are no-op virtual calls).
-class PairCollector final : public telemetry::Collector {
- public:
-  PairCollector(telemetry::Collector* a, telemetry::Collector* b)
-      : a_(a), b_(b) {}
-
-  Caps caps() const override {
-    const Caps ca = a_->caps(), cb = b_->caps();
-    Caps m;
-    m.link_flits = ca.link_flits || cb.link_flits;
-    m.stalls = ca.stalls || cb.stalls;
-    m.ugal = ca.ugal || cb.ugal;
-    m.occupancy_period = ca.occupancy_period == 0 ? cb.occupancy_period
-                         : cb.occupancy_period == 0
-                             ? ca.occupancy_period
-                             : std::min(ca.occupancy_period,
-                                        cb.occupancy_period);
-    m.packets = telemetry::PacketFilter::merge(ca.packets, cb.packets);
-    m.faults = ca.faults || cb.faults;
-    return m;
-  }
-  void on_run_begin(const Network& net, const SimParams& prm,
-                    std::uint64_t mb, std::uint64_t me) override {
-    a_->on_run_begin(net, prm, mb, me);
-    b_->on_run_begin(net, prm, mb, me);
-  }
-  void on_link_flit(std::size_t link, std::uint64_t cycle) override {
-    a_->on_link_flit(link, cycle);
-    b_->on_link_flit(link, cycle);
-  }
-  void on_output_stall(std::uint32_t r, std::uint32_t port,
-                       telemetry::StallCause cause,
-                       std::uint64_t cycle) override {
-    a_->on_output_stall(r, port, cause, cycle);
-    b_->on_output_stall(r, port, cause, cycle);
-  }
-  void on_ugal_decision(const telemetry::UgalDecision& d,
-                        std::uint64_t cycle) override {
-    a_->on_ugal_decision(d, cycle);
-    b_->on_ugal_decision(d, cycle);
-  }
-  void on_occupancy_sample(std::uint64_t cycle,
-                           const telemetry::OccupancySnapshot& s) override {
-    a_->on_occupancy_sample(cycle, s);
-    b_->on_occupancy_sample(cycle, s);
-  }
-  void on_packet_injected(const PacketRecord& pkt,
-                          std::uint64_t cycle) override {
-    a_->on_packet_injected(pkt, cycle);
-    b_->on_packet_injected(pkt, cycle);
-  }
-  void on_packet_routed(const PacketRecord& pkt, std::uint32_t router,
-                        std::uint16_t out_port, std::uint8_t out_vc,
-                        bool eject, std::uint64_t cycle) override {
-    a_->on_packet_routed(pkt, router, out_port, out_vc, eject, cycle);
-    b_->on_packet_routed(pkt, router, out_port, out_vc, eject, cycle);
-  }
-  void on_packet_hop(const PacketRecord& pkt, std::uint32_t router,
-                     std::uint32_t port, std::uint8_t vc,
-                     std::uint64_t arrival_cycle,
-                     std::uint64_t cycle) override {
-    a_->on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
-    b_->on_packet_hop(pkt, router, port, vc, arrival_cycle, cycle);
-  }
-  void on_packet_ejected(const PacketRecord& pkt, std::uint64_t arrival_cycle,
-                         std::uint64_t cycle) override {
-    a_->on_packet_ejected(pkt, arrival_cycle, cycle);
-    b_->on_packet_ejected(pkt, arrival_cycle, cycle);
-  }
-  void on_fault(const fault::FaultEvent& ev, std::uint64_t cycle) override {
-    a_->on_fault(ev, cycle);
-    b_->on_fault(ev, cycle);
-  }
-  void on_packet_fault(const PacketRecord& pkt,
-                       telemetry::PacketFaultKind kind,
-                       std::uint64_t cycle) override {
-    a_->on_packet_fault(pkt, kind, cycle);
-    b_->on_packet_fault(pkt, kind, cycle);
-  }
-  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
-                  std::uint64_t measure_end) override {
-    a_->on_run_end(cycles, measure_begin, measure_end);
-    b_->on_run_end(cycles, measure_begin, measure_end);
-  }
-  void finish(telemetry::Summary& out) const override {
-    a_->finish(out);
-    b_->finish(out);
-  }
-
- private:
-  telemetry::Collector* a_;
-  telemetry::Collector* b_;
-};
-
 }  // namespace
 
 const char* to_string(PathMode mode, MinSelect sel) {
@@ -232,17 +104,6 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
       rng_(prm.seed),
       collector_(collector),
       ugal_(net.routing(), net.num_routers(), prm.ugal_candidates) {
-  if (prm_.record_link_utilization) {
-    auto legacy = std::make_unique<LegacyLinkCollector>();
-    legacy_counts_ = &legacy->counts();
-    if (collector_ != nullptr) {
-      pair_owner_ = std::make_unique<PairCollector>(collector_, legacy.get());
-      collector_ = pair_owner_.get();
-    } else {
-      collector_ = legacy.get();
-    }
-    legacy_owner_ = std::move(legacy);
-  }
   if (collector_ != nullptr) {
     const auto caps = collector_->caps();
     link_telemetry_ = caps.link_flits;
@@ -1741,7 +1602,6 @@ SimResult Simulation::collect(std::uint64_t cycles) {
     collector_->on_run_end(cycles, eff_begin, eff_end);
     collector_->finish(res.telemetry);
   }
-  if (legacy_counts_ != nullptr) res.link_flits = *legacy_counts_;
   return res;
 }
 

@@ -54,11 +54,6 @@ struct SimParams {
   /// Cycles for a freed buffer slot's credit to reach the upstream router
   /// (0 = instantaneous, the idealized default).
   std::uint32_t credit_latency = 0;
-  /// DEPRECATED: attach a telemetry::LinkHistogramCollector instead (see
-  /// src/telemetry/). Kept working through an internal adapter: setting it
-  /// records per-directed-link traversal counts during the measurement
-  /// window into SimResult::link_flits, exactly as before.
-  bool record_link_utilization = false;
   /// Validate structural invariants every cycle (credit conservation,
   /// wormhole contiguity, VC ownership); throws std::logic_error on
   /// violation. Slow -- for tests.
@@ -141,11 +136,6 @@ struct SimResult {
   bool stable = true;
   bool deadlock = false;
   std::uint64_t max_source_queue = 0;
-  /// DEPRECATED: use a telemetry::LinkHistogramCollector (its totals() are
-  /// this exact vector). Flits that crossed each directed link during the
-  /// measurement window (indexed like Network::link_index); empty unless
-  /// SimParams::record_link_utilization.
-  std::vector<std::uint64_t> link_flits;
   /// Aggregates from the attached telemetry collector(s); every has_*
   /// flag is false when no collector was attached.
   telemetry::Summary telemetry;
@@ -197,9 +187,9 @@ class TrafficSource {
 class Simulation {
  public:
   /// `collector` (optional, non-owning, may be a telemetry::CollectorSet)
-  /// observes the run; it must outlive the Simulation. With no collector
-  /// and record_link_utilization off, every telemetry hook site reduces to
-  /// one predictable flag check on the hot path.
+  /// observes the run; it must outlive the Simulation. With no collector,
+  /// every telemetry hook site reduces to one predictable flag check on
+  /// the hot path.
   Simulation(const Network& net, const SimParams& prm, TrafficSource& source,
              telemetry::Collector* collector = nullptr);
   ~Simulation();
@@ -405,13 +395,10 @@ class Simulation {
   TrafficSource* source_;
   std::mt19937_64 rng_;
 
-  // Telemetry plumbing. collector_ is the effective sink (the caller's
-  // collector, the legacy link adapter backing record_link_utilization, or
-  // an internal pair fanning out to both); the flags cache its caps() so
-  // hot-path hook sites cost one branch each.
+  // Telemetry plumbing. collector_ is the caller's collector (possibly a
+  // telemetry::CollectorSet); the flags cache its caps() so hot-path hook
+  // sites cost one branch each.
   telemetry::Collector* collector_ = nullptr;
-  std::unique_ptr<telemetry::Collector> legacy_owner_, pair_owner_;
-  const std::vector<std::uint64_t>* legacy_counts_ = nullptr;
   bool link_telemetry_ = false;
   bool stall_telemetry_ = false;
   bool ugal_telemetry_ = false;

@@ -20,6 +20,27 @@ const char* to_string(Pattern p) {
   return "?";
 }
 
+std::optional<Pattern> pattern_from_string(std::string_view name) {
+  for (Pattern p :
+       {Pattern::kUniform, Pattern::kPermutation, Pattern::kBitShuffle,
+        Pattern::kBitReverse, Pattern::kAdversarial, Pattern::kTornado,
+        Pattern::kHotspot}) {
+    if (name == to_string(p)) return p;
+  }
+  if (name == "shuffle") return Pattern::kBitShuffle;
+  if (name == "reverse") return Pattern::kBitReverse;
+  return std::nullopt;
+}
+
+std::unique_ptr<PatternSource> make_pattern_source(const topo::Topology& topo,
+                                                   Pattern pattern,
+                                                   double injection_rate,
+                                                   std::uint32_t packet_flits,
+                                                   std::uint64_t seed) {
+  return std::make_unique<PatternSource>(topo, pattern, injection_rate,
+                                         packet_flits, seed);
+}
+
 PatternSource::PatternSource(const topo::Topology& topo, Pattern pattern,
                              double injection_rate,
                              std::uint32_t packet_flits, std::uint64_t seed)

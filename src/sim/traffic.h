@@ -15,7 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <random>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -39,6 +42,24 @@ enum class Pattern {
 };
 
 const char* to_string(Pattern p);
+
+/// Inverse of to_string(Pattern). Accepts the canonical spellings plus the
+/// historical CLI aliases "shuffle" and "reverse"; nullopt on anything
+/// else. Emitting through to_string and parsing through this keeps the
+/// CLI, sweep configs and POLARSTAR_JSON pattern names in one vocabulary.
+std::optional<Pattern> pattern_from_string(std::string_view name);
+
+class PatternSource;
+
+/// The one creation path for pattern traffic: benches, examples, tools,
+/// runlab and the workload layer all construct their sources here. Returns
+/// the concrete type (it converts to std::unique_ptr<TrafficSource>) so
+/// flow-model probes can still call PatternSource::destination.
+std::unique_ptr<PatternSource> make_pattern_source(const topo::Topology& topo,
+                                                   Pattern pattern,
+                                                   double injection_rate,
+                                                   std::uint32_t packet_flits,
+                                                   std::uint64_t seed);
 
 class PatternSource final : public TrafficSource {
  public:

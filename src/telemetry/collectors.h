@@ -48,8 +48,8 @@ class LinkHistogramCollector final : public Collector {
                   std::uint64_t measure_end) override;
   void finish(Summary& out) const override;
 
-  /// Flits per directed link inside the measurement window (the quantity
-  /// the deprecated SimResult::link_flits reported).
+  /// Flits per directed link inside the measurement window, indexed like
+  /// Network::link_index.
   const std::vector<std::uint64_t>& totals() const { return totals_; }
   std::size_t num_epochs() const { return epochs_.size(); }
   const std::vector<std::uint64_t>& epoch(std::size_t e) const {

@@ -1,0 +1,171 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace polarstar::workload {
+
+namespace {
+
+constexpr const char* kHeader = "# polarstar workload trace v1";
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("workload trace line " + std::to_string(line) +
+                           ": " + what);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << kHeader << '\n';
+  os << "endpoints " << trace.num_endpoints << '\n';
+  os << "packet_flits " << trace.packet_flits << '\n';
+  os << "events " << trace.events.size() << '\n';
+  for (const TraceEvent& e : trace.events) {
+    os << e.cycle << ' ' << e.src << ' ' << e.dst << ' ' << e.flits << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_trace(os, trace);
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Trace read_trace(std::istream& is) {
+  Trace trace;
+  std::string line;
+  std::size_t lineno = 0;
+
+  auto next_line = [&]() {
+    if (!std::getline(is, line)) parse_error(lineno + 1, "unexpected EOF");
+    ++lineno;
+  };
+
+  next_line();
+  if (line != kHeader) parse_error(lineno, "bad header (expected v1)");
+
+  std::uint64_t expected_events = 0;
+  for (const char* key : {"endpoints", "packet_flits", "events"}) {
+    next_line();
+    std::istringstream ls(line);
+    std::string word;
+    std::uint64_t value = 0;
+    if (!(ls >> word >> value) || word != key) {
+      parse_error(lineno, std::string("expected \"") + key + " <n>\"");
+    }
+    if (word == "endpoints") trace.num_endpoints = value;
+    if (word == "packet_flits") {
+      trace.packet_flits = static_cast<std::uint32_t>(value);
+    }
+    if (word == "events") expected_events = value;
+  }
+
+  trace.events.reserve(expected_events);
+  std::uint64_t last_cycle = 0;
+  for (std::uint64_t i = 0; i < expected_events; ++i) {
+    next_line();
+    std::istringstream ls(line);
+    TraceEvent e;
+    if (!(ls >> e.cycle >> e.src >> e.dst >> e.flits)) {
+      parse_error(lineno, "expected \"<cycle> <src> <dst> <flits>\"");
+    }
+    if (e.cycle < last_cycle) parse_error(lineno, "cycles not monotone");
+    if (e.src >= trace.num_endpoints || e.dst >= trace.num_endpoints) {
+      parse_error(lineno, "endpoint out of range");
+    }
+    last_cycle = e.cycle;
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  return read_trace(is);
+}
+
+void TraceRecorder::on_run_begin(const sim::Network& net,
+                                 const sim::SimParams& prm,
+                                 std::uint64_t /*measure_begin*/,
+                                 std::uint64_t /*measure_end*/) {
+  trace_ = Trace{};
+  trace_.num_endpoints = net.topology().num_endpoints();
+  trace_.packet_flits = prm.packet_flits;
+}
+
+void TraceRecorder::on_packet_injected(const sim::PacketRecord& pkt,
+                                       std::uint64_t cycle) {
+  trace_.events.push_back(
+      TraceEvent{cycle, pkt.src_endpoint, pkt.dst_endpoint, pkt.flits});
+}
+
+namespace {
+
+/// Cursor replay: each tick injects, in recorded order, every event whose
+/// cycle has arrived. The simulator ticks sources once per cycle starting
+/// at cycle 0, so `event.cycle <= sim.cycle()` reproduces the original
+/// injection cycles exactly (and drains any pre-warmup backlog if a trace
+/// is replayed into a later-starting window).
+class TraceSource final : public sim::TrafficSource {
+ public:
+  explicit TraceSource(const Trace* trace) : trace_(trace) {}
+
+  void tick(sim::Simulation& sim) override {
+    const auto& ev = trace_->events;
+    while (cursor_ < ev.size() && ev[cursor_].cycle <= sim.cycle()) {
+      sim.enqueue_packet(ev[cursor_].src, ev[cursor_].dst);
+      ++cursor_;
+    }
+  }
+
+  bool finished(const sim::Simulation& sim) const override {
+    return cursor_ >= trace_->events.size() &&
+           sim.outstanding_packets() == 0;
+  }
+
+ private:
+  const Trace* trace_;  // owned by the TraceReplay workload
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+TraceReplay::TraceReplay(Trace trace) : trace_(std::move(trace)) {}
+
+std::string TraceReplay::describe() const {
+  std::ostringstream os;
+  os << trace_.events.size() << " events, " << trace_.num_endpoints
+     << " endpoints, " << trace_.packet_flits << " flits/packet";
+  return os.str();
+}
+
+std::unique_ptr<sim::TrafficSource> TraceReplay::instantiate(
+    const Context& ctx) const {
+  if (ctx.topo == nullptr || ctx.topo->num_endpoints() < trace_.num_endpoints) {
+    throw std::invalid_argument("trace replay: topology too small for trace");
+  }
+  if (ctx.packet_flits != trace_.packet_flits) {
+    throw std::invalid_argument(
+        "trace replay: packet_flits mismatch (trace " +
+        std::to_string(trace_.packet_flits) + ", params " +
+        std::to_string(ctx.packet_flits) + ")");
+  }
+  for (const TraceEvent& e : trace_.events) {
+    if (e.flits != trace_.packet_flits) {
+      throw std::invalid_argument(
+          "trace replay: non-uniform packet size in trace (simulator "
+          "injects SimParams::packet_flits for every packet)");
+    }
+  }
+  return std::make_unique<TraceSource>(&trace_);
+}
+
+}  // namespace polarstar::workload

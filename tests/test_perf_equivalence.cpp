@@ -85,7 +85,6 @@ void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.stable, b.stable);
   EXPECT_EQ(a.deadlock, b.deadlock);
   EXPECT_EQ(a.max_source_queue, b.max_source_queue);
-  EXPECT_EQ(a.link_flits, b.link_flits);
   EXPECT_EQ(a.fault_events, b.fault_events);
   EXPECT_EQ(a.packets_dropped, b.packets_dropped);
   EXPECT_EQ(a.retransmits, b.retransmits);

@@ -1,7 +1,7 @@
 // Determinism suite for the sharded cycle engine (`ctest -L shard`): one
 // sim::Simulation executing its cycles across N worker shards must be
 // *bit-identical* to the serial run -- whole SimResult, telemetry
-// summaries, schema-4 JSON and exported trace bytes, at shards 1/2/4,
+// summaries, schema-5 JSON and exported trace bytes, at shards 1/2/4,
 // under faults + UGAL, against SimParams::reference_impl, and for a
 // non-contiguous explicit ShardPlan. paranoid_checks rides along where
 // affordable so the credit-conservation and wormhole invariants are
@@ -82,7 +82,6 @@ void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.stable, b.stable);
   EXPECT_EQ(a.deadlock, b.deadlock);
   EXPECT_EQ(a.max_source_queue, b.max_source_queue);
-  EXPECT_EQ(a.link_flits, b.link_flits);
   EXPECT_EQ(a.fault_events, b.fault_events);
   EXPECT_EQ(a.packets_dropped, b.packets_dropped);
   EXPECT_EQ(a.retransmits, b.retransmits);
@@ -244,7 +243,7 @@ TEST(ShardDeterminism, NoncontiguousExplicitPlanIsIdentical) {
   expect_identical(serial, sharded);
 }
 
-// The runlab stack end to end: schema-4 JSON (modulo wall clock) and the
+// The runlab stack end to end: schema-5 JSON (modulo wall clock) and the
 // Perfetto trace file are byte-identical when every point runs 4-sharded,
 // fault block included.
 TEST(ShardDeterminism, RunlabJsonAndTraceBytesIdentical) {
@@ -298,7 +297,7 @@ TEST(ShardDeterminism, RunlabJsonAndTraceBytesIdentical) {
   const std::string b1 = strip_wall_seconds(read_file(json1));
   const std::string b4 = strip_wall_seconds(read_file(json4));
   EXPECT_EQ(b1, b4);
-  EXPECT_NE(b1.find("\"schema\": 4"), std::string::npos);
+  EXPECT_NE(b1.find("\"schema\": 5"), std::string::npos);
   EXPECT_NE(b1.find("\"fault\": {"), std::string::npos);
   EXPECT_EQ(read_file(trace1), read_file(trace4));
   for (const auto& p : {json1, json4, trace1, trace4}) {

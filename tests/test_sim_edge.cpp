@@ -8,6 +8,7 @@
 #include "routing/routing.h"
 #include "sim/simulation.h"
 #include "sim/traffic.h"
+#include "telemetry/collectors.h"
 #include "topo/fattree.h"
 #include "topo/megafly.h"
 
@@ -202,17 +203,17 @@ TEST(SimEdge, LinkUtilizationTelemetry) {
   prm.warmup_cycles = 0;
   prm.measure_cycles = 2000;
   prm.drain_cycles = 100;
-  prm.record_link_utilization = true;
+  polarstar::telemetry::LinkHistogramCollector links;
   sim::PatternSource src(*t, sim::Pattern::kUniform, 0.1, prm.packet_flits, 3);
-  sim::Simulation s(net, prm, src);
-  auto res = s.run();
-  ASSERT_EQ(res.link_flits.size(), net.total_link_ports());
+  sim::Simulation s(net, prm, src, &links);
+  s.run();
+  ASSERT_EQ(links.totals().size(), net.total_link_ports());
   std::uint64_t total = 0;
-  for (auto f : res.link_flits) total += f;
+  for (auto f : links.totals()) total += f;
   EXPECT_GT(total, 0u);
   // The middle links carry the most transit traffic on a path graph.
-  const auto mid = res.link_flits[net.link_index(1, net.port_toward(1, 2))];
-  const auto edge = res.link_flits[net.link_index(0, net.port_toward(0, 1))];
+  const auto mid = links.totals()[net.link_index(1, net.port_toward(1, 2))];
+  const auto edge = links.totals()[net.link_index(0, net.port_toward(0, 1))];
   EXPECT_GE(mid + 50, edge);
 }
 

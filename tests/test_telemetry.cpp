@@ -1,8 +1,7 @@
 // Telemetry collectors: conservation invariants (link histograms vs. hop
-// traffic, stall causes partitioning port-cycles), the deprecated
-// record_link_utilization adapter, UGAL decision counters, occupancy
-// sampling, CollectorSet fan-out, and bit-identical telemetry across
-// runner thread counts.
+// traffic, stall causes partitioning port-cycles), UGAL decision counters,
+// occupancy sampling, CollectorSet fan-out, and bit-identical telemetry
+// across runner thread counts.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -101,7 +100,6 @@ TEST(Telemetry, NoCollectorMeansEmptySummary) {
   sim::Simulation s(net, prm, src);
   auto res = s.run();
   EXPECT_FALSE(res.telemetry.any());
-  EXPECT_TRUE(res.link_flits.empty());
 }
 
 TEST(Telemetry, LinkHistogramConservesFlits) {
@@ -190,46 +188,6 @@ TEST(Telemetry, BusyCountsMatchLinkHistogram) {
   // The set folded both blocks into one summary.
   EXPECT_TRUE(res.telemetry.has_link);
   EXPECT_TRUE(res.telemetry.has_stall);
-}
-
-TEST(Telemetry, DeprecatedLinkUtilizationMatchesCollector) {
-  // The legacy SimParams::record_link_utilization flag is now an internal
-  // adapter over the collector hooks; it must reproduce the collector's
-  // window totals exactly, alone or alongside a user collector.
-  auto net = megafly_net();
-  sim::SimParams prm;
-  prm.warmup_cycles = 100;
-  prm.measure_cycles = 500;
-  auto make_src = [&net, &prm] {
-    return sim::PatternSource(net.topology(), sim::Pattern::kUniform, 0.2,
-                              prm.packet_flits, 5);
-  };
-
-  prm.record_link_utilization = true;
-  auto legacy_src = make_src();
-  sim::Simulation legacy_sim(net, prm, legacy_src);
-  auto legacy = legacy_sim.run();
-  ASSERT_EQ(legacy.link_flits.size(), net.total_link_ports());
-  // The adapter is invisible in the telemetry summary block.
-  EXPECT_FALSE(legacy.telemetry.any());
-
-  prm.record_link_utilization = false;
-  telemetry::LinkHistogramCollector links;
-  auto collector_src = make_src();
-  sim::Simulation collector_sim(net, prm, collector_src, &links);
-  auto modern = collector_sim.run();
-  EXPECT_TRUE(modern.link_flits.empty());
-  ASSERT_EQ(links.totals().size(), legacy.link_flits.size());
-  EXPECT_EQ(links.totals(), legacy.link_flits);
-
-  // Both at once: the internal pair adapter feeds the same events to each.
-  prm.record_link_utilization = true;
-  telemetry::LinkHistogramCollector links2;
-  auto both_src = make_src();
-  sim::Simulation both_sim(net, prm, both_src, &links2);
-  auto both = both_sim.run();
-  EXPECT_EQ(both.link_flits, legacy.link_flits);
-  EXPECT_EQ(links2.totals(), legacy.link_flits);
 }
 
 TEST(Telemetry, EpochHistogramsCoverTheWholeRun) {

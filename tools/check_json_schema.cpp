@@ -3,7 +3,8 @@
 //   check_json_schema <file.json> [...]   validate runner output files
 //   check_json_schema --selftest          validate a built-in example
 //
-// Accepts schema 4 (adds per-point "fault" blocks and a "fault" telemetry
+// Accepts schema 5 (adds per-point "workload" blocks for scenario-driven
+// sweeps), schema 4 (adds per-point "fault" blocks and a "fault" telemetry
 // sub-block for availability sweeps), schema 3 (adds p50/p99.9 percentile
 // columns and optional "latency"/"trace" telemetry sub-blocks), schema 2
 // (object with "schema"/"points", optional per-point "telemetry" blocks)
@@ -60,6 +61,23 @@ void check_point(const json::Value& p, std::size_t index, int schema) {
     require(p, "cycles", json::Value::Kind::kNumber);
     require(p, "measured_packets", json::Value::Kind::kNumber);
     require(p, "wall_seconds", json::Value::Kind::kNumber);
+    if (const json::Value* w = p.find("workload")) {
+      if (schema < 5) {
+        throw std::runtime_error("\"workload\" block requires schema 5");
+      }
+      if (!w->is_object()) throw std::runtime_error("workload not an object");
+      const auto& wname = require(*w, "name", json::Value::Kind::kString);
+      // The point's pattern field carries the workload name, so the two
+      // must agree.
+      if (wname.as_string() != p.find("pattern")->as_string()) {
+        throw std::runtime_error("workload name disagrees with pattern");
+      }
+      if (const json::Value* d = w->find("detail")) {
+        if (d->kind() != json::Value::Kind::kString) {
+          throw std::runtime_error("workload detail is not a string");
+        }
+      }
+    }
     if (const json::Value* f = p.find("fault")) {
       if (schema < 4) {
         throw std::runtime_error("\"fault\" block requires schema 4");
@@ -160,7 +178,8 @@ std::size_t check_document(const json::Value& doc) {
     points = &doc.as_array();  // legacy schema 1: bare points array
   } else if (doc.is_object()) {
     const auto& v = require(doc, "schema", json::Value::Kind::kNumber);
-    if (v.as_number() != 2.0 && v.as_number() != 3.0 && v.as_number() != 4.0) {
+    if (v.as_number() != 2.0 && v.as_number() != 3.0 && v.as_number() != 4.0 &&
+        v.as_number() != 5.0) {
       throw std::runtime_error("unsupported schema " +
                                std::to_string(v.as_number()));
     }
@@ -216,6 +235,30 @@ constexpr const char* kSelftestDocV4 = R"({
 ]
 })";
 
+// A schema-5 workload point: "pattern" holds the workload name and the
+// "workload" block repeats it with an optional detail string; the stress
+// scenario additionally carries a fault block.
+constexpr const char* kSelftestDocV5 = R"({
+"schema": 5,
+"points": [
+  {"sweep": "workloads", "case": "PS-IQ incast", "pattern": "incast",
+   "mode": "min-adaptive", "load": 0.2, "stable": true, "deadlock": false,
+   "avg_latency": 10.2, "p50_latency": 9, "p99_latency": 40,
+   "p999_latency": 66, "avg_hops": 2.4, "accepted_flit_rate": 0.199,
+   "cycles": 10000, "measured_packets": 800, "wall_seconds": 0.4,
+   "workload": {"name": "incast",
+                "detail": "2 victims, burst 32/256 cycles, fraction 0.7"}},
+  {"sweep": "workloads", "case": "PS-IQ stress", "pattern": "stress",
+   "mode": "min-adaptive", "load": 0.1, "stable": true, "deadlock": false,
+   "avg_latency": 12.9, "p50_latency": 10, "p99_latency": 60,
+   "p999_latency": 90, "avg_hops": 2.6, "accepted_flit_rate": 0.099,
+   "cycles": 12000, "measured_packets": 700, "wall_seconds": 0.6,
+   "workload": {"name": "stress"},
+   "fault": {"events": 9, "dropped": 31, "retransmits": 28, "lost": 1,
+             "measured_lost": 0, "delivered_fraction": 0.9986}}
+]
+})";
+
 // A schema-2 document (no percentile columns) must stay valid.
 constexpr const char* kSelftestDocV2 = R"({
 "schema": 2,
@@ -239,7 +282,8 @@ int main(int argc, char** argv) {
     if (std::string(argv[1]) == "--selftest") {
       const std::size_t n = check_document(json::parse(kSelftestDoc)) +
                             check_document(json::parse(kSelftestDocV2)) +
-                            check_document(json::parse(kSelftestDocV4));
+                            check_document(json::parse(kSelftestDocV4)) +
+                            check_document(json::parse(kSelftestDocV5));
       std::printf("selftest: %zu point(s) valid\n", n);
       return 0;
     }

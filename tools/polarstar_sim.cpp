@@ -59,13 +59,9 @@ int main(int argc, char** argv) {
         std::cerr << "unknown key " << key << "\n";
         return 1;
       }
-    } else if (arg == "uniform") pattern = sim::Pattern::kUniform;
-    else if (arg == "permutation") pattern = sim::Pattern::kPermutation;
-    else if (arg == "shuffle") pattern = sim::Pattern::kBitShuffle;
-    else if (arg == "reverse") pattern = sim::Pattern::kBitReverse;
-    else if (arg == "adversarial") pattern = sim::Pattern::kAdversarial;
-    else if (arg == "tornado") pattern = sim::Pattern::kTornado;
-    else if (arg == "hotspot") pattern = sim::Pattern::kHotspot;
+    } else if (auto parsed = sim::pattern_from_string(arg)) {
+      pattern = *parsed;
+    }
     else if (arg == "min") prm.path_mode = sim::PathMode::kMinimal;
     else if (arg == "min-adaptive") {
       prm.path_mode = sim::PathMode::kMinimal;
@@ -107,8 +103,9 @@ int main(int argc, char** argv) {
   std::printf("topology,pattern,mode,load,avg_latency,p99_latency,"
               "accepted,avg_hops,stable\n");
   for (double load : loads) {
-    sim::PatternSource src(*topo, pattern, load, prm.packet_flits, prm.seed);
-    sim::Simulation s(net, prm, src);
+    auto src = sim::make_pattern_source(*topo, pattern, load,
+                                        prm.packet_flits, prm.seed);
+    sim::Simulation s(net, prm, *src);
     auto res = s.run();
     std::printf("%s,%s,%s,%.3f,%.2f,%.0f,%.4f,%.3f,%d\n", topo_name.c_str(),
                 sim::to_string(pattern),

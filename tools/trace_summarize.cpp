@@ -7,8 +7,9 @@
 // a per-hop table of head-flit router occupancy: how long packets spent
 // at their 1st, 2nd, ... router, split out of the same spans Perfetto
 // renders. Groups with fault instant events (cat "fault") additionally
-// get a chronological fault-event table. Exits non-zero on malformed
-// input.
+// get a chronological fault-event table, and groups with workload
+// scenario marks (cat "mark") a chronological mark table. Exits non-zero
+// on malformed input.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -37,12 +38,18 @@ struct FaultMark {
   std::uint64_t b = 0;
 };
 
+struct ScenarioMark {
+  std::uint64_t cycle = 0;
+  std::string label;
+};
+
 struct GroupStats {
   std::string name;
   std::uint64_t spans = 0;      // async "b" events == sampled packets
   std::uint64_t delivered = 0;  // async spans flagged delivered
   std::map<std::uint64_t, HopStats> hops;
-  std::vector<FaultMark> faults;  // instant "i" events, cat "fault"
+  std::vector<FaultMark> faults;      // instant "i" events, cat "fault"
+  std::vector<ScenarioMark> marks;    // instant "i" events, cat "mark"
 };
 
 const json::Value& require(const json::Value& obj, const std::string& key) {
@@ -84,16 +91,23 @@ void summarize(const std::string& path) {
     } else if (ph == "i") {
       std::string name = require(ev, "name").as_string();
       const json::Value* cat = ev.find("cat");
-      if (cat == nullptr || cat->as_string() != "fault") {
+      const std::string cat_name =
+          cat != nullptr ? cat->as_string() : std::string();
+      if (cat_name == "fault") {
+        if (name.rfind("fault: ", 0) == 0) name.erase(0, 7);
+        const auto& args = require(ev, "args");
+        g.faults.push_back(
+            {static_cast<std::uint64_t>(require(ev, "ts").as_number()),
+             std::move(name),
+             static_cast<std::uint64_t>(require(args, "a").as_number()),
+             static_cast<std::uint64_t>(require(args, "b").as_number())});
+      } else if (cat_name == "mark") {
+        g.marks.push_back(
+            {static_cast<std::uint64_t>(require(ev, "ts").as_number()),
+             std::move(name)});
+      } else {
         throw std::runtime_error("unexpected instant event \"" + name + "\"");
       }
-      if (name.rfind("fault: ", 0) == 0) name.erase(0, 7);
-      const auto& args = require(ev, "args");
-      g.faults.push_back(
-          {static_cast<std::uint64_t>(require(ev, "ts").as_number()),
-           std::move(name),
-           static_cast<std::uint64_t>(require(args, "a").as_number()),
-           static_cast<std::uint64_t>(require(args, "b").as_number())});
     } else if (ph != "e") {
       throw std::runtime_error("unexpected event phase \"" + ph + "\"");
     }
@@ -125,6 +139,15 @@ void summarize(const std::string& path) {
                     static_cast<unsigned long long>(f.cycle), f.kind.c_str(),
                     static_cast<unsigned long long>(f.a),
                     static_cast<unsigned long long>(f.b));
+      }
+    }
+    if (!g.marks.empty()) {
+      std::printf("%llu scenario mark(s):\n%8s  %s\n",
+                  static_cast<unsigned long long>(g.marks.size()), "cycle",
+                  "label");
+      for (const ScenarioMark& m : g.marks) {
+        std::printf("%8llu  %s\n", static_cast<unsigned long long>(m.cycle),
+                    m.label.c_str());
       }
     }
   }
