@@ -39,6 +39,42 @@ inline bool full_scale() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Time-axis sampling period (POLARSTAR_METRICS_INTERVAL, 0 = off). The
+/// same variable already makes the shared runner attach a
+/// TimeSeriesCollector to every point, so a bench that wants a
+/// time-resolved table can print it straight from the sweep results it
+/// already has -- no extra simulation.
+inline std::uint32_t metrics_interval() {
+  const char* v = std::getenv("POLARSTAR_METRICS_INTERVAL");
+  return v == nullptr
+             ? 0u
+             : static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+}
+
+/// One point's time series as an aligned table. Only the optional
+/// POLARSTAR_METRICS_INTERVAL sections print this, so it never appears in
+/// the golden tables.
+inline void print_timeseries(const telemetry::TimeSeriesSummary& ts) {
+  std::printf("%10s %10s %8s %8s %9s %8s %9s %9s %7s %7s %7s\n", "begin",
+              "end", "inject", "eject", "avg_lat", "max_lat", "buffered",
+              "in_flight", "drops", "retx", "lost");
+  for (const auto& iv : ts.intervals) {
+    std::printf(
+        "%10llu %10llu %8llu %8llu %9.1f %8llu %9llu %9llu %7llu %7llu "
+        "%7llu\n",
+        static_cast<unsigned long long>(iv.begin_cycle),
+        static_cast<unsigned long long>(iv.end_cycle),
+        static_cast<unsigned long long>(iv.injected),
+        static_cast<unsigned long long>(iv.ejected), iv.avg_latency,
+        static_cast<unsigned long long>(iv.max_latency),
+        static_cast<unsigned long long>(iv.buffered_flits),
+        static_cast<unsigned long long>(iv.in_flight),
+        static_cast<unsigned long long>(iv.dropped),
+        static_cast<unsigned long long>(iv.retransmits),
+        static_cast<unsigned long long>(iv.lost));
+  }
+}
+
 /// The per-binary experiment runner. One instance per process so every
 /// sweep shares the pool and all points land in one POLARSTAR_JSON file
 /// (and all sampled flight records in one POLARSTAR_TRACE file).

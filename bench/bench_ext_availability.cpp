@@ -6,6 +6,10 @@
 // loss counters at each failure rate.
 //
 // POLARSTAR_FAULTS=0,0.02,0.05 overrides the swept link-failure fractions.
+// POLARSTAR_METRICS_INTERVAL=K adds a fault-recovery time-series table
+// (per-interval drops / latency / backlog rows at the highest failure
+// rate) plus per-point "timeseries" JSON blocks and Perfetto counter
+// tracks; the main table stays byte-identical either way.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -103,5 +107,26 @@ int main() {
   std::printf("\nDelivered fraction counts measured packets only; lost "
               "packets had a failed source or destination (or exhausted "
               "their retransmit budget).\n");
+
+  // Fault-recovery time series: with POLARSTAR_METRICS_INTERVAL set the
+  // runner already attached a time-series collector to every point above,
+  // so print the per-interval rows for the highest swept failure rate --
+  // drops and the latency spike land inside the failure window
+  // (warmup..warmup+measure) and the drain rows show the backlog
+  // recovering. Off by default so the golden table stays byte-identical.
+  if (bench::metrics_interval() != 0 && fractions.back() > 0.0) {
+    std::printf("\nFault-recovery time series at %.0f%% failed links\n",
+                100 * fractions.back());
+    for (const auto& row : rows) {
+      if (row.frac != fractions.back()) continue;
+      const auto& ts =
+          results[row.sweep].points[0].result.telemetry.timeseries;
+      std::printf("%s (interval %u, %zu records)\n", row.name.c_str(),
+                  ts.interval, ts.intervals.size());
+      bench::print_timeseries(ts);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
   return 0;
 }

@@ -7,9 +7,11 @@
 //
 // Like every sweep bench: POLARSTAR_THREADS / POLARSTAR_SHARDS only change
 // the parallelism shape, POLARSTAR_JSON captures every point (workload
-// cases carry the schema-5 "workload" block), POLARSTAR_TRACE additionally
+// cases carry the schema-6 "workload" block), POLARSTAR_TRACE additionally
 // records scenario timeline marks -- the printed tables are byte-identical
-// throughout.
+// throughout. POLARSTAR_METRICS_INTERVAL=K adds a time-resolved
+// hotspot-drain table (per-interval inject/eject/latency/backlog rows) and
+// per-point "timeseries" JSON blocks + Perfetto counter tracks.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -36,9 +38,12 @@ std::vector<bench::NamedTopo> workload_suite() {
 
 /// Latency-vs-load table for one scenario across the suite (print_sweep's
 /// format, with the traffic coming from a Workload instead of a Pattern).
-void print_workload_sweep(const std::vector<bench::NamedTopo>& suite,
-                          const std::shared_ptr<const workload::Workload>& wl,
-                          const bench::SweepSettings& s) {
+/// Returns the sweep results so callers can reuse them (the optional
+/// hotspot-drain section reads the time series out of these points).
+std::vector<runlab::CaseResult> print_workload_sweep(
+    const std::vector<bench::NamedTopo>& suite,
+    const std::shared_ptr<const workload::Workload>& wl,
+    const bench::SweepSettings& s) {
   std::vector<runlab::SweepCase> cases;
   cases.reserve(suite.size());
   for (const auto& nt : suite) {
@@ -75,6 +80,32 @@ void print_workload_sweep(const std::vector<bench::NamedTopo>& suite,
     std::fflush(stdout);
   }
   std::printf("\n");
+  return results;
+}
+
+/// Time-resolved view of the transient hotspot at one load: the burst's
+/// latency spike and the backlog draining back out are directly visible in
+/// the interval rows. Printed only when POLARSTAR_METRICS_INTERVAL is set
+/// (which already attached the time-series collector to every sweep
+/// point), so the golden tables stay byte-identical by default.
+void print_hotspot_drain(const std::vector<bench::NamedTopo>& suite,
+                         const std::vector<runlab::CaseResult>& results,
+                         const bench::SweepSettings& s) {
+  std::size_t j = 0;  // deepest load where every column stays stable, so
+                      // the backlog actually drains instead of diverging
+  for (std::size_t k = 0; k < s.loads.size(); ++k) {
+    if (s.loads[k] <= 0.1) j = k;
+  }
+  std::printf("hotspot drain time series at load %.2f\n", s.loads[j]);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& res = results[i].points[j].result;
+    const auto& ts = res.telemetry.timeseries;
+    std::printf("%s (interval %u, %zu records)\n", suite[i].name.c_str(),
+                ts.interval, ts.intervals.size());
+    bench::print_timeseries(ts);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
 }
 
 /// The stress scenario: adversarial + incast mix under live faults, one
@@ -204,8 +235,11 @@ int main() {
               workload::TenantPattern::kTornado,
               workload::TenantPattern::kUniform}),
       s);
-  print_workload_sweep(
+  const auto hotspot_results = print_workload_sweep(
       suite, std::make_shared<const workload::TransientHotspotWorkload>(), s);
+  if (bench::metrics_interval() != 0) {
+    print_hotspot_drain(suite, hotspot_results, s);
+  }
   print_workload_sweep(
       suite, std::make_shared<const workload::CollectiveWorkload>(), s);
   print_stress(suite, s);

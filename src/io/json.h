@@ -1,8 +1,9 @@
 // Minimal recursive-descent JSON parser (RFC 8259 subset, no external
 // deps). Built for validating the runner's POLARSTAR_JSON output in tests
 // and tools; not tuned for huge documents. Numbers are parsed as double,
-// strings support the standard escapes except \uXXXX (emitted nowhere by
-// this repo), and parse errors throw std::runtime_error with an offset.
+// strings support all standard escapes including \uXXXX (surrogate pairs
+// decode to UTF-8; lone surrogates are rejected), and parse errors throw
+// std::runtime_error with an offset.
 #pragma once
 
 #include <map>

@@ -102,6 +102,16 @@ void write_chrome_trace(std::ostream& os,
          << "}";
     }
 
+    // Time-series counter tracks: one "C" event per sample; Perfetto plots
+    // each distinct event name as its own counter lane.
+    for (const CounterSeries& cs : grp.counters) {
+      for (const CounterSample& s : cs.points) {
+        sink.begin(cs.name.c_str(), "C", pid);
+        os << ",\"tid\":0,\"ts\":" << s.cycle << ",\"args\":{\"value\":"
+           << s.value << "}}";
+      }
+    }
+
     for (const telemetry::PacketTrace& t : grp.traces) {
       const std::string pkt_name = "pkt " + std::to_string(t.id);
       const std::uint64_t end =

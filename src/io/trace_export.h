@@ -39,6 +39,20 @@ struct TraceMark {
   std::string label;
 };
 
+/// One sample of a time-series counter track.
+struct CounterSample {
+  std::uint64_t cycle = 0;
+  double value = 0.0;
+};
+
+/// A named counter track: rendered as Chrome-trace "C" events so the
+/// sampled value plots as a stepped area chart under the group's process.
+/// The runner converts telemetry::TimeSeriesInterval records into these.
+struct CounterSeries {
+  std::string name;
+  std::vector<CounterSample> points;
+};
+
 /// One simulated point's worth of flight records.
 struct PacketTraceGroup {
   std::string label;             ///< process name in the trace viewer
@@ -51,6 +65,9 @@ struct PacketTraceGroup {
   /// Scenario timeline marks: rendered like fault instants under category
   /// "mark". Usually empty.
   std::vector<TraceMark> marks;
+  /// Time-series counter tracks ("C" events; one track per series name).
+  /// Usually empty.
+  std::vector<CounterSeries> counters;
 };
 
 /// Writes the Trace Event Format document. Exactly one async "b" event is

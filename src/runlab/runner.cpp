@@ -97,6 +97,7 @@ class ProgressMeter {
 // deterministic as the simulation itself. `trace` is the case's effective
 // flight-recorder filter (the runner may have applied its default).
 void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
+               std::uint32_t metrics_interval, bool profile,
                unsigned num_shards, ProgressMeter& meter, CaseResult& out) {
   const auto chain_start = std::chrono::steady_clock::now();
   // The runner owns shard resolution: every point gets the budgeted shard
@@ -104,6 +105,7 @@ void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
   // the runner never reads POLARSTAR_SHARDS on its own unclamped.
   sim::SimParams params = c.params;
   params.num_shards = num_shards;
+  params.profile = params.profile || profile;
   out.points.resize(c.loads.size());
   bool saturated = false;
   std::size_t ran = 0;
@@ -122,6 +124,7 @@ void run_chain(const SweepCase& c, const telemetry::PacketFilter& trace,
                           .pattern_seed = c.pattern_seed,
                           .collector = collector.get(),
                           .trace = trace,
+                          .metrics_interval = metrics_interval,
                           .faults = c.faults.get()});
     p.wall_seconds = seconds_since(point_start);
     p.ran = true;
@@ -203,6 +206,30 @@ void write_telemetry(std::ostream& os, const telemetry::Summary& t) {
        << ", \"retransmits\": " << t.fault.retransmits
        << ", \"lost\": " << t.fault.lost_packets << "}";
   }
+  if (t.has_timeseries) {
+    sep();
+    os << "\"timeseries\": {\"interval\": " << t.timeseries.interval
+       << ", \"intervals\": [";
+    for (std::size_t i = 0; i < t.timeseries.intervals.size(); ++i) {
+      const auto& iv = t.timeseries.intervals[i];
+      os << (i == 0 ? "\n" : ",\n")
+         << "    {\"begin\": " << iv.begin_cycle
+         << ", \"end\": " << iv.end_cycle
+         << ", \"injected\": " << iv.injected
+         << ", \"ejected\": " << iv.ejected
+         << ", \"offered_flits\": " << iv.offered_flits
+         << ", \"accepted_flits\": " << iv.accepted_flits
+         << ", \"lat_packets\": " << iv.lat_packets
+         << ", \"avg_latency\": " << iv.avg_latency
+         << ", \"max_latency\": " << iv.max_latency
+         << ", \"buffered_flits\": " << iv.buffered_flits
+         << ", \"in_flight\": " << iv.in_flight
+         << ", \"dropped\": " << iv.dropped
+         << ", \"retransmits\": " << iv.retransmits
+         << ", \"lost\": " << iv.lost << "}";
+    }
+    os << "]}";
+  }
   os << "}";
 }
 
@@ -229,21 +256,26 @@ sim::SimResult run_point(const PointSpec& spec) {
   }
   sim::SimParams params = spec.params;
   if (spec.faults != nullptr) params.faults = spec.faults;
-  if (!spec.trace.enabled()) {
+  if (!spec.trace.enabled() && spec.metrics_interval == 0) {
     sim::Simulation simulation(*spec.net, params, *src, spec.collector);
     return simulation.run();
   }
-  // Flight recorder rides along with whatever collector the caller gave;
-  // the sampled records move into the result so the stack-local collector
-  // can die with this frame.
+  // Flight recorder and/or time-series sampler ride along with whatever
+  // collector the caller gave; the sampled records move into the result
+  // (timeseries lands in res.telemetry through Collector::finish) so the
+  // stack-local collectors can die with this frame.
   telemetry::PacketTraceCollector tracer(spec.trace);
+  telemetry::TimeSeriesCollector series(spec.metrics_interval);
   telemetry::CollectorSet set;
-  set.add(&tracer);
+  if (spec.trace.enabled()) set.add(&tracer);
+  if (spec.metrics_interval != 0) set.add(&series);
   if (spec.collector != nullptr) set.add(spec.collector);
   sim::Simulation simulation(*spec.net, params, *src, &set);
   sim::SimResult res = simulation.run();
-  res.packet_traces = tracer.take_traces();
-  res.fault_marks = tracer.take_fault_marks();
+  if (spec.trace.enabled()) {
+    res.packet_traces = tracer.take_traces();
+    res.fault_marks = tracer.take_fault_marks();
+  }
   return res;
 }
 
@@ -277,6 +309,15 @@ ExperimentRunner::ExperimentRunner(unsigned num_threads)
   if (const char* v = std::getenv("POLARSTAR_PROGRESS")) {
     if (v[0] == '1' && v[1] == '\0') progress_ = &std::cerr;
   }
+  if (const char* v = std::getenv("POLARSTAR_METRICS_INTERVAL")) {
+    metrics_interval_ = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+  }
+  if (const char* v = std::getenv("POLARSTAR_PROFILE")) {
+    if (v[0] == '1' && v[1] == '\0') {
+      profile_ = true;
+      profile_stream_ = &std::cerr;
+    }
+  }
 }
 
 ExperimentRunner::~ExperimentRunner() {
@@ -295,12 +336,21 @@ std::vector<CaseResult> ExperimentRunner::run(
   // Effective flight-recorder filter per case: the case's own filter wins;
   // a configured trace path turns on default-period sampling everywhere
   // else.
+  const auto run_start = std::chrono::steady_clock::now();
   std::vector<telemetry::PacketFilter> trace(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
     trace[i] = cases[i].trace;
     if (!trace[i].enabled() && !trace_path_.empty()) {
       trace[i].sample_period = kDefaultTracePeriod;
     }
+  }
+  // Same precedent for the time-series sampler: a case's explicit interval
+  // wins, the POLARSTAR_METRICS_INTERVAL default covers the rest.
+  std::vector<std::uint32_t> metrics(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    metrics[i] =
+        cases[i].metrics_interval != 0 ? cases[i].metrics_interval
+                                       : metrics_interval_;
   }
   std::size_t total_points = 0;
   for (const auto& c : cases) total_points += c.loads.size();
@@ -315,9 +365,12 @@ std::vector<CaseResult> ExperimentRunner::run(
         cases[i].params.num_shards != 0
             ? std::min(cases[i].params.num_shards, budget_.total)
             : budget_.shards;
-    pool_.submit([&cases, &trace, &meter, &results, &errors, shards, i] {
+    const bool profile = profile_;
+    pool_.submit([&cases, &trace, &metrics, &meter, &results, &errors, shards,
+                  profile, i] {
       try {
-        run_chain(cases[i], trace[i], shards, meter, results[i]);
+        run_chain(cases[i], trace[i], metrics[i], profile, shards, meter,
+                  results[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -326,6 +379,33 @@ std::vector<CaseResult> ExperimentRunner::run(
   pool_.wait_idle();
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
+  }
+  if (profile_) {
+    profile_agg_.run_wall += seconds_since(run_start);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      profile_agg_.chain_wall += results[i].wall_seconds;
+      for (const auto& p : results[i].points) {
+        if (!p.ran || !p.result.profile.enabled) continue;
+        const auto& pr = p.result.profile;
+        ++profile_agg_.points;
+        profile_agg_.cycles += pr.cycles;
+        profile_agg_.fault += pr.fault_seconds;
+        profile_agg_.deliver += pr.deliver_seconds;
+        profile_agg_.inject += pr.inject_seconds;
+        profile_agg_.route += pr.route_seconds;
+        profile_agg_.barrier += pr.barrier_seconds;
+        profile_agg_.telemetry += pr.telemetry_seconds;
+        profile_agg_.driver_wait += pr.driver_wait_seconds;
+        profile_agg_.point_wall += p.wall_seconds;
+        if (profile_agg_.shard_task.size() < pr.shard_task_seconds.size()) {
+          profile_agg_.shard_task.resize(pr.shard_task_seconds.size(), 0.0);
+        }
+        for (std::size_t s = 0; s < pr.shard_task_seconds.size(); ++s) {
+          profile_agg_.shard_task[s] += pr.shard_task_seconds[s];
+        }
+      }
+    }
+    report_profile(label);
   }
   // Record after the barrier, on the caller's thread, so JSON order is the
   // spec order no matter how the chains were scheduled.
@@ -371,28 +451,117 @@ std::vector<CaseResult> ExperimentRunner::run(
             marks.push_back({m.cycle, m.label});
           }
         }
+        // Time-series intervals become Perfetto counter tracks ("C"
+        // events) so the sampled network state scrubs alongside the
+        // packet flights.
+        std::vector<io::CounterSeries> counters;
+        if (p.result.telemetry.has_timeseries) {
+          const auto& ts = p.result.telemetry.timeseries;
+          auto series = [&ts](const char* cname, auto value) {
+            io::CounterSeries cs;
+            cs.name = cname;
+            cs.points.reserve(ts.intervals.size());
+            for (const auto& iv : ts.intervals) {
+              cs.points.push_back({iv.begin_cycle, value(iv)});
+            }
+            return cs;
+          };
+          auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+          counters.push_back(series("injected", [&u64](const auto& iv) {
+            return u64(iv.injected);
+          }));
+          counters.push_back(series("ejected", [&u64](const auto& iv) {
+            return u64(iv.ejected);
+          }));
+          counters.push_back(series("accepted_flits", [&u64](const auto& iv) {
+            return u64(iv.accepted_flits);
+          }));
+          counters.push_back(series("avg_latency", [](const auto& iv) {
+            return iv.avg_latency;
+          }));
+          counters.push_back(series("buffered_flits", [&u64](const auto& iv) {
+            return u64(iv.buffered_flits);
+          }));
+          counters.push_back(series("in_flight", [&u64](const auto& iv) {
+            return u64(iv.in_flight);
+          }));
+          if (cases[i].faults != nullptr) {
+            counters.push_back(series("dropped", [&u64](const auto& iv) {
+              return u64(iv.dropped);
+            }));
+          }
+        }
         trace_groups_.push_back({name.str(), p.result.cycles,
-                                 p.result.packet_traces,
-                                 p.result.fault_marks, std::move(marks)});
+                                 p.result.packet_traces, p.result.fault_marks,
+                                 std::move(marks), std::move(counters)});
       }
     }
   }
   return results;
 }
 
+void ExperimentRunner::report_profile(const std::string& label) const {
+  if (profile_stream_ == nullptr) return;
+  const auto& a = profile_agg_;
+  std::ostringstream out;
+  out << "[profile] " << label << ": " << a.points << " points, " << a.cycles
+      << " cycles\n";
+  const double engine = a.fault + a.deliver + a.inject + a.route + a.barrier +
+                        a.telemetry;
+  auto phase = [&out, engine](const char* name, double s) {
+    out << "[profile]   " << name << ": " << std::fixed
+        << std::setprecision(3) << s << "s";
+    if (engine > 0.0) {
+      out << " (" << std::setprecision(1) << 100.0 * s / engine << "%)";
+    }
+    out << "\n";
+  };
+  phase("fault/retransmit", a.fault);
+  phase("mailbox delivery", a.deliver);
+  phase("injection", a.inject);
+  phase("switch allocation", a.route);
+  phase("barrier/merge", a.barrier);
+  phase("telemetry", a.telemetry);
+  out << "[profile]   driver barrier-wait: " << std::fixed
+      << std::setprecision(3) << a.driver_wait << "s\n";
+  if (!a.shard_task.empty()) {
+    out << "[profile]   shard task seconds:";
+    for (double s : a.shard_task) {
+      out << " " << std::fixed << std::setprecision(3) << s;
+    }
+    out << "\n";
+  }
+  const double denom =
+      a.run_wall * static_cast<double>(budget_.chains);
+  out << "[profile]   walls: point " << std::fixed << std::setprecision(3)
+      << a.point_wall << "s, chain " << a.chain_wall << "s, run "
+      << a.run_wall << "s; workers " << budget_.total << " ("
+      << budget_.chains << " chains x " << budget_.shards << " shards)";
+  if (denom > 0.0) {
+    out << ", utilization " << std::setprecision(1)
+        << 100.0 * a.chain_wall / denom << "%";
+  }
+  out << "\n";
+  *profile_stream_ << out.str() << std::flush;
+}
+
 void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  // Schema 5: top-level object {"schema": 5, "points": [...]}. Over schema
-  // 4 a point driven by a workload::Workload carries a "workload" object
-  // ({"name", optional "detail"}) and its "pattern" field holds the
-  // workload name. Schema 4 added the per-point "fault" object (events /
-  // dropped / retransmits / lost / measured_lost / delivered_fraction) and
-  // the "fault" telemetry counter block; schema 3 added p50/p99.9 latency
-  // percentiles plus the "latency" and "trace" telemetry blocks; schema 1
-  // was the bare points array without telemetry. See EXPERIMENTS.md.
-  os << "{\n\"schema\": 5,\n\"points\": [\n";
+  // Schema 6: top-level object {"schema": 6, "points": [...], optional
+  // "profile": {...}}. Over schema 5 a sampled point carries the
+  // "timeseries" telemetry block (interval records from the
+  // TimeSeriesCollector) and a profiled run appends the top-level
+  // "profile" engine-attribution block. Schema 5 added the per-point
+  // "workload" object ({"name", optional "detail"}; the "pattern" field
+  // holds the workload name); schema 4 added the per-point "fault" object
+  // (events / dropped / retransmits / lost / measured_lost /
+  // delivered_fraction) and the "fault" telemetry counter block; schema 3
+  // added p50/p99.9 latency percentiles plus the "latency" and "trace"
+  // telemetry blocks; schema 1 was the bare points array without
+  // telemetry. See EXPERIMENTS.md.
+  os << "{\n\"schema\": 6,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -440,7 +609,32 @@ void ExperimentRunner::flush_json() {
     }
     os << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
   }
-  os << "]\n}\n";
+  os << "]";
+  if (profile_) {
+    const auto& a = profile_agg_;
+    os << ",\n\"profile\": {\"points\": " << a.points
+       << ", \"cycles\": " << a.cycles << ",\n  \"phases\": {\"fault\": "
+       << a.fault << ", \"deliver\": " << a.deliver
+       << ", \"inject\": " << a.inject << ", \"route\": " << a.route
+       << ", \"barrier\": " << a.barrier << ", \"telemetry\": " << a.telemetry
+       << "},\n  \"driver_wait_seconds\": " << a.driver_wait
+       << ", \"shard_task_seconds\": [";
+    for (std::size_t s = 0; s < a.shard_task.size(); ++s) {
+      os << (s == 0 ? "" : ", ") << a.shard_task[s];
+    }
+    os << "],\n  \"point_wall_seconds\": " << a.point_wall
+       << ", \"chain_wall_seconds\": " << a.chain_wall
+       << ", \"run_wall_seconds\": " << a.run_wall
+       << ",\n  \"workers\": " << budget_.total
+       << ", \"chains\": " << budget_.chains
+       << ", \"shards\": " << budget_.shards << ", \"worker_utilization\": "
+       << (a.run_wall > 0.0
+               ? a.chain_wall /
+                     (a.run_wall * static_cast<double>(budget_.chains))
+               : 0.0)
+       << "}";
+  }
+  os << "\n}\n";
 }
 
 void ExperimentRunner::flush_trace() {

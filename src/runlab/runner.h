@@ -76,6 +76,12 @@ struct SweepCase {
   /// default; when POLARSTAR_TRACE is set the runner samples cases without
   /// an explicit filter at kDefaultTracePeriod.
   telemetry::PacketFilter trace;
+  /// Time-series metrics interval (cycles) for every point of this case:
+  /// a telemetry::TimeSeriesCollector rides along and its interval records
+  /// land in SimResult::telemetry (schema-6 "timeseries" JSON block,
+  /// Perfetto counter tracks). 0 = the runner's POLARSTAR_METRICS_INTERVAL
+  /// default (itself 0 = off).
+  std::uint32_t metrics_interval = 0;
   /// Live fault schedule applied to every point of this case (availability
   /// sweeps). Shared-ownership like the network: the immutable schedule is
   /// safely driven by many concurrent Simulations, and JSON points of a
@@ -104,6 +110,9 @@ struct PointSpec {
   /// flight records come back in SimResult::packet_traces (and, under
   /// faults, failure instants in SimResult::fault_marks).
   telemetry::PacketFilter trace;
+  /// When non-zero, a telemetry::TimeSeriesCollector rides along and the
+  /// interval records come back in SimResult::telemetry.timeseries.
+  std::uint32_t metrics_interval = 0;
   /// Optional live fault schedule (non-owning; overrides params.faults).
   const fault::FaultSchedule* faults = nullptr;
 };
@@ -181,6 +190,28 @@ class ExperimentRunner {
   /// else none). Tests inject an ostringstream; nullptr silences.
   void set_progress_stream(std::ostream* os) { progress_ = os; }
 
+  /// Default time-series interval applied to cases without an explicit
+  /// metrics_interval. Initialised from POLARSTAR_METRICS_INTERVAL; 0
+  /// disables metrics for cases that don't request them themselves.
+  void set_metrics_interval(std::uint32_t interval) {
+    metrics_interval_ = interval;
+  }
+  std::uint32_t metrics_interval() const { return metrics_interval_; }
+
+  /// Engine self-profiler: when on (POLARSTAR_PROFILE=1, or this setter),
+  /// every point runs with SimParams::profile and the runner aggregates the
+  /// per-phase / per-shard attribution plus its own worker-utilization
+  /// accounting into a profile report -- written to the profile stream
+  /// (default stderr) after each run() and, through POLARSTAR_JSON, as the
+  /// top-level "profile" block. stdout is never touched (the
+  /// POLARSTAR_PROGRESS discipline), and simulation results are
+  /// bit-identical with profiling on or off.
+  void set_profile(bool on) { profile_ = on; }
+  bool profile() const { return profile_; }
+  /// Profile report destination (tests inject an ostringstream; nullptr
+  /// silences the report while keeping the JSON block).
+  void set_profile_stream(std::ostream* os) { profile_stream_ = os; }
+
   /// Writes every point recorded so far (all run() calls on this runner)
   /// as one JSON array. Called automatically by the destructor; explicit
   /// calls rewrite the file in place. No-op when the path is empty.
@@ -205,12 +236,31 @@ class ExperimentRunner {
     std::string workload_detail;
   };
 
+  /// Runner-side profile aggregation across every recorded point of every
+  /// run() call (the engine's per-phase seconds summed, plus the runner's
+  /// own wall-clock accounting for worker utilization).
+  struct ProfileAgg {
+    std::size_t points = 0;
+    std::uint64_t cycles = 0;
+    double fault = 0.0, deliver = 0.0, inject = 0.0, route = 0.0;
+    double barrier = 0.0, telemetry = 0.0, driver_wait = 0.0;
+    std::vector<double> shard_task;  // summed by shard index
+    double point_wall = 0.0;         // sum of point wall_seconds
+    double chain_wall = 0.0;         // sum of chain wall_seconds
+    double run_wall = 0.0;           // sum of run() wall_seconds
+  };
+
   static WorkerBudget plan_budget(unsigned num_threads);
+  void report_profile(const std::string& label) const;
 
   WorkerBudget budget_;  // before pool_: its chains value sizes the pool
   ThreadPool pool_;
   std::string json_path_, trace_path_;
   std::ostream* progress_ = nullptr;
+  std::uint32_t metrics_interval_ = 0;
+  bool profile_ = false;
+  std::ostream* profile_stream_ = nullptr;
+  ProfileAgg profile_agg_;
   std::vector<Record> records_;
   std::vector<io::PacketTraceGroup> trace_groups_;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <span>
 #include <stdexcept>
 #include <thread>
@@ -57,9 +58,18 @@ class Simulation::ShardTeam {
     epoch_.fetch_add(1, std::memory_order_release);
     epoch_.notify_all();
     (sim_->*task)(0);
+    // Self-profiler: time the calling thread spends blocked on the other
+    // shards (wall clock only; never observable in simulation output).
+    std::chrono::steady_clock::time_point t0{};
+    if (sim_->profile_) t0 = std::chrono::steady_clock::now();
     for (std::uint32_t p = pending_.load(std::memory_order_acquire); p != 0;
          p = pending_.load(std::memory_order_acquire)) {
       pending_.wait(p, std::memory_order_acquire);
+    }
+    if (sim_->profile_) {
+      sim_->prof_.driver_wait_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
     }
   }
 
@@ -110,10 +120,12 @@ Simulation::Simulation(const Network& net, const SimParams& prm,
     stall_telemetry_ = caps.stalls;
     ugal_telemetry_ = caps.ugal;
     occupancy_period_ = caps.occupancy_period;
+    metrics_period_ = caps.metrics_period;
     trace_filter_ = caps.packets;
     packet_telemetry_ = trace_filter_.enabled();
     fault_telemetry_ = caps.faults;
   }
+  profile_ = prm_.profile && !prm_.reference_impl;
   if (prm_.faults != nullptr && !prm_.faults->empty()) {
     has_faults_ = true;
     fault_hop_limit_ =
@@ -550,9 +562,20 @@ void Simulation::finalize_flit(std::uint32_t pkt_idx, Vertex /*r*/) {
   if (cycle_ >= measure_begin_ && cycle_ < measure_end_) {
     ++ejected_flits_in_window_;
   }
+  if (metrics_period_ != 0) ++metrics_accepted_flits_;
   if (pk.delivered_flits == pk.flits) {
     ++packets_delivered_total_;
     hop_sum_ += pk.hops;
+    if (metrics_period_ != 0) {
+      // Interval latency covers every delivery (warmup/drain included):
+      // the time series is about when packets arrive, not the measurement
+      // window. finalize_flit runs in the serial barrier replay, so the
+      // double accumulation order is canonical at any shard count.
+      const std::uint64_t mlat = cycle_ - pk.birth_cycle + 1;
+      ++metrics_.lat_count;
+      metrics_.lat_sum += static_cast<double>(mlat);
+      if (mlat > metrics_.lat_max) metrics_.lat_max = mlat;
+    }
     if (pk.measured) {
       --measured_outstanding_;
       ++measured_delivered_;
@@ -848,6 +871,8 @@ bool Simulation::fault_progress_pending() const {
 // is free to pick because every arrival in a slot targets a distinct
 // buffer) plus the shard's own credit-return slot.
 void Simulation::deliver_shard(std::uint32_t shard) {
+  std::chrono::steady_clock::time_point prof_t0{};
+  if (profile_) prof_t0 = std::chrono::steady_clock::now();
   const std::size_t arr_slot = cycle_ % arr_depth_;
   for (std::uint32_t src = 0; src < num_shards_; ++src) {
     auto& slot =
@@ -862,6 +887,12 @@ void Simulation::deliver_shard(std::uint32_t shard) {
                       cycle_ % cred_depth_];
   for (std::uint32_t b : credit_slot) ++credits_[b];
   credit_slot.clear();
+  if (profile_) {
+    shard_scratch_[shard].task_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      prof_t0)
+            .count();
+  }
 }
 
 // Phase 3 body: separable allocation + switch traversal over the shard's
@@ -877,6 +908,8 @@ void Simulation::deliver_shard(std::uint32_t shard) {
 template <bool kTel, bool kFaults>
 void Simulation::route_shard(std::uint32_t shard) {
   ShardScratch& sc = shard_scratch_[shard];
+  std::chrono::steady_clock::time_point prof_t0{};
+  if (profile_) prof_t0 = std::chrono::steady_clock::now();
   const auto& topo = net_->topology();
   const std::uint32_t num_vcs = prm_.num_vcs;
   // The rings are latency+1 deep, so this cycle's send slot is the one
@@ -1081,6 +1114,12 @@ void Simulation::route_shard(std::uint32_t shard) {
       if (stall_telemetry_) report_output_stalls(r, deg, sc, /*staged=*/true);
     }
   }
+  if (profile_) {
+    sc.task_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      prof_t0)
+            .count();
+  }
 }
 
 void Simulation::replay_event(const StagedEvent& e, const ShardScratch& sc) {
@@ -1182,6 +1221,19 @@ void Simulation::replay_finalizes() {
 
 template <bool kTel, bool kFaults>
 void Simulation::step_impl() {
+  // Self-profiler lap clock: phase boundaries accumulate wall time into
+  // prof_. One predictable branch per boundary when profiling is off;
+  // never touches simulation state either way.
+  using prof_clock = std::chrono::steady_clock;
+  prof_clock::time_point prof_t{};
+  if (profile_) prof_t = prof_clock::now();
+  const auto prof_lap = [&](double& acc) {
+    if (!profile_) return;
+    const auto now = prof_clock::now();
+    acc += std::chrono::duration<double>(now - prof_t).count();
+    prof_t = now;
+  };
+
   // Phase 0 (serial) -- live faults: apply due schedule events (dropping
   // casualties), then re-enqueue packets whose retransmission backoff
   // expired.
@@ -1189,19 +1241,23 @@ void Simulation::step_impl() {
     process_faults();
     process_retransmits();
   }
+  prof_lap(prof_.fault_seconds);
 
   // Phase 1 (parallel) -- deliver link arrivals and credit returns
   // scheduled for this cycle, each shard draining its own mailboxes.
   run_sharded(&Simulation::deliver_shard);
+  prof_lap(prof_.deliver_seconds);
 
   // Phase 2 (serial) -- traffic generation: one legacy RNG stream, shared
   // by injection and UGAL path selection, so sharding never moves a random
   // draw.
   source_->tick(*this);
+  prof_lap(prof_.inject_seconds);
 
   // Phase 3 (parallel) -- per-router separable allocation + switch
   // traversal over each shard's routers; ordered side effects staged.
   run_sharded(route_task_);
+  prof_lap(prof_.route_seconds);
 
   // Phase 4 (serial barrier) -- replay the staged streams in canonical
   // ascending-router order, then the cycle bookkeeping.
@@ -1227,13 +1283,23 @@ void Simulation::step_impl() {
   } else if (cycle_ - last_progress_cycle_ > prm_.deadlock_threshold) {
     deadlock_ = true;
   }
+  prof_lap(prof_.barrier_seconds);
   if constexpr (kTel) {
     if (occupancy_period_ != 0 && cycle_ % occupancy_period_ == 0) {
       collector_->on_occupancy_sample(
           cycle_, {std::span<const std::uint16_t>(buf_size_), prm_.num_vcs});
     }
+    // Metrics frames close end-of-cycle so an interval of K covers exactly
+    // K source ticks / barrier replays: [0,K), [K,2K), ... Every counter
+    // the frame reads was last mutated in this cycle's serial phases, so
+    // the sample is bit-identical at any shard count (see MetricsState).
+    if (metrics_period_ != 0 && (cycle_ + 1) % metrics_period_ == 0) {
+      emit_metrics_frame(cycle_ + 1);
+    }
   }
   if (prm_.paranoid_checks) check_invariants();
+  prof_lap(prof_.telemetry_seconds);
+  if (profile_) ++prof_.cycles;
   ++cycle_;
 }
 
@@ -1443,6 +1509,13 @@ void Simulation::step_reference() {
     collector_->on_occupancy_sample(
         cycle_, {std::span<const std::uint16_t>(buf_size_), prm_.num_vcs});
   }
+  // Same end-of-cycle metrics sample site as step_impl: the frame reads
+  // only counters both engines mutate through the shared serial helpers
+  // (new_packet / finalize_flit / fault paths), so the series is
+  // bit-identical to the optimized engine at any shard count.
+  if (metrics_period_ != 0 && (cycle_ + 1) % metrics_period_ == 0) {
+    emit_metrics_frame(cycle_ + 1);
+  }
   if (prm_.paranoid_checks) check_invariants();
   ++cycle_;
 }
@@ -1545,6 +1618,48 @@ void Simulation::check_invariants() const {
   }
 }
 
+// Close the metrics interval [metrics_.last_cycle, end_cycle): hand the
+// collector the diffs of the cumulative counters since the last frame plus
+// the end-of-interval gauges, then snapshot for the next interval. Runs in
+// the serial end-of-cycle tail (or the collect() epilogue for the final
+// remainder), after every serial-phase counter mutation of the cycle.
+void Simulation::emit_metrics_frame(std::uint64_t end_cycle) {
+  telemetry::MetricsFrame f;
+  f.begin_cycle = metrics_.last_cycle;
+  f.end_cycle = end_cycle;
+  const std::uint64_t injected = next_packet_id_ - 1;
+  // Offered = every packet handed to a source queue, retransmissions
+  // included (each re-enqueue offers the packet's flits again).
+  const std::uint64_t offered =
+      (injected + retransmits_done_) * prm_.packet_flits;
+  f.injected = injected - metrics_.injected;
+  f.offered_flits = offered - metrics_.offered_flits;
+  f.ejected = packets_delivered_total_ - metrics_.ejected_pkts;
+  f.accepted_flits = metrics_accepted_flits_ - metrics_.accepted_flits;
+  f.lat_count = metrics_.lat_count;
+  f.lat_sum = metrics_.lat_sum;
+  f.lat_max = metrics_.lat_max;
+  std::uint64_t buffered = 0;
+  for (const std::uint16_t s : buf_size_) buffered += s;
+  f.buffered_flits = buffered;
+  f.in_flight = live_packets_;
+  f.dropped = packets_dropped_ - metrics_.dropped;
+  f.retransmits = retransmits_done_ - metrics_.retx;
+  f.lost = packets_lost_ - metrics_.lost;
+  collector_->on_metrics_sample(f);
+  metrics_.last_cycle = end_cycle;
+  metrics_.injected = injected;
+  metrics_.offered_flits = offered;
+  metrics_.ejected_pkts = packets_delivered_total_;
+  metrics_.accepted_flits = metrics_accepted_flits_;
+  metrics_.dropped = packets_dropped_;
+  metrics_.retx = retransmits_done_;
+  metrics_.lost = packets_lost_;
+  metrics_.lat_count = 0;
+  metrics_.lat_sum = 0.0;
+  metrics_.lat_max = 0;
+}
+
 SimResult Simulation::collect(std::uint64_t cycles) {
   SimResult res;
   res.cycles = cycles;
@@ -1594,7 +1709,21 @@ SimResult Simulation::collect(std::uint64_t cycles) {
                    : static_cast<double>(measured_delivered_) /
                          static_cast<double>(denom);
   }
+  if (profile_) {
+    res.profile = prof_;
+    res.profile.enabled = true;
+    res.profile.shard_task_seconds.resize(num_shards_, 0.0);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      res.profile.shard_task_seconds[s] = shard_scratch_[s].task_seconds;
+    }
+  }
   if (collector_ != nullptr) {
+    // Flush the partial final metrics interval (a run whose length is not
+    // a multiple of the period still accounts every cycle) before the
+    // run-end notification closes subscribers' buckets.
+    if (metrics_period_ != 0 && metrics_.last_cycle < cycles) {
+      emit_metrics_frame(cycles);
+    }
     // Re-announce the window collectors should normalize to: run_app's
     // open-ended window closes at the cycle the run actually stopped.
     const std::uint64_t eff_end = std::min(measure_end_, cycles);

@@ -101,6 +101,34 @@ struct SimParams {
   /// construction. Outputs are bit-identical either way -- `ctest -L perf`
   /// asserts it. Slow; never set outside tests.
   bool reference_impl = false;
+  /// Engine self-profiler: attribute wall-clock time to the optimized step
+  /// loop's phases (faults, mailbox delivery, injection, switch allocation,
+  /// barrier replay, telemetry sampling) and to each shard's task body;
+  /// results land in SimResult::profile. Wall time only -- simulation
+  /// outputs are bit-identical with the profiler on or off. Not wired into
+  /// step_reference (the frozen twin stays verbatim), where profile yields
+  /// an empty report.
+  bool profile = false;
+};
+
+/// Wall-clock attribution for the simulator itself (SimParams::profile).
+/// Phase seconds cover the optimized step loop end to end; shard 0 runs on
+/// the calling thread, so deliver/route include its share of the parallel
+/// phases while driver_wait_seconds is the time the caller spent blocked on
+/// the other shards' barrier.
+struct EngineProfile {
+  bool enabled = false;
+  std::uint64_t cycles = 0;        ///< cycles attributed below
+  double fault_seconds = 0.0;      ///< phase 0: schedule events + retransmits
+  double deliver_seconds = 0.0;    ///< phase 1: arrival/credit mailbox drain
+  double inject_seconds = 0.0;     ///< phase 2: traffic source tick
+  double route_seconds = 0.0;      ///< phase 3: allocation + traversal
+  double barrier_seconds = 0.0;    ///< phase 4: staged replay + bookkeeping
+  double telemetry_seconds = 0.0;  ///< end of cycle: occupancy/metrics hooks
+  double driver_wait_seconds = 0.0;  ///< calling thread blocked at barriers
+  /// Seconds each shard spent inside deliver/route task bodies (index =
+  /// shard id; size = resolved shard count).
+  std::vector<double> shard_task_seconds;
 };
 
 struct PacketRecord {
@@ -143,6 +171,9 @@ struct SimResult {
   /// enables tracing (the Simulation itself stays collector-agnostic);
   /// empty otherwise.
   std::vector<telemetry::PacketTrace> packet_traces;
+  /// Engine self-profiler report (SimParams::profile); enabled == false
+  /// and all-zero otherwise.
+  EngineProfile profile;
 
   // ---- Live fault injection (all zero / 1.0 on fault-free runs) ----
   std::uint64_t fault_events = 0;  ///< schedule events applied
@@ -322,6 +353,9 @@ class Simulation {
     std::vector<StagedEvent> events;
     std::vector<PacketRecord> snaps;
     std::uint64_t moved = 0;
+    // Self-profiler: seconds this shard spent inside deliver/route task
+    // bodies (only accumulated when profile_).
+    double task_seconds = 0.0;
   };
 
   // Route the head flit of packet pkt_idx at router r; fills out/ovc.
@@ -403,6 +437,35 @@ class Simulation {
   bool stall_telemetry_ = false;
   bool ugal_telemetry_ = false;
   std::uint32_t occupancy_period_ = 0;
+  // Periodic counter sampling (caps().metrics_period). Every counter a
+  // MetricsFrame reads is mutated in the serial phases only (injection in
+  // the source tick, ejection/latency in the barrier's finalize replay,
+  // fault counters in phase 0), and the sample itself fires in the serial
+  // end-of-cycle tail, so frames are bit-identical at any shard count
+  // without staging. The MetricsState snapshots turn the cumulative
+  // counters into interval diffs.
+  std::uint32_t metrics_period_ = 0;
+  std::uint64_t metrics_accepted_flits_ = 0;  // cumulative ejected flits
+  struct MetricsState {
+    std::uint64_t last_cycle = 0;  // start of the open interval
+    std::uint64_t injected = 0;
+    std::uint64_t offered_flits = 0;
+    std::uint64_t ejected_pkts = 0;
+    std::uint64_t accepted_flits = 0;
+    std::uint64_t dropped = 0, retx = 0, lost = 0;
+    // Interval latency accumulators, reset every frame.
+    std::uint64_t lat_count = 0;
+    double lat_sum = 0.0;
+    std::uint64_t lat_max = 0;
+  };
+  MetricsState metrics_;
+  void emit_metrics_frame(std::uint64_t end_cycle);
+
+  // Engine self-profiler (SimParams::profile): phase wall-clock
+  // accumulators, folded into SimResult::profile by collect(). Never
+  // touches simulation state, so results are identical with it on or off.
+  bool profile_ = false;
+  EngineProfile prof_;
   // Flight recorder: which packets fire the on_packet_* hooks. traced_ /
   // trace_arrival_ shadow the packet pool and are only touched when
   // packet_telemetry_ (one branch per site otherwise).

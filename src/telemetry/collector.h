@@ -147,6 +147,30 @@ struct PacketFilter {
   }
 };
 
+/// One periodic counter sample handed to on_metrics_sample: interval diffs
+/// of the simulator's cumulative counters over [begin_cycle, end_cycle),
+/// plus gauges read at end_cycle. Frames tile the run contiguously (the
+/// frame after this one begins at end_cycle) and the final frame may cover
+/// a short remainder, so summing any field's diffs over all frames yields
+/// the run total. Every field is accumulated in the simulator's serial
+/// phases, so frames are bit-identical at any thread or shard count.
+struct MetricsFrame {
+  std::uint64_t begin_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t injected = 0;        ///< packets entering source queues
+  std::uint64_t ejected = 0;         ///< packets fully delivered
+  std::uint64_t offered_flits = 0;   ///< flits offered (incl. retransmits)
+  std::uint64_t accepted_flits = 0;  ///< flits ejected at destinations
+  std::uint64_t lat_count = 0;       ///< deliveries folded into lat_* below
+  double lat_sum = 0.0;              ///< summed latency of those deliveries
+  std::uint64_t lat_max = 0;         ///< worst latency of those deliveries
+  std::uint64_t buffered_flits = 0;  ///< gauge: VC-buffer flits at end_cycle
+  std::uint64_t in_flight = 0;       ///< gauge: live packets at end_cycle
+  std::uint64_t dropped = 0;         ///< fault drops in interval
+  std::uint64_t retransmits = 0;     ///< fault retransmits in interval
+  std::uint64_t lost = 0;            ///< packets abandoned in interval
+};
+
 class Collector {
  public:
   /// Event classes this collector wants. Queried once at Simulation
@@ -157,6 +181,11 @@ class Collector {
     bool ugal = false;
     /// Sample period in cycles for on_occupancy_sample (0 = never).
     std::uint32_t occupancy_period = 0;
+    /// Sample period in cycles for on_metrics_sample (0 = never). Fan-out
+    /// collectors merge member periods with gcd, so a concrete collector
+    /// may see frames finer than its own grid and must re-bucket them
+    /// (MetricsFrame records are mergeable by construction).
+    std::uint32_t metrics_period = 0;
     /// Which packets fire the flight-recorder hooks (on_packet_*);
     /// disabled filter = none. Fan-out collectors merge member filters, so
     /// a concrete collector may see packets outside its own filter and
@@ -207,6 +236,12 @@ class Collector {
                                    const OccupancySnapshot& snap) {
     (void)cycle, (void)snap;
   }
+
+  /// Periodic counter sample closing the interval [f.begin_cycle,
+  /// f.end_cycle) -- fired at end of cycle whenever end_cycle is a multiple
+  /// of caps().metrics_period, and once more from the run epilogue for a
+  /// partial final interval (before on_run_end). See MetricsFrame.
+  virtual void on_metrics_sample(const MetricsFrame& f) { (void)f; }
 
   // ---- Packet flight-recorder hooks (caps().packets selects packets) ----
   // For a traced packet the simulator fires, in order: one injection, then

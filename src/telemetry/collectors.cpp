@@ -227,6 +227,78 @@ void UgalCollector::finish(Summary& out) const {
   }
 }
 
+// ----------------------------------------------------------- timeseries ---
+
+void TimeSeriesCollector::on_run_begin(const sim::Network& /*net*/,
+                                       const sim::SimParams& /*prm*/,
+                                       std::uint64_t /*measure_begin*/,
+                                       std::uint64_t /*measure_end*/) {
+  intervals_.clear();
+  acc_ = MetricsFrame{};
+  open_ = false;
+}
+
+void TimeSeriesCollector::close_bucket() {
+  TimeSeriesInterval iv;
+  iv.begin_cycle = acc_.begin_cycle;
+  iv.end_cycle = acc_.end_cycle;
+  iv.injected = acc_.injected;
+  iv.ejected = acc_.ejected;
+  iv.offered_flits = acc_.offered_flits;
+  iv.accepted_flits = acc_.accepted_flits;
+  iv.lat_packets = acc_.lat_count;
+  iv.avg_latency =
+      acc_.lat_count != 0
+          ? acc_.lat_sum / static_cast<double>(acc_.lat_count)
+          : 0.0;
+  iv.max_latency = acc_.lat_max;
+  iv.buffered_flits = acc_.buffered_flits;
+  iv.in_flight = acc_.in_flight;
+  iv.dropped = acc_.dropped;
+  iv.retransmits = acc_.retransmits;
+  iv.lost = acc_.lost;
+  intervals_.push_back(iv);
+  open_ = false;
+}
+
+void TimeSeriesCollector::on_metrics_sample(const MetricsFrame& f) {
+  if (!open_) {
+    acc_ = f;
+    open_ = true;
+  } else {
+    // Frames tile the run, so merging adjacent ones is pure accumulation:
+    // sum the diffs, keep the later gauges, extend the interval.
+    acc_.end_cycle = f.end_cycle;
+    acc_.injected += f.injected;
+    acc_.ejected += f.ejected;
+    acc_.offered_flits += f.offered_flits;
+    acc_.accepted_flits += f.accepted_flits;
+    acc_.lat_count += f.lat_count;
+    acc_.lat_sum += f.lat_sum;
+    acc_.lat_max = std::max(acc_.lat_max, f.lat_max);
+    acc_.buffered_flits = f.buffered_flits;
+    acc_.in_flight = f.in_flight;
+    acc_.dropped += f.dropped;
+    acc_.retransmits += f.retransmits;
+    acc_.lost += f.lost;
+  }
+  if (interval_ != 0 && f.end_cycle % interval_ == 0) close_bucket();
+}
+
+void TimeSeriesCollector::on_run_end(std::uint64_t /*cycles*/,
+                                     std::uint64_t /*measure_begin*/,
+                                     std::uint64_t /*measure_end*/) {
+  // The run epilogue delivers a partial final frame before on_run_end, so
+  // any bucket still open here just didn't land on our own grid.
+  if (open_) close_bucket();
+}
+
+void TimeSeriesCollector::finish(Summary& out) const {
+  out.has_timeseries = true;
+  out.timeseries.interval = interval_;
+  out.timeseries.intervals = intervals_;
+}
+
 // --------------------------------------------------------------- faults ---
 
 void FaultCollector::on_run_begin(const sim::Network& /*net*/,
@@ -306,6 +378,13 @@ Collector::Caps CollectorSet::caps() const {
               : static_cast<std::uint32_t>(
                     gcd64(merged.occupancy_period, m.occupancy_period));
     }
+    if (m.metrics_period != 0) {
+      merged.metrics_period =
+          merged.metrics_period == 0
+              ? m.metrics_period
+              : static_cast<std::uint32_t>(
+                    gcd64(merged.metrics_period, m.metrics_period));
+    }
     merged.packets = PacketFilter::merge(merged.packets, m.packets);
     merged.faults |= m.faults;
   }
@@ -351,6 +430,15 @@ void CollectorSet::on_occupancy_sample(std::uint64_t cycle,
   for (std::size_t i = 0; i < members_.size(); ++i) {
     const std::uint32_t p = caps[i].occupancy_period;
     if (p != 0 && cycle % p == 0) members_[i]->on_occupancy_sample(cycle, snap);
+  }
+}
+
+void CollectorSet::on_metrics_sample(const MetricsFrame& f) {
+  // Frames arrive on the merged (gcd) grid; every subscriber gets all of
+  // them and re-buckets onto its own interval (MetricsFrame is mergeable).
+  const auto& caps = member_caps();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (caps[i].metrics_period != 0) members_[i]->on_metrics_sample(f);
   }
 }
 

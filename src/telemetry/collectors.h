@@ -175,6 +175,47 @@ class UgalCollector final : public Collector {
   std::int64_t valiant_extra_hops_ = 0;
 };
 
+/// Periodic counter time series: buckets the simulator's MetricsFrame
+/// samples into `interval`-cycle TimeSeriesInterval records (offered /
+/// accepted flits, injections/ejections, interval latency mean+max, buffer
+/// occupancy, in-flight count, fault drops/retransmits). Frames may arrive
+/// on a finer grid than `interval` (CollectorSet merges member periods with
+/// gcd); the collector re-buckets them, closing a record whenever a frame
+/// ends on its own grid and once more at run end for the remainder. Every
+/// source counter is accumulated in the simulator's serial phases, so the
+/// series is bit-identical at any POLARSTAR_THREADS x POLARSTAR_SHARDS and
+/// vs reference_impl.
+class TimeSeriesCollector final : public Collector {
+ public:
+  explicit TimeSeriesCollector(std::uint32_t interval) : interval_(interval) {}
+
+  Caps caps() const override {
+    Caps c;
+    c.metrics_period = interval_;
+    return c;
+  }
+  void on_run_begin(const sim::Network& net, const sim::SimParams& prm,
+                    std::uint64_t measure_begin,
+                    std::uint64_t measure_end) override;
+  void on_metrics_sample(const MetricsFrame& f) override;
+  void on_run_end(std::uint64_t cycles, std::uint64_t measure_begin,
+                  std::uint64_t measure_end) override;
+  void finish(Summary& out) const override;
+
+  std::uint32_t interval() const { return interval_; }
+  const std::vector<TimeSeriesInterval>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  void close_bucket();
+
+  std::uint32_t interval_;
+  std::vector<TimeSeriesInterval> intervals_;
+  MetricsFrame acc_;  // open bucket (frames merged since last close)
+  bool open_ = false;
+};
+
 /// Fault-injection counters: schedule events applied during the run (by
 /// kind) plus their per-packet consequences (drops, retransmits, losses).
 /// Cheap enough to attach unconditionally -- on a fault-free run no fault
@@ -219,6 +260,7 @@ class CollectorSet final : public Collector {
   void on_ugal_decision(const UgalDecision& d, std::uint64_t cycle) override;
   void on_occupancy_sample(std::uint64_t cycle,
                            const OccupancySnapshot& snap) override;
+  void on_metrics_sample(const MetricsFrame& f) override;
   void on_packet_injected(const sim::PacketRecord& pkt,
                           std::uint64_t cycle) override;
   void on_packet_routed(const sim::PacketRecord& pkt, std::uint32_t router,
@@ -290,6 +332,9 @@ class FullCollector final : public Collector {
   void on_occupancy_sample(std::uint64_t cycle,
                            const OccupancySnapshot& snap) override {
     set_.on_occupancy_sample(cycle, snap);
+  }
+  void on_metrics_sample(const MetricsFrame& f) override {
+    set_.on_metrics_sample(f);
   }
   void on_packet_injected(const sim::PacketRecord& pkt,
                           std::uint64_t cycle) override {

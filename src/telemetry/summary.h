@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace polarstar::telemetry {
 
@@ -78,6 +79,34 @@ struct FaultSummary {
   std::uint64_t lost_packets = 0;
 };
 
+/// One closed metrics interval [begin_cycle, end_cycle): interval diffs of
+/// the simulator's cumulative counters plus end-of-interval gauges. Records
+/// are mergeable: summing the count fields (and max-ing max_latency, keeping
+/// the later gauges) of adjacent intervals yields the coarser interval.
+struct TimeSeriesInterval {
+  std::uint64_t begin_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  std::uint64_t injected = 0;        ///< packets entering source queues
+  std::uint64_t ejected = 0;         ///< packets fully delivered
+  std::uint64_t offered_flits = 0;   ///< flits offered (incl. retransmits)
+  std::uint64_t accepted_flits = 0;  ///< flits ejected at destinations
+  std::uint64_t lat_packets = 0;     ///< deliveries folded into avg/max below
+  double avg_latency = 0.0;          ///< mean latency of interval deliveries
+  std::uint64_t max_latency = 0;     ///< worst latency of interval deliveries
+  std::uint64_t buffered_flits = 0;  ///< gauge: VC-buffer occupancy at end
+  std::uint64_t in_flight = 0;       ///< gauge: live packets at end
+  std::uint64_t dropped = 0;         ///< fault drops in interval
+  std::uint64_t retransmits = 0;     ///< fault retransmits in interval
+  std::uint64_t lost = 0;            ///< packets abandoned in interval
+};
+
+/// TimeSeriesCollector output: the run chopped into `interval`-cycle
+/// records (the final record may be a shorter remainder).
+struct TimeSeriesSummary {
+  std::uint32_t interval = 0;  ///< requested sampling period in cycles
+  std::vector<TimeSeriesInterval> intervals;
+};
+
 struct Summary {
   bool has_link = false;
   bool has_stall = false;
@@ -86,6 +115,7 @@ struct Summary {
   bool has_latency = false;
   bool has_trace = false;
   bool has_fault = false;
+  bool has_timeseries = false;
   LinkLoadSummary link;
   StallSummary stall;
   UgalSummary ugal;
@@ -93,10 +123,11 @@ struct Summary {
   LatencySummary latency;
   TraceSummary trace;
   FaultSummary fault;
+  TimeSeriesSummary timeseries;
 
   bool any() const {
     return has_link || has_stall || has_ugal || has_occupancy || has_latency ||
-           has_trace || has_fault;
+           has_trace || has_fault || has_timeseries;
   }
 };
 

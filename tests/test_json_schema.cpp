@@ -64,6 +64,30 @@ TEST(JsonParser, RejectsMalformedDocuments) {
   EXPECT_THROW(json::parse("trye"), std::runtime_error);
 }
 
+// \uXXXX escapes (RFC 8259 §7): BMP code points decode to UTF-8 directly,
+// supplementary-plane ones through surrogate pairs; lone or truncated
+// surrogates are malformed. Regression test -- the parser used to reject
+// every \u escape.
+TEST(JsonParser, DecodesUnicodeEscapes) {
+  EXPECT_EQ(json::parse("\"\\u0041z\"").as_string(), "Az");
+  EXPECT_EQ(json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");  // e-acute
+  EXPECT_EQ(json::parse("\"\\u20AC\"").as_string(),
+            "\xE2\x82\xAC");  // euro sign, 3-byte UTF-8
+  EXPECT_EQ(json::parse("\"\\u0000x\"").as_string(), std::string("\0x", 2));
+  // Surrogate pair: U+1F600 (grinning face emoji).
+  EXPECT_EQ(json::parse("\"\\uD83D\\uDE00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(json::parse("{\"\\u006bey\": 1}").find("key")->as_number(),
+            1.0);  // escapes decode inside object keys too
+  EXPECT_THROW(json::parse("\"\\u12\""), std::runtime_error);    // truncated
+  EXPECT_THROW(json::parse("\"\\u12G4\""), std::runtime_error);  // bad hex
+  EXPECT_THROW(json::parse("\"\\uD83D\""), std::runtime_error);  // lone high
+  EXPECT_THROW(json::parse("\"\\uDE00\""), std::runtime_error);  // lone low
+  EXPECT_THROW(json::parse("\"\\uD83Dx\""), std::runtime_error);
+  EXPECT_THROW(json::parse("\"\\uD83D\\u0041\""),
+               std::runtime_error);  // high chased by a non-surrogate
+}
+
 TEST(JsonSchema, V3RoundTripsThroughTheRunner) {
   const std::string path = ::testing::TempDir() + "schema_v3_test.json";
   std::remove(path.c_str());
@@ -90,7 +114,7 @@ TEST(JsonSchema, V3RoundTripsThroughTheRunner) {
 
   const auto doc = json::parse_file(path);
   ASSERT_TRUE(doc.is_object());
-  EXPECT_EQ(require(doc, "schema").as_number(), 5.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 6.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 2u);
 
@@ -177,7 +201,7 @@ TEST(JsonSchema, PointsWithoutTelemetryOmitTheBlock) {
     r.run("plain", {c});
   }
   const auto doc = json::parse_file(path);
-  EXPECT_EQ(require(doc, "schema").as_number(), 5.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 6.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].find("telemetry"), nullptr);

@@ -297,7 +297,7 @@ TEST(ShardDeterminism, RunlabJsonAndTraceBytesIdentical) {
   const std::string b1 = strip_wall_seconds(read_file(json1));
   const std::string b4 = strip_wall_seconds(read_file(json4));
   EXPECT_EQ(b1, b4);
-  EXPECT_NE(b1.find("\"schema\": 5"), std::string::npos);
+  EXPECT_NE(b1.find("\"schema\": 6"), std::string::npos);
   EXPECT_NE(b1.find("\"fault\": {"), std::string::npos);
   EXPECT_EQ(read_file(trace1), read_file(trace4));
   for (const auto& p : {json1, json4, trace1, trace4}) {

@@ -3,7 +3,9 @@
 //   check_json_schema <file.json> [...]   validate runner output files
 //   check_json_schema --selftest          validate a built-in example
 //
-// Accepts schema 5 (adds per-point "workload" blocks for scenario-driven
+// Accepts schema 6 (adds per-point "timeseries" telemetry sub-blocks and
+// an optional top-level "profile" engine-attribution block), schema 5
+// (adds per-point "workload" blocks for scenario-driven
 // sweeps), schema 4 (adds per-point "fault" blocks and a "fault" telemetry
 // sub-block for availability sweeps), schema 3 (adds p50/p99.9 percentile
 // columns and optional "latency"/"trace" telemetry sub-blocks), schema 2
@@ -163,6 +165,45 @@ void check_point(const json::Value& p, std::size_t index, int schema) {
           require(*tf, k, json::Value::Kind::kNumber);
         }
       }
+      if (const json::Value* ts = t->find("timeseries")) {
+        if (schema < 6) {
+          throw std::runtime_error(
+              "telemetry \"timeseries\" block requires schema 6");
+        }
+        const auto& interval =
+            require(*ts, "interval", json::Value::Kind::kNumber);
+        if (interval.as_number() <= 0.0) {
+          throw std::runtime_error("timeseries interval must be positive");
+        }
+        const auto& ivs =
+            require(*ts, "intervals", json::Value::Kind::kArray).as_array();
+        double prev_end = 0.0;
+        for (std::size_t i = 0; i < ivs.size(); ++i) {
+          const json::Value& iv = ivs[i];
+          if (!iv.is_object()) {
+            throw std::runtime_error("timeseries interval is not an object");
+          }
+          for (const char* k :
+               {"begin", "end", "injected", "ejected", "offered_flits",
+                "accepted_flits", "lat_packets", "avg_latency", "max_latency",
+                "buffered_flits", "in_flight", "dropped", "retransmits",
+                "lost"}) {
+            if (require(iv, k, json::Value::Kind::kNumber).as_number() < 0.0) {
+              throw std::runtime_error(std::string("negative timeseries \"") +
+                                       k + "\"");
+            }
+          }
+          const double begin = iv.find("begin")->as_number();
+          const double end = iv.find("end")->as_number();
+          if (begin >= end) {
+            throw std::runtime_error("timeseries interval begin >= end");
+          }
+          if (begin < prev_end) {
+            throw std::runtime_error("timeseries intervals overlap");
+          }
+          prev_end = end;
+        }
+      }
     }
   } catch (const std::exception& e) {
     throw std::runtime_error("point " + std::to_string(index) + ": " +
@@ -179,12 +220,46 @@ std::size_t check_document(const json::Value& doc) {
   } else if (doc.is_object()) {
     const auto& v = require(doc, "schema", json::Value::Kind::kNumber);
     if (v.as_number() != 2.0 && v.as_number() != 3.0 && v.as_number() != 4.0 &&
-        v.as_number() != 5.0) {
+        v.as_number() != 5.0 && v.as_number() != 6.0) {
       throw std::runtime_error("unsupported schema " +
                                std::to_string(v.as_number()));
     }
     schema = static_cast<int>(v.as_number());
     points = &require(doc, "points", json::Value::Kind::kArray).as_array();
+    if (const json::Value* prof = doc.find("profile")) {
+      if (schema < 6) {
+        throw std::runtime_error("\"profile\" block requires schema 6");
+      }
+      if (!prof->is_object()) {
+        throw std::runtime_error("profile not an object");
+      }
+      for (const char* k :
+           {"points", "cycles", "driver_wait_seconds", "point_wall_seconds",
+            "chain_wall_seconds", "run_wall_seconds", "workers", "chains",
+            "shards", "worker_utilization"}) {
+        if (require(*prof, k, json::Value::Kind::kNumber).as_number() < 0.0) {
+          throw std::runtime_error(std::string("negative profile \"") + k +
+                                   "\"");
+        }
+      }
+      const auto& phases =
+          require(*prof, "phases", json::Value::Kind::kObject);
+      for (const char* k : {"fault", "deliver", "inject", "route", "barrier",
+                            "telemetry"}) {
+        if (require(phases, k, json::Value::Kind::kNumber).as_number() <
+            0.0) {
+          throw std::runtime_error(std::string("negative profile phase \"") +
+                                   k + "\"");
+        }
+      }
+      const auto& shard_task =
+          require(*prof, "shard_task_seconds", json::Value::Kind::kArray);
+      for (const json::Value& s : shard_task.as_array()) {
+        if (!s.is_number() || s.as_number() < 0.0) {
+          throw std::runtime_error("bad profile shard_task_seconds entry");
+        }
+      }
+    }
   } else {
     throw std::runtime_error("document is neither object nor array");
   }
@@ -259,6 +334,43 @@ constexpr const char* kSelftestDocV5 = R"({
 ]
 })";
 
+// A schema-6 sampled + profiled document: the point carries a "timeseries"
+// telemetry sub-block (half-open cycle intervals ending on interval
+// multiples except the final partial one) and the document a top-level
+// "profile" block.
+constexpr const char* kSelftestDocV6 = R"({
+"schema": 6,
+"points": [
+  {"sweep": "drain", "case": "PS-IQ hotspot", "pattern": "hotspot",
+   "mode": "min-adaptive", "load": 0.2, "stable": true, "deadlock": false,
+   "avg_latency": 11.4, "p50_latency": 9, "p99_latency": 48,
+   "p999_latency": 70, "avg_hops": 2.5, "accepted_flit_rate": 0.198,
+   "cycles": 2500, "measured_packets": 600, "wall_seconds": 0.3,
+   "workload": {"name": "hotspot"},
+   "telemetry": {
+     "timeseries": {"interval": 1000, "intervals": [
+       {"begin": 0, "end": 1000, "injected": 400, "ejected": 360,
+        "offered_flits": 1600, "accepted_flits": 1440, "lat_packets": 360,
+        "avg_latency": 9.5, "max_latency": 40, "buffered_flits": 96,
+        "in_flight": 40, "dropped": 0, "retransmits": 0, "lost": 0},
+       {"begin": 1000, "end": 2000, "injected": 410, "ejected": 430,
+        "offered_flits": 1640, "accepted_flits": 1720, "lat_packets": 430,
+        "avg_latency": 12.1, "max_latency": 66, "buffered_flits": 48,
+        "in_flight": 20, "dropped": 0, "retransmits": 0, "lost": 0},
+       {"begin": 2000, "end": 2500, "injected": 100, "ejected": 120,
+        "offered_flits": 400, "accepted_flits": 480, "lat_packets": 120,
+        "avg_latency": 10.0, "max_latency": 38, "buffered_flits": 0,
+        "in_flight": 0, "dropped": 0, "retransmits": 0, "lost": 0}]}}}
+],
+"profile": {"points": 1, "cycles": 2500,
+  "phases": {"fault": 0.0, "deliver": 0.01, "inject": 0.002,
+             "route": 0.03, "barrier": 0.004, "telemetry": 0.001},
+  "driver_wait_seconds": 0.002, "shard_task_seconds": [0.02, 0.019],
+  "point_wall_seconds": 0.3, "chain_wall_seconds": 0.3,
+  "run_wall_seconds": 0.31,
+  "workers": 4, "chains": 2, "shards": 2, "worker_utilization": 0.48}
+})";
+
 // A schema-2 document (no percentile columns) must stay valid.
 constexpr const char* kSelftestDocV2 = R"({
 "schema": 2,
@@ -283,7 +395,8 @@ int main(int argc, char** argv) {
       const std::size_t n = check_document(json::parse(kSelftestDoc)) +
                             check_document(json::parse(kSelftestDocV2)) +
                             check_document(json::parse(kSelftestDocV4)) +
-                            check_document(json::parse(kSelftestDocV5));
+                            check_document(json::parse(kSelftestDocV5)) +
+                            check_document(json::parse(kSelftestDocV6));
       std::printf("selftest: %zu point(s) valid\n", n);
       return 0;
     }

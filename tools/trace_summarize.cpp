@@ -7,9 +7,10 @@
 // a per-hop table of head-flit router occupancy: how long packets spent
 // at their 1st, 2nd, ... router, split out of the same spans Perfetto
 // renders. Groups with fault instant events (cat "fault") additionally
-// get a chronological fault-event table, and groups with workload
-// scenario marks (cat "mark") a chronological mark table. Exits non-zero
-// on malformed input.
+// get a chronological fault-event table, groups with workload
+// scenario marks (cat "mark") a chronological mark table, and groups with
+// time-series counter tracks ("C" events) a per-counter min/mean/max
+// table. Exits non-zero on malformed input.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +44,13 @@ struct ScenarioMark {
   std::string label;
 };
 
+struct CounterStats {
+  std::uint64_t samples = 0;
+  double min = 0.0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+
 struct GroupStats {
   std::string name;
   std::uint64_t spans = 0;      // async "b" events == sampled packets
@@ -50,6 +58,7 @@ struct GroupStats {
   std::map<std::uint64_t, HopStats> hops;
   std::vector<FaultMark> faults;      // instant "i" events, cat "fault"
   std::vector<ScenarioMark> marks;    // instant "i" events, cat "mark"
+  std::map<std::string, CounterStats> counters;  // "C" counter tracks
 };
 
 const json::Value& require(const json::Value& obj, const std::string& key) {
@@ -108,6 +117,19 @@ void summarize(const std::string& path) {
       } else {
         throw std::runtime_error("unexpected instant event \"" + name + "\"");
       }
+    } else if (ph == "C") {
+      const std::string& name = require(ev, "name").as_string();
+      const double value =
+          require(require(ev, "args"), "value").as_number();
+      CounterStats& c = g.counters[name];
+      if (c.samples == 0) {
+        c.min = c.max = value;
+      } else {
+        c.min = std::min(c.min, value);
+        c.max = std::max(c.max, value);
+      }
+      ++c.samples;
+      c.sum += value;
     } else if (ph != "e") {
       throw std::runtime_error("unexpected event phase \"" + ph + "\"");
     }
@@ -148,6 +170,18 @@ void summarize(const std::string& path) {
       for (const ScenarioMark& m : g.marks) {
         std::printf("%8llu  %s\n", static_cast<unsigned long long>(m.cycle),
                     m.label.c_str());
+      }
+    }
+    if (!g.counters.empty()) {
+      std::printf("%zu counter track(s):\n%-16s %8s %10s %10s %10s\n",
+                  g.counters.size(), "counter", "samples", "min", "mean",
+                  "max");
+      for (const auto& [cname, c] : g.counters) {
+        std::printf(
+            "%-16s %8llu %10.2f %10.2f %10.2f\n", cname.c_str(),
+            static_cast<unsigned long long>(c.samples), c.min,
+            c.samples > 0 ? c.sum / static_cast<double>(c.samples) : 0.0,
+            c.max);
       }
     }
   }
