@@ -7,7 +7,7 @@
 //
 // Like every sweep bench: POLARSTAR_THREADS / POLARSTAR_SHARDS only change
 // the parallelism shape, POLARSTAR_JSON captures every point (workload
-// cases carry the schema-6 "workload" block), POLARSTAR_TRACE additionally
+// cases carry the schema-7 "workload" block), POLARSTAR_TRACE additionally
 // records scenario timeline marks -- the printed tables are byte-identical
 // throughout. POLARSTAR_METRICS_INTERVAL=K adds a time-resolved
 // hotspot-drain table (per-interval inject/eject/latency/backlog rows) and

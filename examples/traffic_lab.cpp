@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
 
   const auto parsed = sim::pattern_from_string(pattern_name);
   if (!parsed) {
-    std::cerr << "unknown pattern " << pattern_name << "\n";
+    std::cerr << "unknown pattern " << pattern_name
+              << "; valid: " << sim::pattern_names() << "\n";
     return 1;
   }
   const sim::Pattern pattern = *parsed;

@@ -243,13 +243,17 @@ sim::SimResult run_point(const PointSpec& spec) {
       spec.pattern_seed == kSameSeed ? spec.params.seed : spec.pattern_seed;
   // One creation path for both kinds of traffic: workload cases
   // instantiate their scenario, pattern cases go through the factory.
+  // A workload with a nonzero app_cycle_cap runs closed-loop (run_app's
+  // completion-time semantics) instead of the open-loop run().
   std::unique_ptr<sim::TrafficSource> src;
+  std::uint64_t app_cap = 0;
   if (spec.workload != nullptr) {
-    src = spec.workload->instantiate(
-        workload::Context{.topo = &spec.net->topology(),
-                          .load = spec.load,
-                          .packet_flits = spec.params.packet_flits,
-                          .seed = seed});
+    const workload::Context ctx{.topo = &spec.net->topology(),
+                                .load = spec.load,
+                                .packet_flits = spec.params.packet_flits,
+                                .seed = seed};
+    src = spec.workload->instantiate(ctx);
+    app_cap = spec.workload->app_cycle_cap(ctx);
   } else {
     src = sim::make_pattern_source(spec.net->topology(), spec.pattern,
                                    spec.load, spec.params.packet_flits, seed);
@@ -258,7 +262,7 @@ sim::SimResult run_point(const PointSpec& spec) {
   if (spec.faults != nullptr) params.faults = spec.faults;
   if (!spec.trace.enabled() && spec.metrics_interval == 0) {
     sim::Simulation simulation(*spec.net, params, *src, spec.collector);
-    return simulation.run();
+    return app_cap != 0 ? simulation.run_app(app_cap) : simulation.run();
   }
   // Flight recorder and/or time-series sampler ride along with whatever
   // collector the caller gave; the sampled records move into the result
@@ -271,7 +275,8 @@ sim::SimResult run_point(const PointSpec& spec) {
   if (spec.metrics_interval != 0) set.add(&series);
   if (spec.collector != nullptr) set.add(spec.collector);
   sim::Simulation simulation(*spec.net, params, *src, &set);
-  sim::SimResult res = simulation.run();
+  sim::SimResult res =
+      app_cap != 0 ? simulation.run_app(app_cap) : simulation.run();
   if (spec.trace.enabled()) {
     res.packet_traces = tracer.take_traces();
     res.fault_marks = tracer.take_fault_marks();
@@ -451,6 +456,11 @@ std::vector<CaseResult> ExperimentRunner::run(
             marks.push_back({m.cycle, m.label});
           }
         }
+        // Source-reported marks (collective phase boundaries) carry the
+        // run's actual cycle numbers; no clipping needed.
+        for (const auto& m : p.result.source.marks) {
+          marks.push_back({m.cycle, m.label});
+        }
         // Time-series intervals become Perfetto counter tracks ("C"
         // events) so the sampled network state scrubs alongside the
         // packet flights.
@@ -549,19 +559,21 @@ void ExperimentRunner::flush_json() {
   if (json_path_.empty()) return;
   std::ofstream os(json_path_, std::ios::trunc);
   if (!os) return;  // unwritable path: drop telemetry, never fail the run
-  // Schema 6: top-level object {"schema": 6, "points": [...], optional
-  // "profile": {...}}. Over schema 5 a sampled point carries the
+  // Schema 7: top-level object {"schema": 7, "points": [...], optional
+  // "profile": {...}}. Over schema 6 a closed-loop collective point
+  // carries the "collective" object (op / algorithm / ranks / trees /
+  // chunks / packet+delivery counts / reduce_done_cycle /
+  // completion_cycle, verbatim from SourceReport). Schema 6 added the
   // "timeseries" telemetry block (interval records from the
-  // TimeSeriesCollector) and a profiled run appends the top-level
-  // "profile" engine-attribution block. Schema 5 added the per-point
-  // "workload" object ({"name", optional "detail"}; the "pattern" field
-  // holds the workload name); schema 4 added the per-point "fault" object
-  // (events / dropped / retransmits / lost / measured_lost /
-  // delivered_fraction) and the "fault" telemetry counter block; schema 3
-  // added p50/p99.9 latency percentiles plus the "latency" and "trace"
-  // telemetry blocks; schema 1 was the bare points array without
-  // telemetry. See EXPERIMENTS.md.
-  os << "{\n\"schema\": 6,\n\"points\": [\n";
+  // TimeSeriesCollector) and the top-level "profile" engine-attribution
+  // block. Schema 5 added the per-point "workload" object ({"name",
+  // optional "detail"}; the "pattern" field holds the workload name);
+  // schema 4 added the per-point "fault" object (events / dropped /
+  // retransmits / lost / measured_lost / delivered_fraction) and the
+  // "fault" telemetry counter block; schema 3 added p50/p99.9 latency
+  // percentiles plus the "latency" and "trace" telemetry blocks; schema 1
+  // was the bare points array without telemetry. See EXPERIMENTS.md.
+  os << "{\n\"schema\": 7,\n\"points\": [\n";
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const auto& r = records_[i];
     const auto& res = r.result;
@@ -594,6 +606,10 @@ void ExperimentRunner::flush_json() {
         os << "\"";
       }
       os << "}";
+    }
+    if (!res.source.collective_json.empty()) {
+      // Pre-balanced JSON object straight from the source's report().
+      os << ", \"collective\": " << res.source.collective_json;
     }
     if (r.faulted) {
       os << ", \"fault\": {\"events\": " << res.fault_events

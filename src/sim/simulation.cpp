@@ -1717,6 +1717,7 @@ SimResult Simulation::collect(std::uint64_t cycles) {
       res.profile.shard_task_seconds[s] = shard_scratch_[s].task_seconds;
     }
   }
+  res.source = source_->report();
   if (collector_ != nullptr) {
     // Flush the partial final metrics interval (a run whose length is not
     // a multiple of the period still accounts every cycle) before the

@@ -147,6 +147,23 @@ struct PacketRecord {
   bool measured = false;
 };
 
+/// A labeled instant on a source's timeline (collective phase boundaries);
+/// runlab merges these into the exported Perfetto trace.
+struct SourceMark {
+  std::uint64_t cycle = 0;
+  std::string label;
+};
+
+/// Structured results a closed-loop source hands back through collect():
+/// stored in SimResult::source. collective_json, when non-empty, must be a
+/// balanced JSON object -- it is emitted verbatim as the per-point
+/// "collective" block of schema-7 POLARSTAR_JSON documents.
+struct SourceReport {
+  std::string collective_json;
+  std::vector<SourceMark> marks;
+  bool empty() const { return collective_json.empty() && marks.empty(); }
+};
+
 struct SimResult {
   std::uint64_t cycles = 0;
   std::uint64_t packets_delivered = 0;
@@ -193,6 +210,9 @@ struct SimResult {
   /// Failure instants observed by the flight recorder, filled by
   /// runlab::run_point alongside packet_traces; empty otherwise.
   std::vector<telemetry::FaultMarkRecord> fault_marks;
+  /// Whatever the traffic source reported at collect() time (collective
+  /// completion stats, phase marks); empty for plain pattern sources.
+  SourceReport source;
 };
 
 class Simulation;
@@ -213,6 +233,8 @@ class TrafficSource {
     (void)sim;
     return false;
   }
+  /// Called once at collect() time. Default: nothing to report.
+  virtual SourceReport report() const { return {}; }
 };
 
 class Simulation {

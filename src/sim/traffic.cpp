@@ -32,6 +32,18 @@ std::optional<Pattern> pattern_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+std::string pattern_names() {
+  std::string names;
+  for (Pattern p :
+       {Pattern::kUniform, Pattern::kPermutation, Pattern::kBitShuffle,
+        Pattern::kBitReverse, Pattern::kAdversarial, Pattern::kTornado,
+        Pattern::kHotspot}) {
+    if (!names.empty()) names += ", ";
+    names += to_string(p);
+  }
+  return names + ", shuffle, reverse";
+}
+
 std::unique_ptr<PatternSource> make_pattern_source(const topo::Topology& topo,
                                                    Pattern pattern,
                                                    double injection_rate,

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <random>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -48,6 +49,11 @@ const char* to_string(Pattern p);
 /// else. Emitting through to_string and parsing through this keeps the
 /// CLI, sweep configs and POLARSTAR_JSON pattern names in one vocabulary.
 std::optional<Pattern> pattern_from_string(std::string_view name);
+
+/// Every name pattern_from_string accepts (canonical spellings first, then
+/// the aliases), comma-separated -- so "unknown pattern" errors can list
+/// the vocabulary instead of leaving the user to guess.
+std::string pattern_names();
 
 class PatternSource;
 

@@ -78,6 +78,15 @@ class Workload {
     (void)ctx;
     return {};
   }
+
+  /// Nonzero switches the runner from the open-loop run() (warmup /
+  /// measure / drain) to the closed-loop run_app(cap): the point simulates
+  /// until the source reports finished() and the network drains, or the
+  /// cap expires. Collective scenarios use this; pattern workloads keep 0.
+  virtual std::uint64_t app_cycle_cap(const Context& ctx) const {
+    (void)ctx;
+    return 0;
+  }
 };
 
 }  // namespace polarstar::workload

@@ -114,7 +114,7 @@ TEST(JsonSchema, V3RoundTripsThroughTheRunner) {
 
   const auto doc = json::parse_file(path);
   ASSERT_TRUE(doc.is_object());
-  EXPECT_EQ(require(doc, "schema").as_number(), 6.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 7.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 2u);
 
@@ -201,7 +201,7 @@ TEST(JsonSchema, PointsWithoutTelemetryOmitTheBlock) {
     r.run("plain", {c});
   }
   const auto doc = json::parse_file(path);
-  EXPECT_EQ(require(doc, "schema").as_number(), 6.0);
+  EXPECT_EQ(require(doc, "schema").as_number(), 7.0);
   const auto& points = require(doc, "points").as_array();
   ASSERT_EQ(points.size(), 1u);
   EXPECT_EQ(points[0].find("telemetry"), nullptr);

@@ -5,7 +5,7 @@
 // *bit-identical* -- doubles included -- at shards 1/2/4 and against
 // SimParams::reference_impl, under faults too, (c) survive CollectorSet
 // fan-out with heterogeneous periods (gcd merge + member re-bucketing),
-// and (d) come out of the runlab stack as byte-identical schema-6 JSON and
+// and (d) come out of the runlab stack as byte-identical schema-7 JSON and
 // counter-track traces at any threads x shards shape. The self-profiler
 // must never perturb a simulation result, and the POLARSTAR_PROGRESS
 // heartbeat must never touch stdout.
@@ -240,7 +240,7 @@ TEST(MetricsSeries, CollectorSetGcdMergeMatchesSoloRuns) {
   expect_identical(c50.intervals(), solo50.intervals);
 }
 
-// The runlab stack end to end: schema-6 JSON (timeseries block, modulo
+// The runlab stack end to end: schema-7 JSON (timeseries block, modulo
 // wall clock) and the counter-track Perfetto trace are byte-identical over
 // the full threads {1,4} x shards {1,2,4} grid.
 TEST(MetricsSeries, RunlabJsonAndTraceBytesIdenticalOnThreadShardGrid) {
@@ -289,7 +289,7 @@ TEST(MetricsSeries, RunlabJsonAndTraceBytesIdenticalOnThreadShardGrid) {
       if (ref_json.empty()) {
         ref_json = body;
         ref_trace = tbody;
-        EXPECT_NE(body.find("\"schema\": 6"), std::string::npos);
+        EXPECT_NE(body.find("\"schema\": 7"), std::string::npos);
         EXPECT_NE(body.find("\"timeseries\": {"), std::string::npos);
         EXPECT_NE(tbody.find("\"ph\":\"C\""), std::string::npos);
         EXPECT_NE(tbody.find("\"name\":\"in_flight\""), std::string::npos);
@@ -387,7 +387,7 @@ TEST(EngineProfiler, RunnerReportAndJsonBlock) {
   EXPECT_NE(report.find("switch allocation"), std::string::npos);
   EXPECT_NE(report.find("utilization"), std::string::npos);
   const std::string body = read_file(json);
-  EXPECT_NE(body.find("\"schema\": 6"), std::string::npos);
+  EXPECT_NE(body.find("\"schema\": 7"), std::string::npos);
   EXPECT_NE(body.find("\"profile\": {\"points\": 1"), std::string::npos);
   EXPECT_NE(body.find("\"worker_utilization\": "), std::string::npos);
   std::remove(json.c_str());

@@ -15,6 +15,8 @@
 #include <sstream>
 #include <vector>
 
+#include "collective/edst.h"
+#include "collective/engine.h"
 #include "core/polarstar.h"
 #include "fault/schedule.h"
 #include "io/trace_export.h"
@@ -26,6 +28,7 @@
 #include "telemetry/packet_trace.h"
 #include "topo/dragonfly.h"
 
+namespace collective = polarstar::collective;
 namespace core = polarstar::core;
 namespace fault = polarstar::fault;
 namespace io = polarstar::io;
@@ -277,6 +280,44 @@ TEST(PerfEquivalence, TraceBytes) {
   const std::string fast_bytes = render(false);
   EXPECT_FALSE(ref_bytes.empty());
   EXPECT_EQ(ref_bytes, fast_bytes);
+}
+
+// Collective engine runs are closed-loop (every send reacts to a prior
+// delivery), so the exact delivery *order* feeds back into the workload:
+// any divergence between the optimized step loop and the reference one
+// compounds. Both an EDST-tree and a unicast collective must come out
+// bit-identical, JSON report included.
+TEST(PerfEquivalence, CollectiveEngineRuns) {
+  const core::PolarStarConfig cfg{4, 3, core::SupernodeKind::kInductiveQuad, 1};
+  auto ps =
+      std::make_shared<const core::PolarStar>(core::PolarStar::build(cfg));
+  const auto net = std::make_shared<sim::Network>(
+      core::shared_topology(ps), routing::make_polarstar_routing(ps));
+  const auto trees = std::make_shared<const collective::EdstSet>(
+      collective::polarstar_edsts(*ps));
+  const auto run = [&](collective::Algorithm algo, bool reference) {
+    collective::CollectiveSpec spec;
+    spec.op = collective::Op::kAllreduce;
+    spec.algorithm = algo;
+    auto prm = base_params();
+    prm.reference_impl = reference;
+    collective::CollectiveEngine src(
+        net->topology(), spec, /*chunks=*/5,
+        algo == collective::Algorithm::kEdst ? trees : nullptr);
+    sim::Simulation s(*net, prm, src);
+    auto res = s.run_app(2'000'000);
+    EXPECT_EQ(src.deliveries(), src.expected_deliveries());
+    return res;
+  };
+  for (const auto algo :
+       {collective::Algorithm::kEdst, collective::Algorithm::kBinomial}) {
+    const auto ref = run(algo, true);
+    const auto fast = run(algo, false);
+    expect_identical(ref, fast);
+    EXPECT_EQ(ref.source.collective_json, fast.source.collective_json);
+    EXPECT_FALSE(fast.source.collective_json.empty());
+    EXPECT_TRUE(fast.stable);
+  }
 }
 
 // The VC occupancy index is one 32-bit mask per link port.

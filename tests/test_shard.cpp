@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "collective/edst.h"
+#include "collective/engine.h"
 #include "core/polarstar.h"
 #include "fault/schedule.h"
 #include "io/trace_export.h"
@@ -297,12 +299,50 @@ TEST(ShardDeterminism, RunlabJsonAndTraceBytesIdentical) {
   const std::string b1 = strip_wall_seconds(read_file(json1));
   const std::string b4 = strip_wall_seconds(read_file(json4));
   EXPECT_EQ(b1, b4);
-  EXPECT_NE(b1.find("\"schema\": 6"), std::string::npos);
+  EXPECT_NE(b1.find("\"schema\": 7"), std::string::npos);
   EXPECT_NE(b1.find("\"fault\": {"), std::string::npos);
   EXPECT_EQ(read_file(trace1), read_file(trace4));
   for (const auto& p : {json1, json4, trace1, trace4}) {
     std::remove(p.c_str());
   }
+}
+
+// Closed-loop collective runs (run_app, source-driven injection AND
+// on_delivered-driven replication) cross every barrier phase; the
+// SimResult and the engine's own completion report must not move a bit
+// with the shard count or vs the reference engine.
+TEST(ShardDeterminism, CollectiveEngineIdenticalAtAnyShardCount) {
+  namespace collective = polarstar::collective;
+  auto ps = std::make_shared<const core::PolarStar>(
+      core::PolarStar::build({4, 3, core::SupernodeKind::kInductiveQuad, 1}));
+  const auto net = std::make_shared<sim::Network>(
+      core::shared_topology(ps), routing::make_polarstar_routing(ps));
+  const auto trees = std::make_shared<const collective::EdstSet>(
+      collective::polarstar_edsts(*ps));
+  auto prm = base_params();
+  prm.paranoid_checks = true;
+  const auto run = [&](std::uint32_t shards, bool reference) {
+    auto p = prm;
+    p.num_shards = shards;
+    p.reference_impl = reference;
+    collective::CollectiveEngine eng(
+        net->topology(),
+        {collective::Op::kAllreduce, collective::Algorithm::kEdst, 0}, 6,
+        trees);
+    sim::Simulation s(*net, p, eng);
+    auto res = s.run_app(2'000'000);
+    return std::make_pair(res, res.source.collective_json);
+  };
+  const auto [r1, j1] = run(1, false);
+  EXPECT_TRUE(r1.stable);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const auto [rs, js] = run(shards, false);
+    expect_identical(r1, rs);
+    EXPECT_EQ(j1, js);
+  }
+  const auto [rr, jr] = run(1, true);
+  expect_identical(r1, rr);
+  EXPECT_EQ(j1, jr);
 }
 
 // Contiguous plans: disjoint cover in ascending order, near-even switch

@@ -411,6 +411,16 @@ TEST(WorkloadFactory, PatternFromStringRoundTripsAndAliases) {
   EXPECT_EQ(sim::pattern_from_string("shuffle"), Pattern::kBitShuffle);
   EXPECT_EQ(sim::pattern_from_string("reverse"), Pattern::kBitReverse);
   EXPECT_FALSE(sim::pattern_from_string("no-such-pattern").has_value());
+  // Every advertised name parses, so CLI errors can quote the list.
+  std::istringstream names(sim::pattern_names());
+  std::string name;
+  std::size_t count = 0;
+  while (std::getline(names, name, ',')) {
+    if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+    EXPECT_TRUE(sim::pattern_from_string(name).has_value()) << name;
+    ++count;
+  }
+  EXPECT_EQ(count, 9u);  // 7 canonical + 2 aliases
 }
 
 TEST(WorkloadFactory, PatternWorkloadMatchesDirectSource) {
@@ -486,7 +496,7 @@ TEST(WorkloadRunlab, JsonBytesIdenticalAcrossThreads) {
   const std::string b1 = strip_wall_seconds(read_file(json1));
   const std::string b4 = strip_wall_seconds(read_file(json4));
   EXPECT_EQ(b1, b4);
-  EXPECT_NE(b1.find("\"schema\": 6"), std::string::npos);
+  EXPECT_NE(b1.find("\"schema\": 7"), std::string::npos);
   EXPECT_NE(b1.find("\"workload\": {\"name\": \"incast\""),
             std::string::npos);
   EXPECT_NE(b1.find("\"workload\": {\"name\": \"stress\""),

@@ -3,7 +3,8 @@
 //   check_json_schema <file.json> [...]   validate runner output files
 //   check_json_schema --selftest          validate a built-in example
 //
-// Accepts schema 6 (adds per-point "timeseries" telemetry sub-blocks and
+// Accepts schema 7 (adds per-point "collective" blocks for closed-loop
+// collective runs), schema 6 (adds per-point "timeseries" telemetry sub-blocks and
 // an optional top-level "profile" engine-attribution block), schema 5
 // (adds per-point "workload" blocks for scenario-driven
 // sweeps), schema 4 (adds per-point "fault" blocks and a "fault" telemetry
@@ -78,6 +79,38 @@ void check_point(const json::Value& p, std::size_t index, int schema) {
         if (d->kind() != json::Value::Kind::kString) {
           throw std::runtime_error("workload detail is not a string");
         }
+      }
+    }
+    if (const json::Value* c = p.find("collective")) {
+      if (schema < 7) {
+        throw std::runtime_error("\"collective\" block requires schema 7");
+      }
+      if (!c->is_object()) {
+        throw std::runtime_error("collective not an object");
+      }
+      const auto& op = require(*c, "op", json::Value::Kind::kString);
+      if (op.as_string() != "broadcast" && op.as_string() != "reduce" &&
+          op.as_string() != "allreduce") {
+        throw std::runtime_error("unknown collective op \"" + op.as_string() +
+                                 "\"");
+      }
+      require(*c, "algorithm", json::Value::Kind::kString);
+      for (const char* k :
+           {"ranks", "trees", "chunks", "packets_sent", "expected_deliveries",
+            "deliveries", "reduce_done_cycle", "completion_cycle"}) {
+        if (require(*c, k, json::Value::Kind::kNumber).as_number() < 0.0) {
+          throw std::runtime_error(std::string("negative collective \"") + k +
+                                   "\"");
+        }
+      }
+      if (c->find("deliveries")->as_number() >
+          c->find("expected_deliveries")->as_number()) {
+        throw std::runtime_error("collective deliveries exceed expected");
+      }
+      if (c->find("reduce_done_cycle")->as_number() >
+          c->find("completion_cycle")->as_number()) {
+        throw std::runtime_error(
+            "collective reduce_done_cycle exceeds completion_cycle");
       }
     }
     if (const json::Value* f = p.find("fault")) {
@@ -220,7 +253,7 @@ std::size_t check_document(const json::Value& doc) {
   } else if (doc.is_object()) {
     const auto& v = require(doc, "schema", json::Value::Kind::kNumber);
     if (v.as_number() != 2.0 && v.as_number() != 3.0 && v.as_number() != 4.0 &&
-        v.as_number() != 5.0 && v.as_number() != 6.0) {
+        v.as_number() != 5.0 && v.as_number() != 6.0 && v.as_number() != 7.0) {
       throw std::runtime_error("unsupported schema " +
                                std::to_string(v.as_number()));
     }
@@ -371,6 +404,27 @@ constexpr const char* kSelftestDocV6 = R"({
   "workers": 4, "chains": 2, "shards": 2, "worker_utilization": 0.48}
 })";
 
+// A schema-7 collective point: "pattern" carries the collective workload
+// name, the "workload" block repeats it and the "collective" block reports
+// the closed-loop schedule's outcome.
+constexpr const char* kSelftestDocV7 = R"({
+"schema": 7,
+"points": [
+  {"sweep": "collective-allreduce", "case": "PS-IQ edst/min",
+   "pattern": "collective-edst", "mode": "min-adaptive", "load": 8,
+   "stable": true, "deadlock": false, "avg_latency": 6.8,
+   "p50_latency": 5, "p99_latency": 14, "p999_latency": 17,
+   "avg_hops": 1, "accepted_flit_rate": 0,
+   "cycles": 502, "measured_packets": 3952, "wall_seconds": 0.02,
+   "workload": {"name": "collective-edst",
+                "detail": "op=allreduce root=0 trees=3"},
+   "collective": {"op": "allreduce", "algorithm": "edst", "ranks": 248,
+                  "trees": 3, "chunks": 8, "packets_sent": 3952,
+                  "expected_deliveries": 3952, "deliveries": 3952,
+                  "reduce_done_cycle": 260, "completion_cycle": 502}}
+]
+})";
+
 // A schema-2 document (no percentile columns) must stay valid.
 constexpr const char* kSelftestDocV2 = R"({
 "schema": 2,
@@ -396,7 +450,8 @@ int main(int argc, char** argv) {
                             check_document(json::parse(kSelftestDocV2)) +
                             check_document(json::parse(kSelftestDocV4)) +
                             check_document(json::parse(kSelftestDocV5)) +
-                            check_document(json::parse(kSelftestDocV6));
+                            check_document(json::parse(kSelftestDocV6)) +
+                            check_document(json::parse(kSelftestDocV7));
       std::printf("selftest: %zu point(s) valid\n", n);
       return 0;
     }

@@ -1,4 +1,4 @@
-// Offline report over a schema-6 POLARSTAR_JSON file: the time axis.
+// Offline report over a schema-6+ POLARSTAR_JSON file: the time axis.
 //
 //   metrics_report <polarstar.json> [...]   print interval tables
 //   metrics_report --selftest               run against a built-in example

@@ -73,7 +73,9 @@ int main(int argc, char** argv) {
       try {
         loads.push_back(std::stod(arg));
       } catch (...) {
-        std::cerr << "unrecognized argument " << arg << "\n";
+        std::cerr << "unrecognized argument " << arg
+                  << "\n  patterns: " << sim::pattern_names()
+                  << "\n  modes:    min, min-adaptive, ugal\n";
         return 1;
       }
     }
