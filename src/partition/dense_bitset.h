@@ -1,0 +1,63 @@
+// Flat rows x cols bitset -- the mirror/replica tracker of the streaming
+// edge partitioners (the HEP "is_mirrors" idiom): one row per vertex, one
+// bit per partition, so replica membership tests and replication-factor
+// popcounts touch a handful of contiguous words instead of a hash set.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace polarstar::partition {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  DenseBitset(std::size_t rows, std::uint32_t cols)
+      : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64),
+        bits_(rows * static_cast<std::size_t>((cols + 63) / 64), 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+
+  bool test(std::size_t row, std::uint32_t col) const {
+    return (word(row, col) >> (col & 63)) & 1u;
+  }
+
+  /// Sets (row, col); returns true when the bit was newly set.
+  bool set(std::size_t row, std::uint32_t col) {
+    std::uint64_t& w = word(row, col);
+    const std::uint64_t mask = 1ull << (col & 63);
+    const bool fresh = (w & mask) == 0;
+    w |= mask;
+    return fresh;
+  }
+
+  /// Number of set bits in one row (replica count of one vertex).
+  std::uint32_t row_count(std::size_t row) const {
+    std::uint32_t c = 0;
+    for (std::uint32_t w = 0; w < words_per_row_; ++w) {
+      c += static_cast<std::uint32_t>(
+          std::popcount(bits_[row * words_per_row_ + w]));
+    }
+    return c;
+  }
+
+  bool operator==(const DenseBitset&) const = default;
+
+ private:
+  std::uint64_t& word(std::size_t row, std::uint32_t col) {
+    return bits_[row * words_per_row_ + (col >> 6)];
+  }
+  const std::uint64_t& word(std::size_t row, std::uint32_t col) const {
+    return bits_[row * words_per_row_ + (col >> 6)];
+  }
+
+  std::size_t rows_ = 0;
+  std::uint32_t cols_ = 0;
+  std::uint32_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace polarstar::partition

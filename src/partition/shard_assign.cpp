@@ -1,5 +1,6 @@
 #include "partition/shard_assign.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -95,6 +96,76 @@ sim::ShardPlan shard_plan_from_partition(const sim::Network& net,
         std::to_string(bound));
   }
   return plan;
+}
+
+sim::ShardPlan shard_plan_from_streaming(const sim::Network& net,
+                                         std::uint32_t shards,
+                                         StreamAlgo algo,
+                                         const StreamOptions& opts) {
+  const std::uint32_t n = net.num_routers();
+  if (shards == 0 || shards > n) {
+    throw std::invalid_argument(
+        "shard_plan_from_streaming: shards must be in [1, num_routers], "
+        "got " +
+        std::to_string(shards));
+  }
+  StreamOptions sopts = opts;
+  sopts.num_parts = shards;
+  const GraphView gv(net.topology().g);
+  const StreamPartition part = partition_stream(gv, algo, sopts);
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  if (part.flavor == PartitionFlavor::kVertex) {
+    assignment = part.part_of_vertex;
+  } else {
+    // Majority vote over the edge assignment: router r goes to the shard
+    // that owns most of r's incident edges, so most of its traffic stays
+    // shard-local. Isolated routers fall to the lightest shard.
+    std::vector<std::uint32_t> incident(static_cast<std::size_t>(n) * shards,
+                                        0);
+    std::uint64_t i = 0;
+    gv.for_each_edge([&](Vertex u, Vertex v) {
+      const std::uint32_t p = part.part_of_edge[i++];
+      ++incident[static_cast<std::size_t>(u) * shards + p];
+      ++incident[static_cast<std::size_t>(v) * shards + p];
+    });
+    std::vector<std::uint64_t> count(shards, 0);
+    for (Vertex r = 0; r < n; ++r) {
+      std::uint32_t best = 0;
+      for (std::uint32_t s = 1; s < shards; ++s) {
+        if (incident[static_cast<std::size_t>(r) * shards + s] >
+            incident[static_cast<std::size_t>(r) * shards + best]) {
+          best = s;
+        }
+      }
+      if (incident[static_cast<std::size_t>(r) * shards + best] == 0) {
+        best = static_cast<std::uint32_t>(
+            std::min_element(count.begin(), count.end()) - count.begin());
+      }
+      assignment[r] = best;
+      ++count[best];
+    }
+  }
+
+  // Every shard must own at least one router: refill empties from the
+  // currently heaviest shard, stealing its highest-id router.
+  std::vector<std::uint64_t> count(shards, 0);
+  for (Vertex r = 0; r < n; ++r) ++count[assignment[r]];
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    while (count[s] == 0) {
+      const std::uint32_t donor = static_cast<std::uint32_t>(
+          std::max_element(count.begin(), count.end()) - count.begin());
+      for (Vertex r = n; r-- > 0;) {
+        if (assignment[r] == donor) {
+          assignment[r] = s;
+          --count[donor];
+          ++count[s];
+          break;
+        }
+      }
+    }
+  }
+  return sim::ShardPlan::from_assignment(net, assignment, shards);
 }
 
 }  // namespace polarstar::partition

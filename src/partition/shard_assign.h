@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "partition/partitioner.h"
+#include "partition/streaming.h"
 #include "sim/shard_plan.h"
 
 namespace polarstar::sim {
@@ -30,5 +31,21 @@ namespace polarstar::partition {
 sim::ShardPlan shard_plan_from_partition(const sim::Network& net,
                                          std::uint32_t shards,
                                          const BisectionOptions& opts = {});
+
+/// Builds a ShardPlan from one streaming-partitioner pass over the router
+/// graph -- any StreamAlgo, any shard count in [1, num_routers] (throws
+/// std::invalid_argument otherwise; opts.num_parts is overridden by
+/// `shards`). Vertex-flavor algorithms (LDG, Fennel) give the router ->
+/// shard map directly; edge-flavor ones (greedy, HDRF, DBH) place each
+/// router on the shard owning most of its incident edges (ties to the
+/// lower shard id). Empty shards are refilled from the heaviest shard, so
+/// the plan is always legal. The engine's bit-identity contract makes the
+/// plan a pure mailbox-pressure knob: streaming plans balance router
+/// *counts* (not switch work), so their balance(net) can trail the
+/// bisection plan's while still beating contiguous cross-shard fractions.
+sim::ShardPlan shard_plan_from_streaming(const sim::Network& net,
+                                         std::uint32_t shards,
+                                         StreamAlgo algo,
+                                         const StreamOptions& opts = {});
 
 }  // namespace polarstar::partition

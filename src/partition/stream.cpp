@@ -1,0 +1,71 @@
+#include "partition/stream.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace polarstar::partition {
+
+using graph::Vertex;
+
+void GraphView::for_each_edge(
+    const std::function<void(Vertex, Vertex)>& fn) const {
+  for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+    for (Vertex u : g_->neighbors(v)) {
+      if (v < u) fn(v, u);
+    }
+  }
+}
+
+void GraphView::for_each_vertex(
+    const std::function<void(Vertex, std::span<const Vertex>)>& fn) const {
+  for (Vertex v = 0; v < g_->num_vertices(); ++v) {
+    fn(v, g_->neighbors(v));
+  }
+}
+
+CirculantStream::CirculantStream(Vertex n, std::uint32_t num_strides,
+                                 std::uint64_t seed)
+    : n_(n) {
+  if (num_strides == 0 || n < 2 * num_strides + 2) {
+    throw std::invalid_argument(
+        "CirculantStream: need n >= 2 * num_strides + 2");
+  }
+  // Distinct strides strictly inside (0, n/2): each stride then contributes
+  // exactly n distinct edges, and no two strides can alias a neighbor
+  // (s + s' = n is impossible when both are < n/2).
+  std::mt19937_64 rng(seed);
+  const Vertex half = n / 2;  // exclusive upper bound
+  while (strides_.size() < num_strides) {
+    const Vertex s = 1 + static_cast<Vertex>(rng() % (half - 1));
+    if (std::find(strides_.begin(), strides_.end(), s) == strides_.end()) {
+      strides_.push_back(s);
+    }
+  }
+  std::sort(strides_.begin(), strides_.end());
+}
+
+void CirculantStream::for_each_edge(
+    const std::function<void(Vertex, Vertex)>& fn) const {
+  // (v, v + s) per vertex per stride: every undirected edge exactly once.
+  for (Vertex v = 0; v < n_; ++v) {
+    for (Vertex s : strides_) {
+      fn(v, (v + s) % n_);
+    }
+  }
+}
+
+void CirculantStream::for_each_vertex(
+    const std::function<void(Vertex, std::span<const Vertex>)>& fn) const {
+  std::vector<Vertex> nbrs(2 * strides_.size());
+  for (Vertex v = 0; v < n_; ++v) {
+    std::size_t k = 0;
+    for (Vertex s : strides_) {
+      nbrs[k++] = (v + s) % n_;
+      nbrs[k++] = (v + n_ - s) % n_;
+    }
+    fn(v, nbrs);
+  }
+}
+
+}  // namespace polarstar::partition

@@ -1,0 +1,91 @@
+// Restartable read-only graph streams for the streaming partitioners.
+//
+// A GraphStream yields a graph either edge-by-edge or vertex-by-vertex
+// (with full neighbor lists) in a fixed deterministic order, without the
+// consumer ever holding the edge list: partitioner memory is O(vertices),
+// so the same algorithms that carve the Table 3 router graphs also handle
+// synthetic streams far past what the offline multilevel bisector could
+// load. Two implementations:
+//
+//  - GraphView:       zero-copy adapter over an in-memory graph::Graph.
+//  - CirculantStream: the deterministic circulant expander C(n, S) --
+//    neighbors of v are v +- s (mod n) for each stride s in S, locally
+//    computable in both directions, so a multi-million-edge graph streams
+//    through O(|S|) generator state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace polarstar::partition {
+
+class GraphStream {
+ public:
+  virtual ~GraphStream() = default;
+
+  virtual graph::Vertex num_vertices() const = 0;
+  virtual std::uint64_t num_edges() const = 0;
+
+  /// Visits every undirected edge exactly once, in a fixed deterministic
+  /// order (the stream order the edge partitioners assign in).
+  virtual void for_each_edge(
+      const std::function<void(graph::Vertex, graph::Vertex)>& fn) const = 0;
+
+  /// Visits vertices 0..n-1 in id order, each with its full neighbor list
+  /// (the stream order the vertex partitioners assign in).
+  virtual void for_each_vertex(
+      const std::function<void(graph::Vertex, std::span<const graph::Vertex>)>&
+          fn) const = 0;
+};
+
+/// Adapter over an in-memory graph: edges in (u, v) u < v sorted order,
+/// vertices in id order with CSR neighbor spans.
+class GraphView final : public GraphStream {
+ public:
+  explicit GraphView(const graph::Graph& g) : g_(&g) {}
+
+  graph::Vertex num_vertices() const override { return g_->num_vertices(); }
+  std::uint64_t num_edges() const override { return g_->num_edges(); }
+  void for_each_edge(const std::function<void(graph::Vertex, graph::Vertex)>&
+                         fn) const override;
+  void for_each_vertex(
+      const std::function<void(graph::Vertex, std::span<const graph::Vertex>)>&
+          fn) const override;
+
+ private:
+  const graph::Graph* g_;
+};
+
+/// C(n, S): vertex v is adjacent to v +- s (mod n) for every stride s.
+/// Strides are drawn without replacement from (0, n/2) by a seeded PRNG, so
+/// each stride contributes exactly n distinct edges (m = n * |S|) and all
+/// 2|S| neighbors of a vertex are distinct. With random strides the graph
+/// is an expander -- a reasonable stand-in for a datacenter-scale wiring.
+class CirculantStream final : public GraphStream {
+ public:
+  /// Requires n >= 2 * num_strides + 2 and num_strides >= 1.
+  CirculantStream(graph::Vertex n, std::uint32_t num_strides,
+                  std::uint64_t seed);
+
+  graph::Vertex num_vertices() const override { return n_; }
+  std::uint64_t num_edges() const override {
+    return static_cast<std::uint64_t>(n_) * strides_.size();
+  }
+  void for_each_edge(const std::function<void(graph::Vertex, graph::Vertex)>&
+                         fn) const override;
+  void for_each_vertex(
+      const std::function<void(graph::Vertex, std::span<const graph::Vertex>)>&
+          fn) const override;
+
+  const std::vector<graph::Vertex>& strides() const { return strides_; }
+
+ private:
+  graph::Vertex n_ = 0;
+  std::vector<graph::Vertex> strides_;  // sorted, distinct, in (0, n/2)
+};
+
+}  // namespace polarstar::partition

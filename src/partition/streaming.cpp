@@ -1,0 +1,397 @@
+#include "partition/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace polarstar::partition {
+
+using graph::Vertex;
+
+namespace {
+
+constexpr std::uint32_t kUnassigned = ~0u;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t capacity_for(std::uint64_t total, std::uint32_t parts,
+                           double eps) {
+  // ceil((1 + eps) * total / parts) >= ceil(total / parts), so a part below
+  // capacity always exists while items remain unassigned.
+  const double ideal = static_cast<double>(total) / parts;
+  return static_cast<std::uint64_t>(std::ceil((1.0 + eps) * ideal));
+}
+
+/// Least-loaded part with load < cap; ties to the lowest id. Always exists
+/// while fewer than parts * cap items are assigned.
+std::uint32_t least_loaded(const std::vector<std::uint64_t>& load,
+                           std::uint64_t cap) {
+  std::uint32_t best = kUnassigned;
+  for (std::uint32_t p = 0; p < load.size(); ++p) {
+    if (load[p] >= cap) continue;
+    if (best == kUnassigned || load[p] < load[best]) best = p;
+  }
+  return best;
+}
+
+// ---- edge flavor ----------------------------------------------------------
+
+struct EdgeState {
+  explicit EdgeState(Vertex n, const StreamOptions& o, std::uint64_t m)
+      : opts(o), mirrors(n, o.num_parts), load(o.num_parts, 0),
+        partial_degree(n, 0), cap(capacity_for(m, o.num_parts,
+                                               o.balance_epsilon)) {}
+
+  const StreamOptions& opts;
+  DenseBitset mirrors;
+  std::vector<std::uint64_t> load;
+  std::vector<std::uint32_t> partial_degree;
+  std::uint64_t cap;
+
+  void place(std::uint32_t p, Vertex u, Vertex v,
+             std::vector<std::uint32_t>& out) {
+    mirrors.set(u, p);
+    mirrors.set(v, p);
+    ++load[p];
+    out.push_back(p);
+  }
+};
+
+// PowerGraph greedy: prefer a part that already holds both endpoints, then
+// one that holds either, then the least-loaded part; within each rule the
+// least-loaded (lowest-id) eligible part wins.
+void greedy_assign(EdgeState& st, Vertex u, Vertex v,
+                   std::vector<std::uint32_t>& out) {
+  std::uint32_t both = kUnassigned, either = kUnassigned;
+  for (std::uint32_t p = 0; p < st.opts.num_parts; ++p) {
+    if (st.load[p] >= st.cap) continue;
+    const bool hu = st.mirrors.test(u, p), hv = st.mirrors.test(v, p);
+    if (hu && hv && (both == kUnassigned || st.load[p] < st.load[both])) {
+      both = p;
+    }
+    if ((hu || hv) &&
+        (either == kUnassigned || st.load[p] < st.load[either])) {
+      either = p;
+    }
+  }
+  std::uint32_t pick = both != kUnassigned ? both
+                       : either != kUnassigned
+                           ? either
+                           : least_loaded(st.load, st.cap);
+  st.place(pick, u, v, out);
+}
+
+// HDRF: argmax of replication affinity (degree-weighted toward keeping the
+// low-degree endpoint whole) plus lambda x normalized headroom.
+void hdrf_assign(EdgeState& st, Vertex u, Vertex v,
+                 std::vector<std::uint32_t>& out) {
+  ++st.partial_degree[u];
+  ++st.partial_degree[v];
+  const double du = st.partial_degree[u], dv = st.partial_degree[v];
+  const double theta_u = du / (du + dv), theta_v = 1.0 - theta_u;
+  std::uint64_t maxload = 0, minload = ~0ull;
+  for (std::uint64_t l : st.load) {
+    maxload = std::max(maxload, l);
+    minload = std::min(minload, l);
+  }
+  std::uint32_t pick = kUnassigned;
+  double best = -1.0;
+  for (std::uint32_t p = 0; p < st.opts.num_parts; ++p) {
+    if (st.load[p] >= st.cap) continue;
+    const double gu = st.mirrors.test(u, p) ? 1.0 + (1.0 - theta_u) : 0.0;
+    const double gv = st.mirrors.test(v, p) ? 1.0 + (1.0 - theta_v) : 0.0;
+    const double bal = st.opts.hdrf_lambda *
+                       static_cast<double>(maxload - st.load[p]) /
+                       (1.0 + static_cast<double>(maxload - minload));
+    const double score = gu + gv + bal;
+    if (score > best) {
+      best = score;
+      pick = p;
+    }
+  }
+  st.place(pick, u, v, out);
+}
+
+// DBH: hash the endpoint whose (partial) degree is smaller -- its replicas
+// concentrate while the high-degree endpoint spreads, which is where the
+// replication is cheapest. Falls back to least-loaded when the hash target
+// is at capacity.
+void dbh_assign(EdgeState& st, Vertex u, Vertex v,
+                std::vector<std::uint32_t>& out) {
+  ++st.partial_degree[u];
+  ++st.partial_degree[v];
+  Vertex key = u;
+  if (st.partial_degree[v] < st.partial_degree[u] ||
+      (st.partial_degree[v] == st.partial_degree[u] && v < u)) {
+    key = v;
+  }
+  std::uint32_t pick = static_cast<std::uint32_t>(
+      splitmix64(key ^ st.opts.seed) % st.opts.num_parts);
+  if (st.load[pick] >= st.cap) pick = least_loaded(st.load, st.cap);
+  st.place(pick, u, v, out);
+}
+
+// ---- vertex flavor --------------------------------------------------------
+
+struct VertexState {
+  VertexState(Vertex n, const StreamOptions& o)
+      : opts(o), part(n, kUnassigned), load(o.num_parts, 0),
+        nbr_count(o.num_parts, 0),
+        cap(capacity_for(n, o.num_parts, o.balance_epsilon)) {}
+
+  const StreamOptions& opts;
+  std::vector<std::uint32_t> part;
+  std::vector<std::uint64_t> load;
+  std::vector<std::uint64_t> nbr_count;  // scratch, reset per vertex
+  std::uint64_t cap;
+
+  void count_neighbors(std::span<const Vertex> nbrs) {
+    std::fill(nbr_count.begin(), nbr_count.end(), 0);
+    for (Vertex u : nbrs) {
+      if (part[u] != kUnassigned) ++nbr_count[part[u]];
+    }
+  }
+
+  /// argmax of `score` over parts below capacity; ties prefer the lighter
+  /// part, then the lower id.
+  template <typename Score>
+  void place(Vertex v, Score score) {
+    std::uint32_t pick = kUnassigned;
+    double best = 0.0;
+    for (std::uint32_t p = 0; p < opts.num_parts; ++p) {
+      if (load[p] >= cap) continue;
+      const double s = score(p);
+      if (pick == kUnassigned || s > best ||
+          (s == best && load[p] < load[pick])) {
+        best = s;
+        pick = p;
+      }
+    }
+    part[v] = pick;
+    ++load[pick];
+  }
+};
+
+}  // namespace
+
+const char* to_string(StreamAlgo a) {
+  switch (a) {
+    case StreamAlgo::kGreedy: return "greedy";
+    case StreamAlgo::kHdrf: return "hdrf";
+    case StreamAlgo::kDbh: return "dbh";
+    case StreamAlgo::kLdg: return "ldg";
+    case StreamAlgo::kFennel: return "fennel";
+  }
+  return "?";
+}
+
+const char* to_string(PartitionFlavor f) {
+  return f == PartitionFlavor::kEdge ? "edge" : "vertex";
+}
+
+PartitionFlavor flavor_of(StreamAlgo a) {
+  switch (a) {
+    case StreamAlgo::kGreedy:
+    case StreamAlgo::kHdrf:
+    case StreamAlgo::kDbh:
+      return PartitionFlavor::kEdge;
+    case StreamAlgo::kLdg:
+    case StreamAlgo::kFennel:
+      return PartitionFlavor::kVertex;
+  }
+  return PartitionFlavor::kEdge;
+}
+
+StreamPartition partition_stream(const GraphStream& gs, StreamAlgo algo,
+                                 const StreamOptions& opts) {
+  const Vertex n = gs.num_vertices();
+  const std::uint64_t m = gs.num_edges();
+  const PartitionFlavor flavor = flavor_of(algo);
+  const std::uint64_t items = flavor == PartitionFlavor::kEdge ? m : n;
+  if (opts.num_parts == 0 || opts.num_parts > items) {
+    throw std::invalid_argument(
+        "partition_stream: num_parts must be in [1, " +
+        std::to_string(items) + "] for the " +
+        std::string(to_string(flavor)) + " flavor");
+  }
+
+  StreamPartition res;
+  res.algo = algo;
+  res.flavor = flavor;
+  res.num_parts = opts.num_parts;
+  res.num_vertices = n;
+  res.num_edges = m;
+
+  if (flavor == PartitionFlavor::kEdge) {
+    EdgeState st(n, opts, m);
+    res.part_of_edge.reserve(m);
+    gs.for_each_edge([&](Vertex u, Vertex v) {
+      switch (algo) {
+        case StreamAlgo::kGreedy:
+          greedy_assign(st, u, v, res.part_of_edge);
+          break;
+        case StreamAlgo::kHdrf:
+          hdrf_assign(st, u, v, res.part_of_edge);
+          break;
+        default:
+          dbh_assign(st, u, v, res.part_of_edge);
+          break;
+      }
+    });
+    res.mirrors = std::move(st.mirrors);
+    res.load = std::move(st.load);
+    res.capacity = st.cap;
+    std::uint64_t replicas = 0, touched = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t r = res.mirrors.row_count(v);
+      replicas += r;
+      touched += r > 0;
+    }
+    res.replication_factor =
+        touched == 0 ? 1.0
+                     : static_cast<double>(replicas) /
+                           static_cast<double>(touched);
+  } else {
+    VertexState st(n, opts);
+    if (algo == StreamAlgo::kLdg) {
+      gs.for_each_vertex([&](Vertex v, std::span<const Vertex> nbrs) {
+        st.count_neighbors(nbrs);
+        st.place(v, [&](std::uint32_t p) {
+          // LDG: assigned-neighbor affinity scaled by remaining capacity.
+          return static_cast<double>(st.nbr_count[p]) *
+                 (1.0 - static_cast<double>(st.load[p]) /
+                            static_cast<double>(st.cap));
+        });
+      });
+    } else {
+      // Fennel: affinity minus the marginal part-growth cost
+      // alpha * gamma * load^(gamma - 1), alpha = m * p^(gamma-1) / n^gamma.
+      const double gamma = opts.fennel_gamma;
+      const double alpha =
+          static_cast<double>(m) *
+          std::pow(static_cast<double>(opts.num_parts), gamma - 1.0) /
+          std::pow(static_cast<double>(n), gamma);
+      gs.for_each_vertex([&](Vertex v, std::span<const Vertex> nbrs) {
+        st.count_neighbors(nbrs);
+        st.place(v, [&](std::uint32_t p) {
+          return static_cast<double>(st.nbr_count[p]) -
+                 alpha * gamma *
+                     std::pow(static_cast<double>(st.load[p]), gamma - 1.0);
+        });
+      });
+    }
+    res.part_of_vertex = std::move(st.part);
+    res.load = std::move(st.load);
+    res.capacity = st.cap;
+    gs.for_each_edge([&](Vertex u, Vertex v) {
+      if (res.part_of_vertex[u] != res.part_of_vertex[v]) ++res.cut_edges;
+    });
+    res.cut_fraction =
+        m == 0 ? 0.0
+               : static_cast<double>(res.cut_edges) / static_cast<double>(m);
+  }
+
+  const std::uint64_t total = flavor == PartitionFlavor::kEdge ? m : n;
+  const std::uint64_t maxload =
+      *std::max_element(res.load.begin(), res.load.end());
+  res.balance = total == 0 ? 1.0
+                           : static_cast<double>(maxload) * opts.num_parts /
+                                 static_cast<double>(total);
+  return res;
+}
+
+std::string verify_partition(const GraphStream& gs,
+                             const StreamPartition& p) {
+  std::ostringstream err;
+  const Vertex n = gs.num_vertices();
+  const std::uint64_t m = gs.num_edges();
+  if (p.num_parts == 0) return "no parts";
+  if (p.num_vertices != n || p.num_edges != m) return "stream size mismatch";
+
+  std::vector<std::uint64_t> load(p.num_parts, 0);
+  if (p.flavor == PartitionFlavor::kEdge) {
+    if (p.part_of_edge.size() != m) {
+      err << "assigned " << p.part_of_edge.size() << " edges, stream has "
+          << m;
+      return err.str();
+    }
+    DenseBitset mirrors(n, p.num_parts);
+    std::uint64_t i = 0;
+    std::string bad;
+    gs.for_each_edge([&](Vertex u, Vertex v) {
+      const std::uint32_t part = p.part_of_edge[i++];
+      if (part >= p.num_parts) {
+        if (bad.empty()) bad = "edge assigned to out-of-range part";
+        return;
+      }
+      ++load[part];
+      mirrors.set(u, part);
+      mirrors.set(v, part);
+    });
+    if (!bad.empty()) return bad;
+    if (!(mirrors == p.mirrors)) return "mirror bitset recount differs";
+    std::uint64_t replicas = 0, touched = 0;
+    for (Vertex v = 0; v < n; ++v) {
+      const std::uint32_t r = mirrors.row_count(v);
+      replicas += r;
+      touched += r > 0;
+    }
+    const double rf = touched == 0 ? 1.0
+                                   : static_cast<double>(replicas) /
+                                         static_cast<double>(touched);
+    if (rf != p.replication_factor) {
+      err << "replication factor recount " << rf << " != reported "
+          << p.replication_factor;
+      return err.str();
+    }
+  } else {
+    if (p.part_of_vertex.size() != n) {
+      err << "assigned " << p.part_of_vertex.size() << " vertices, stream has "
+          << n;
+      return err.str();
+    }
+    for (Vertex v = 0; v < n; ++v) {
+      if (p.part_of_vertex[v] >= p.num_parts) {
+        return "vertex assigned to out-of-range part";
+      }
+      ++load[p.part_of_vertex[v]];
+    }
+    std::uint64_t cut = 0;
+    gs.for_each_edge([&](Vertex u, Vertex v) {
+      if (p.part_of_vertex[u] != p.part_of_vertex[v]) ++cut;
+    });
+    if (cut != p.cut_edges) {
+      err << "cut recount " << cut << " != reported " << p.cut_edges;
+      return err.str();
+    }
+  }
+
+  if (load != p.load) return "per-part load recount differs";
+  for (std::uint32_t part = 0; part < p.num_parts; ++part) {
+    if (load[part] > p.capacity) {
+      err << "part " << part << " load " << load[part]
+          << " exceeds declared capacity " << p.capacity;
+      return err.str();
+    }
+  }
+  const std::uint64_t total =
+      p.flavor == PartitionFlavor::kEdge ? m : static_cast<std::uint64_t>(n);
+  const std::uint64_t maxload = *std::max_element(load.begin(), load.end());
+  const double balance =
+      total == 0 ? 1.0
+                 : static_cast<double>(maxload) * p.num_parts /
+                       static_cast<double>(total);
+  if (balance != p.balance) {
+    err << "balance recount " << balance << " != reported " << p.balance;
+    return err.str();
+  }
+  return "";
+}
+
+}  // namespace polarstar::partition

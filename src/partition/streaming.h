@@ -1,0 +1,105 @@
+// Streaming graph partitioners -- the "millions of users" layout engine.
+//
+// Unlike the offline multilevel bisector (partitioner.h), which must hold
+// the whole graph, these algorithms make one pass over a GraphStream and
+// keep only O(vertices) state (partial degrees, per-part loads, and a
+// DenseBitset of vertex replicas), so they scale to graphs no offline
+// partitioner could load. Two flavors:
+//
+//  - Edge partitioning (greedy, HDRF, DBH): every edge is assigned to
+//    exactly one part; a vertex is replicated ("mirrored") on every part
+//    that owns one of its edges. Quality = replication factor (average
+//    replicas per vertex, >= 1) and balance (max edges-per-part over the
+//    ideal m/p).
+//  - Vertex partitioning (LDG, Fennel): every vertex is assigned to
+//    exactly one part as it streams by with its neighbor list; edges with
+//    endpoints in different parts are cut. Quality = cut fraction and
+//    balance (max vertices-per-part over the ideal n/p).
+//
+// All five respect a hard per-part capacity of ceil((1 + eps) * ideal)
+// items -- when an algorithm's preferred part is full it falls back to the
+// least-loaded part -- so declared balance is a guarantee, not a tendency.
+// Everything is deterministic: one stream order, seeded hashing, no
+// wall-clock, identical results on any thread.
+//
+// References: PowerGraph greedy (OSDI'12), HDRF (CIKM'15), DBH (NIPS'14),
+// LDG (KDD'12), Fennel (WSDM'14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/dense_bitset.h"
+#include "partition/stream.h"
+
+namespace polarstar::partition {
+
+enum class StreamAlgo { kGreedy, kHdrf, kDbh, kLdg, kFennel };
+enum class PartitionFlavor { kEdge, kVertex };
+
+const char* to_string(StreamAlgo a);
+const char* to_string(PartitionFlavor f);
+PartitionFlavor flavor_of(StreamAlgo a);
+
+/// The five algorithms, in canonical report order.
+inline constexpr StreamAlgo kAllStreamAlgos[] = {
+    StreamAlgo::kGreedy, StreamAlgo::kHdrf, StreamAlgo::kDbh,
+    StreamAlgo::kLdg, StreamAlgo::kFennel};
+
+struct StreamOptions {
+  std::uint32_t num_parts = 2;
+  /// Declared balance slack: per-part load never exceeds
+  /// ceil((1 + balance_epsilon) * ideal) where ideal = m/p (edge flavor)
+  /// or n/p (vertex flavor).
+  double balance_epsilon = 0.05;
+  double hdrf_lambda = 1.0;   ///< HDRF balance weight (paper's lambda)
+  double fennel_gamma = 1.5;  ///< Fennel cost exponent (paper's gamma)
+  std::uint64_t seed = 1;     ///< DBH hash salt
+};
+
+struct StreamPartition {
+  StreamAlgo algo{};
+  PartitionFlavor flavor{};
+  std::uint32_t num_parts = 0;
+  graph::Vertex num_vertices = 0;
+  std::uint64_t num_edges = 0;
+
+  /// Vertex flavor: part of each vertex (size n). Edge flavor: empty.
+  std::vector<std::uint32_t> part_of_vertex;
+  /// Edge flavor: part of each edge in stream order (size m); kept so the
+  /// verifier can recount every derived quantity. Vertex flavor: empty.
+  std::vector<std::uint32_t> part_of_edge;
+  /// Edge flavor: vertex x part replica bits. Vertex flavor: empty.
+  DenseBitset mirrors;
+  /// Per-part load: edges (edge flavor) or vertices (vertex flavor).
+  std::vector<std::uint64_t> load;
+
+  /// Edge flavor: average replicas per vertex with >= 1 edge (>= 1).
+  /// Vertex flavor: exactly 1.
+  double replication_factor = 1.0;
+  /// Vertex flavor: edges whose endpoints land in different parts.
+  /// Edge flavor: 0 (cut is not the edge-partitioning cost).
+  std::uint64_t cut_edges = 0;
+  double cut_fraction = 0.0;
+  /// Max per-part load over the ideal (total / p); >= 1.
+  double balance = 1.0;
+  /// The capacity the run enforced (for the balance guarantee check).
+  std::uint64_t capacity = 0;
+};
+
+/// One streaming pass of `algo` over `gs` (plus a second metric pass for
+/// the vertex-flavor cut count). Throws std::invalid_argument when
+/// opts.num_parts is 0 or exceeds what the flavor can fill (more parts
+/// than items).
+StreamPartition partition_stream(const GraphStream& gs, StreamAlgo algo,
+                                 const StreamOptions& opts);
+
+/// Brute-force re-verification against the stream: every item assigned
+/// exactly once to a legal part, per-part loads and the mirror bitset
+/// recount exactly, replication factor / cut / balance recompute to the
+/// reported values, and no part exceeds the declared capacity. Returns ""
+/// when clean, else a description of the first violation.
+std::string verify_partition(const GraphStream& gs, const StreamPartition& p);
+
+}  // namespace polarstar::partition
